@@ -1,0 +1,241 @@
+// Command strandweaver regenerates the paper's evaluation artifacts
+// (Table II, Figures 7-10), runs the Figure 2 litmus cross-validation,
+// and exercises crash-recovery, on the simulated machine.
+//
+// Usage:
+//
+//	strandweaver <experiment> [flags]
+//
+// Experiments: table2, fig7 (includes the headline-claims summary),
+// fig8, fig9, fig10, litmus, crash, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	sw "strandweaver"
+)
+
+func main() {
+	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	threads := fs.Int("threads", 8, "worker threads (simulated cores)")
+	ops := fs.Int("ops", 250, "operations per thread")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table II)")
+	crashes := fs.Int("crashes", 20, "crash points to inject (crash experiment)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	opt := sw.ExpOptions{Threads: *threads, OpsPerThread: *ops, Seed: *seed}
+	if *benchList != "" {
+		opt.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	start := time.Now()
+	var err error
+	switch cmd {
+	case "table2":
+		err = runTable2(opt)
+	case "fig7":
+		err = runFig7(opt, true)
+	case "fig8":
+		err = runFig8(opt)
+	case "fig9":
+		err = runFig9(opt)
+	case "fig10":
+		err = runFig10(opt)
+	case "litmus":
+		err = runLitmus()
+	case "crash":
+		err = runCrash(opt, *crashes)
+	case "ablation":
+		err = runAblation(opt)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return runTable2(opt) },
+			func() error { return runFig7(opt, true) },
+			func() error { return runFig8(opt) },
+			func() error { return runFig9(opt) },
+			func() error { return runFig10(opt) },
+			runLitmus,
+			func() error { return runCrash(opt, *crashes) },
+			func() error { return runAblation(opt) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strandweaver:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: strandweaver <experiment> [flags]
+
+experiments:
+  table2   benchmark write intensity (CLWBs per 1000 cycles)
+  fig7     speedup grid: 5 designs x 3 language models x 8 benchmarks,
+           plus the paper's headline-claims summary
+  fig8     CPU stalls enforcing persist order, relative to Intel x86
+  fig9     sensitivity to strand-buffer-unit geometry
+  fig10    speedup vs operations per synchronization-free region
+  litmus   Figure 2 litmus shapes: hardware vs formal model
+  crash    crash-injection + recovery + invariant verification sweep
+  ablation design-choice ablations: undo vs redo logging, persist queue
+           depth, HOPS buffer capacity, CLWB vs CLFLUSHOPT
+  all      everything above
+
+flags (see -h per experiment): -threads -ops -seed -benchmarks -crashes
+`)
+}
+
+func runTable2(opt sw.ExpOptions) error {
+	rows, err := sw.Table2(opt)
+	if err != nil {
+		return err
+	}
+	sw.PrintTable2(os.Stdout, rows)
+	return nil
+}
+
+func runFig7(opt sw.ExpOptions, claims bool) error {
+	g, err := sw.RunGrid(opt)
+	if err != nil {
+		return err
+	}
+	sw.PrintFig7(os.Stdout, g)
+	if claims {
+		fmt.Println()
+		sw.PrintClaims(os.Stdout, sw.ComputeClaims(g))
+	}
+	return nil
+}
+
+func runFig8(opt sw.ExpOptions) error {
+	g, err := sw.RunGrid(opt)
+	if err != nil {
+		return err
+	}
+	sw.PrintFig8(os.Stdout, g)
+	return nil
+}
+
+func runFig9(opt sw.ExpOptions) error {
+	pts, err := sw.Fig9(opt)
+	if err != nil {
+		return err
+	}
+	sw.PrintFig9(os.Stdout, pts)
+	return nil
+}
+
+func runFig10(opt sw.ExpOptions) error {
+	pts, err := sw.Fig10(opt, nil)
+	if err != nil {
+		return err
+	}
+	sw.PrintFig10(os.Stdout, pts)
+	return nil
+}
+
+func runLitmus() error {
+	programs := []struct {
+		name string
+		p    sw.LitmusProgram
+	}{
+		{"fig2ab: ST A; PB; ST B; NS; ST C", sw.LitmusProgram{{sw.LSt(0, 1), sw.LPB(), sw.LSt(1, 1), sw.LNS(), sw.LSt(2, 1)}}},
+		{"fig2cd: ST A; NS; ST B; JS; ST C", sw.LitmusProgram{{sw.LSt(0, 1), sw.LNS(), sw.LSt(1, 1), sw.LJS(), sw.LSt(2, 1)}}},
+		{"fig2ef: ST A=1; NS; ST A=2; PB; ST B", sw.LitmusProgram{{sw.LSt(0, 1), sw.LNS(), sw.LSt(0, 2), sw.LPB(), sw.LSt(1, 1)}}},
+		{"fig2gh: ST A; NS; LD A; PB; ST B", sw.LitmusProgram{{sw.LSt(0, 1), sw.LNS(), sw.LLd(0), sw.LPB(), sw.LSt(1, 1)}}},
+		{"fig2ij: T0: ST A; NS; ST B || T1: ST B'; PB; ST C", sw.LitmusProgram{
+			{sw.LSt(0, 1), sw.LNS(), sw.LSt(1, 1)},
+			{sw.LSt(1, 2), sw.LPB(), sw.LSt(2, 1)},
+		}},
+	}
+	fmt.Println("Figure 2 litmus cross-validation (simulated hardware vs formal PMO model)")
+	for _, pr := range programs {
+		res, err := sw.CheckLitmus(pr.p, 16)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pr.name, err)
+		}
+		allowed := sw.AllowedStates(pr.p)
+		fmt.Printf("  %-44s %4d crash points, %d observed states, all within the %d model-allowed states: OK\n",
+			pr.name, res.CrashPoints, len(res.States), len(allowed))
+	}
+	return nil
+}
+
+func runAblation(opt sw.ExpOptions) error {
+	lg, err := sw.LoggingAblation(opt, nil)
+	if err != nil {
+		return err
+	}
+	sw.PrintLoggingAblation(os.Stdout, lg)
+	fmt.Println()
+	qd, err := sw.PersistQueueDepthAblation(opt, nil)
+	if err != nil {
+		return err
+	}
+	sw.PrintQueueDepthAblation(os.Stdout, qd)
+	fmt.Println()
+	hb, err := sw.HOPSBufferAblation(opt, nil)
+	if err != nil {
+		return err
+	}
+	sw.PrintHOPSBufferAblation(os.Stdout, hb)
+	fmt.Println()
+	fi, err := sw.FlushInstructionAblation(opt)
+	if err != nil {
+		return err
+	}
+	sw.PrintFlushInstructionAblation(os.Stdout, fi)
+	return nil
+}
+
+func runCrash(opt sw.ExpOptions, crashes int) error {
+	opt = sw.ExpOptions{Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed, Benchmarks: opt.Benchmarks}
+	if len(opt.Benchmarks) == 0 {
+		opt.Benchmarks = sw.BenchmarkNames()
+	}
+	fmt.Println("Crash-injection sweep: run, crash, recover, verify structural invariants")
+	for _, b := range opt.Benchmarks {
+		// Find the crash-free length first.
+		base, err := sw.Run(sw.Spec{Benchmark: b, Model: sw.SFR, Design: sw.StrandWeaver,
+			Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed})
+		if err != nil {
+			return err
+		}
+		stride := sw.Cycle(base.Cycles / uint64(crashes+1))
+		if stride == 0 {
+			stride = 1
+		}
+		rolled := 0
+		for i := 1; i <= crashes; i++ {
+			rep, err := sw.RunWithCrash(sw.Spec{Benchmark: b, Model: sw.SFR, Design: sw.StrandWeaver,
+				Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed}, sw.Cycle(i)*stride)
+			if err != nil {
+				return fmt.Errorf("%s: %w", b, err)
+			}
+			rolled += len(rep.RolledBack)
+		}
+		fmt.Printf("  %-12s %3d crashes, %5d mutations rolled back, all invariants held\n", b, crashes, rolled)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module strandweaver
+
+go 1.22

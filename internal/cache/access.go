@@ -1,0 +1,232 @@
+package cache
+
+import "strandweaver/internal/mem"
+
+// Load brings line into this L1 with at least shared permission and
+// invokes done when the data is available. Per the paper (Fig. 2g),
+// read requests do NOT gate on a remote core's pending persists: loads
+// never establish persist order.
+func (l *L1) Load(line mem.Addr, done func()) {
+	h := l.h
+	if e := l.lookup(line); e != nil {
+		l.touch(e)
+		h.stats.L1Hits++
+		h.after(h.cfg.L1HitCycles, done)
+		return
+	}
+	h.stats.L1Misses++
+	// MSHR coalescing: piggyback on an outstanding fill for this line.
+	if _, ok := l.loadFills[line]; ok {
+		l.loadFills[line] = append(l.loadFills[line], done)
+		return
+	}
+	if _, ok := l.storeFills[line]; ok {
+		// An exclusive fill also satisfies the load.
+		l.storeFills[line] = append(l.storeFills[line], done)
+		return
+	}
+	l.loadFills[line] = nil
+	userDone := done
+	done = func() {
+		waiters := l.loadFills[line]
+		delete(l.loadFills, line)
+		userDone()
+		for _, w := range waiters {
+			w()
+		}
+	}
+	de := h.entry(line)
+	if de.owner != noOwner && de.owner != l.core {
+		// Downgrade the remote owner to shared; its dirty payload moves
+		// to L2 (still volatile — persistence happens only at the PM
+		// controller).
+		remote := h.l1s[de.owner]
+		if re := remote.lookup(line); re != nil && re.dirty {
+			re.dirty = false
+			h.l2.install(line, true, h)
+		}
+		de.sharers |= 1 << uint(de.owner)
+		de.owner = noOwner
+		de.ownerDirty = false
+		de.sharers |= 1 << uint(l.core)
+		l.install(line, false)
+		h.stats.L2Hits++
+		h.after(h.cfg.L2HitCycles, done)
+		return
+	}
+	fill := func() {
+		de.sharers |= 1 << uint(l.core)
+		l.install(line, false)
+		done()
+	}
+	if h.l2.present(line) {
+		h.stats.L2Hits++
+		h.after(h.cfg.L2HitCycles, fill)
+		return
+	}
+	h.stats.L2Misses++
+	h.ctrl.SubmitRead(line, func() {
+		h.l2.install(line, false, h)
+		fill()
+	})
+}
+
+// Store obtains modified permission for line in this L1, marks it dirty,
+// and invokes done when the store may update the cache. If the line is
+// dirty in another core's L1 and that core's persist gate has pending
+// work, the read-exclusive reply stalls until the recorded strand-buffer
+// tails drain (strong persist atomicity, paper Fig. 2i-j).
+func (l *L1) Store(line mem.Addr, done func()) {
+	h := l.h
+	de := h.entry(line)
+	if e := l.lookup(line); e != nil && de.owner == l.core {
+		// Write hit with ownership.
+		l.touch(e)
+		e.dirty = true
+		de.ownerDirty = true
+		h.stats.L1Hits++
+		h.after(h.cfg.L1HitCycles, done)
+		return
+	}
+	h.stats.L1Misses++
+	// MSHR coalescing: a store while an exclusive fill for the same
+	// line is outstanding piggybacks on it (the fill installs the line
+	// dirty with ownership, satisfying this store too).
+	if _, ok := l.storeFills[line]; ok {
+		l.storeFills[line] = append(l.storeFills[line], done)
+		return
+	}
+	l.storeFills[line] = nil
+	userDone := done
+	done = func() {
+		waiters := l.storeFills[line]
+		delete(l.storeFills, line)
+		userDone()
+		for _, w := range waiters {
+			w()
+		}
+	}
+	finish := func() {
+		// Invalidate all shared copies.
+		for c := 0; c < h.cfg.Cores; c++ {
+			if c != l.core && de.sharers&(1<<uint(c)) != 0 {
+				h.l1s[c].drop(line)
+			}
+		}
+		de.sharers = 0
+		de.owner = l.core
+		de.ownerDirty = true
+		l.install(line, true)
+		done()
+	}
+	if de.owner != noOwner && de.owner != l.core {
+		// Read-exclusive request to a remote owner.
+		remote := h.l1s[de.owner]
+		re := remote.lookup(line)
+		transfer := func() {
+			h.stats.OwnershipTransfers++
+			remote.drop(line)
+			h.after(h.cfg.L2HitCycles, finish)
+		}
+		if re != nil && re.dirty {
+			if g := h.gates[de.owner]; g != nil {
+				tok := g.RecordTails()
+				h.stats.SnoopGateWaits++
+				g.CallWhenDrained(tok, transfer)
+				return
+			}
+		}
+		transfer()
+		return
+	}
+	if l.lookup(line) != nil || de.sharers&^(1<<uint(l.core)) != 0 || h.l2.present(line) {
+		// Upgrade from shared, or L2 fill.
+		h.stats.Upgrades++
+		h.after(h.cfg.L2HitCycles, finish)
+		return
+	}
+	h.stats.L2Misses++
+	h.ctrl.SubmitRead(line, func() {
+		h.l2.install(line, false, h)
+		finish()
+	})
+}
+
+// Flush implements the CLWB datapath (paper Section IV, "Strand buffer
+// unit operation"): look up the L1; if the line is dirty, snapshot it,
+// retain a clean copy, and send the write to the PM controller; on an L1
+// miss, probe the L2 (and, if a remote L1 holds it dirty, flush the
+// remote copy); a clean/absent line acknowledges after the lookup. done
+// fires when the flush completes (controller acceptance ack for dirty
+// data).
+func (l *L1) Flush(line mem.Addr, done func()) {
+	h := l.h
+	h.stats.Flushes++
+	if e := l.lookup(line); e != nil && e.dirty {
+		h.stats.FlushL1Dirty++
+		e.dirty = false
+		de := h.entry(line)
+		if de.owner == l.core {
+			de.ownerDirty = false
+		}
+		if h.cfg.FlushInvalidates {
+			// CLFLUSHOPT semantics: the line leaves the cache entirely.
+			l.drop(line)
+			if de.owner == l.core {
+				de.owner = noOwner
+			}
+			de.sharers &^= 1 << uint(l.core)
+		}
+		h.after(h.cfg.L1HitCycles, func() {
+			var data [mem.LineSize]byte
+			h.machine.Volatile.CopyLine(line, &data)
+			h.ctrl.SubmitPMWrite(line, data, done)
+		})
+		return
+	}
+	// L1 clean or absent: the flush propagates downward.
+	de := h.entry(line)
+	if de.owner != noOwner && de.owner != l.core {
+		remote := h.l1s[de.owner]
+		if re := remote.lookup(line); re != nil && re.dirty {
+			// Another core holds the latest data dirty; the flush is
+			// serviced from there (coherent CLWB). The remote copy is
+			// cleaned but retained.
+			h.stats.FlushRemote++
+			re.dirty = false
+			de.ownerDirty = false
+			h.after(h.cfg.L1HitCycles+h.cfg.L2HitCycles, func() {
+				var data [mem.LineSize]byte
+				h.machine.Volatile.CopyLine(line, &data)
+				h.ctrl.SubmitPMWrite(line, data, done)
+			})
+			return
+		}
+	}
+	if h.l2.dirty(line) {
+		h.stats.FlushL2Dirty++
+		h.l2.clean(line)
+		h.after(h.cfg.L1HitCycles+h.cfg.L2HitCycles, func() {
+			var data [mem.LineSize]byte
+			h.machine.Volatile.CopyLine(line, &data)
+			h.ctrl.SubmitPMWrite(line, data, done)
+		})
+		return
+	}
+	// The dirty data may be in flight in a write-back buffer (evicted
+	// from an L1 but not yet installed in L2); the flush must still
+	// persist it.
+	for _, peer := range h.l1s {
+		if peer.wb.contains(line) {
+			h.stats.FlushWBBuffer++
+			h.after(h.cfg.L1HitCycles+h.cfg.L2HitCycles, func() {
+				var data [mem.LineSize]byte
+				h.machine.Volatile.CopyLine(line, &data)
+				h.ctrl.SubmitPMWrite(line, data, done)
+			})
+			return
+		}
+	}
+	h.stats.FlushClean++
+	h.after(h.cfg.L1HitCycles, done)
+}

@@ -1,0 +1,262 @@
+// Package cache models the two-level write-back cache hierarchy of the
+// simulated machine: per-core L1 data caches, a shared L2, a MESI-style
+// directory, per-core write-back buffers, and the snoop-side persist
+// gating that StrandWeaver adds for strong persist atomicity (paper
+// Section IV, "Managing cache writebacks" and "Enabling inter-thread
+// persist order").
+//
+// The hierarchy is a timing model layered over the functional memory
+// images in package mem: line *values* always come from the volatile
+// image at the moment a flush or write-back is submitted, which matches
+// real hardware where the payload travels with the message.
+package cache
+
+import (
+	"fmt"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+)
+
+// GateToken captures a snapshot of in-flight persist work (per-strand-
+// buffer tail indexes in StrandWeaver's write-back and snoop buffers).
+type GateToken []uint64
+
+// PersistGate is implemented by per-core persist hardware (the strand
+// buffer unit, or the HOPS persist buffer) so the cache can honour the
+// paper's write-back and coherence ordering rules: a gated action waits
+// until all persist work present at record time has drained.
+type PersistGate interface {
+	// RecordTails snapshots the hardware's current tail indexes.
+	RecordTails() GateToken
+	// CallWhenDrained invokes cb (possibly immediately) once every
+	// operation captured by the token has completed and retired.
+	CallWhenDrained(t GateToken, cb func())
+}
+
+const noOwner = -1
+
+// dirEntry is the directory's view of one cache line.
+type dirEntry struct {
+	// owner is the core holding the line in M/E state, or noOwner.
+	owner int
+	// ownerDirty reports whether the owner's copy is dirty.
+	ownerDirty bool
+	// sharers is a bitmask of cores holding the line in S state.
+	sharers uint64
+}
+
+// Hierarchy is the shared cache system: L2, directory, and one L1 per
+// core.
+type Hierarchy struct {
+	eng     *sim.Engine
+	cfg     config.Config
+	machine *mem.Machine
+	ctrl    *pmem.Controller
+
+	dir map[mem.Addr]*dirEntry
+	l2  *l2cache
+	l1s []*L1
+
+	// gates[i] is core i's persist gate (nil when the design has none).
+	gates []PersistGate
+
+	stats HierStats
+}
+
+// HierStats aggregates hierarchy-wide counters.
+type HierStats struct {
+	L1Hits, L1Misses   uint64
+	L2Hits, L2Misses   uint64
+	Upgrades           uint64
+	OwnershipTransfers uint64
+	L1Writebacks       uint64
+	L2Writebacks       uint64
+	Flushes            uint64
+	FlushL1Dirty       uint64
+	FlushL2Dirty       uint64
+	FlushClean         uint64
+	FlushRemote        uint64
+	FlushWBBuffer      uint64
+	SnoopGateWaits     uint64
+	WritebackGateWaits uint64
+}
+
+// NewHierarchy builds the cache system for cfg.Cores cores.
+func NewHierarchy(eng *sim.Engine, cfg config.Config, machine *mem.Machine, ctrl *pmem.Controller) *Hierarchy {
+	h := &Hierarchy{
+		eng:     eng,
+		cfg:     cfg,
+		machine: machine,
+		ctrl:    ctrl,
+		dir:     make(map[mem.Addr]*dirEntry),
+		l2:      newL2(cfg),
+		gates:   make([]PersistGate, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1s = append(h.l1s, newL1(h, i))
+	}
+	return h
+}
+
+// L1 returns core i's L1 cache.
+func (h *Hierarchy) L1(core int) *L1 { return h.l1s[core] }
+
+// SetGate registers core's persist gate; pass nil for designs without
+// write-back/snoop persist gating.
+func (h *Hierarchy) SetGate(core int, g PersistGate) { h.gates[core] = g }
+
+// Stats returns a copy of the hierarchy counters.
+func (h *Hierarchy) Stats() HierStats { return h.stats }
+
+// Preload installs line clean into the shared L2, modelling state warmed
+// by a setup phase that is not part of the measured run.
+func (h *Hierarchy) Preload(line mem.Addr) {
+	if mem.LineOffset(line) != 0 {
+		panic("cache: Preload of unaligned address")
+	}
+	h.l2.install(line, false, h)
+}
+
+func (h *Hierarchy) entry(line mem.Addr) *dirEntry {
+	e := h.dir[line]
+	if e == nil {
+		e = &dirEntry{owner: noOwner}
+		h.dir[line] = e
+	}
+	return e
+}
+
+func (h *Hierarchy) after(d uint64, fn func()) { h.eng.Schedule(sim.Cycle(d), fn) }
+
+// --- L1 ---
+
+type l1Line struct {
+	line  mem.Addr
+	dirty bool
+	// lru is a monotonically increasing last-use stamp.
+	lru uint64
+}
+
+// L1 is one core's private data cache.
+type L1 struct {
+	h    *Hierarchy
+	core int
+	sets [][]l1Line
+	tick uint64
+	wb   *writebackBuffer
+	// storeFills and loadFills coalesce outstanding misses per line
+	// (MSHR semantics): the first requester drives the fill, subsequent
+	// same-line requests piggyback on its completion.
+	storeFills map[mem.Addr][]func()
+	loadFills  map[mem.Addr][]func()
+}
+
+func newL1(h *Hierarchy, core int) *L1 {
+	l1 := &L1{
+		h:          h,
+		core:       core,
+		sets:       make([][]l1Line, h.cfg.L1Sets),
+		storeFills: make(map[mem.Addr][]func()),
+		loadFills:  make(map[mem.Addr][]func()),
+	}
+	l1.wb = newWritebackBuffer(l1)
+	return l1
+}
+
+func (l *L1) setIndex(line mem.Addr) int {
+	return int((uint64(line) >> mem.LineShift) % uint64(l.h.cfg.L1Sets))
+}
+
+func (l *L1) lookup(line mem.Addr) *l1Line {
+	set := l.sets[l.setIndex(line)]
+	for i := range set {
+		if set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (l *L1) touch(e *l1Line) {
+	l.tick++
+	e.lru = l.tick
+}
+
+// install places line in the cache (evicting if needed) and returns its
+// slot; if the line is already resident the existing slot is updated
+// (dirty status merges). Dirty victims enter the write-back buffer.
+func (l *L1) install(line mem.Addr, dirty bool) *l1Line {
+	if e := l.lookup(line); e != nil {
+		e.dirty = e.dirty || dirty
+		l.touch(e)
+		return e
+	}
+	idx := l.setIndex(line)
+	set := l.sets[idx]
+	if len(set) < l.h.cfg.L1Ways {
+		l.sets[idx] = append(set, l1Line{line: line, dirty: dirty})
+		e := &l.sets[idx][len(l.sets[idx])-1]
+		l.touch(e)
+		return e
+	}
+	// Evict LRU.
+	victim := 0
+	for i := range set {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	l.evict(&set[victim])
+	set[victim] = l1Line{line: line, dirty: dirty}
+	e := &set[victim]
+	l.touch(e)
+	return e
+}
+
+// evict removes e's line from this L1, sending dirty data through the
+// write-back buffer and updating the directory.
+func (l *L1) evict(e *l1Line) {
+	de := l.h.entry(e.line)
+	if de.owner == l.core {
+		de.owner = noOwner
+		de.ownerDirty = false
+	}
+	de.sharers &^= 1 << uint(l.core)
+	if e.dirty {
+		l.h.stats.L1Writebacks++
+		l.wb.push(e.line)
+	} else if !l.h.l2.present(e.line) {
+		// Keep a clean copy in L2 so a later reference is an L2 hit;
+		// clean fills never persist.
+		l.h.l2.install(e.line, false, l.h)
+	}
+}
+
+// drop removes line from the L1 arrays without write-back (used on
+// invalidation; the dirty payload conceptually travels with the
+// coherence reply).
+func (l *L1) drop(line mem.Addr) {
+	idx := l.setIndex(line)
+	set := l.sets[idx]
+	for i := range set {
+		if set[i].line == line {
+			set[i] = set[len(set)-1]
+			l.sets[idx] = set[:len(set)-1]
+			return
+		}
+	}
+}
+
+// Present reports whether line is resident in this L1 (any state).
+func (l *L1) Present(line mem.Addr) bool { return l.lookup(line) != nil }
+
+// Dirty reports whether line is resident dirty in this L1.
+func (l *L1) Dirty(line mem.Addr) bool {
+	e := l.lookup(line)
+	return e != nil && e.dirty
+}
+
+func (l *L1) String() string { return fmt.Sprintf("L1[core %d]", l.core) }

@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"strandweaver/internal/config"
+	"strandweaver/internal/mem"
+)
+
+// l2cache is the shared last-level cache. Dirty PM lines evicted from L2
+// persist at the controller; dirty DRAM lines are absorbed by DRAM.
+type l2cache struct {
+	sets [][]l2Line
+	ways int
+	tick uint64
+}
+
+type l2Line struct {
+	line  mem.Addr
+	dirty bool
+	lru   uint64
+}
+
+func newL2(cfg config.Config) *l2cache {
+	return &l2cache{sets: make([][]l2Line, cfg.L2Sets), ways: cfg.L2Ways}
+}
+
+func (c *l2cache) setIndex(line mem.Addr) int {
+	return int((uint64(line) >> mem.LineShift) % uint64(len(c.sets)))
+}
+
+func (c *l2cache) find(line mem.Addr) *l2Line {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		if set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *l2cache) present(line mem.Addr) bool { return c.find(line) != nil }
+
+func (c *l2cache) dirty(line mem.Addr) bool {
+	e := c.find(line)
+	return e != nil && e.dirty
+}
+
+func (c *l2cache) clean(line mem.Addr) {
+	if e := c.find(line); e != nil {
+		e.dirty = false
+	}
+}
+
+// install places line in the L2 (possibly already present, in which case
+// dirty status is merged). Evicted dirty lines persist (PM) or drain to
+// DRAM via the hierarchy h.
+func (c *l2cache) install(line mem.Addr, dirty bool, h *Hierarchy) {
+	c.tick++
+	if e := c.find(line); e != nil {
+		e.dirty = e.dirty || dirty
+		e.lru = c.tick
+		return
+	}
+	idx := c.setIndex(line)
+	set := c.sets[idx]
+	if len(set) < c.ways {
+		c.sets[idx] = append(set, l2Line{line: line, dirty: dirty, lru: c.tick})
+		return
+	}
+	victim := 0
+	for i := range set {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := set[victim]
+	if v.dirty {
+		h.stats.L2Writebacks++
+		if mem.IsPM(v.line) {
+			var data [mem.LineSize]byte
+			h.machine.Volatile.CopyLine(v.line, &data)
+			h.ctrl.SubmitPMWrite(v.line, data, nil)
+		} else {
+			h.ctrl.SubmitDRAMWrite(v.line)
+		}
+	}
+	set[victim] = l2Line{line: line, dirty: dirty, lru: c.tick}
+}

@@ -1,0 +1,52 @@
+package cache
+
+import "strandweaver/internal/mem"
+
+// writebackBuffer manages in-progress write-backs from an L1. Per the
+// paper ("Managing cache writebacks"), StrandWeaver extends each entry
+// with one field per strand buffer recording that buffer's tail index at
+// write-back initiation; the write-back drains to L2 only after the
+// strand buffers retire past the recorded indexes. This guarantees older
+// CLWBs complete before a younger store's line can leave the L1 toward
+// PM, with no possibility of circular dependency (CLWBs never wait on
+// write-backs).
+type writebackBuffer struct {
+	l1       *L1
+	inFlight int
+	// lines tracks in-flight write-backs by line so the CLWB datapath
+	// can find dirty data that has left the L1 but not yet reached L2.
+	lines map[mem.Addr]int
+}
+
+func newWritebackBuffer(l1 *L1) *writebackBuffer {
+	return &writebackBuffer{l1: l1, lines: make(map[mem.Addr]int)}
+}
+
+// contains reports whether a write-back of line is in flight.
+func (wb *writebackBuffer) contains(line mem.Addr) bool { return wb.lines[line] > 0 }
+
+// push enters a dirty line into the buffer and arranges its gated drain.
+func (wb *writebackBuffer) push(line mem.Addr) {
+	h := wb.l1.h
+	wb.inFlight++
+	wb.lines[line]++
+	drain := func() {
+		wb.inFlight--
+		if wb.lines[line]--; wb.lines[line] == 0 {
+			delete(wb.lines, line)
+		}
+		// The line's dirty payload lands in the (volatile) L2; it
+		// persists only if later evicted from L2 or flushed.
+		h.l2.install(line, true, h)
+	}
+	if g := h.gates[wb.l1.core]; g != nil {
+		tok := g.RecordTails()
+		h.stats.WritebackGateWaits++
+		g.CallWhenDrained(tok, drain)
+		return
+	}
+	drain()
+}
+
+// InFlightWritebacks reports write-backs waiting on persist gates.
+func (l *L1) InFlightWritebacks() int { return l.wb.inFlight }

@@ -1,0 +1,258 @@
+// Package cpu models one simulated core per hardware thread: the
+// front-end that issues memory and persist operations, the store queue,
+// and the per-design persist hardware wiring (Intel x86 SFENCE, HOPS
+// persist buffer, StrandWeaver persist queue + strand buffer unit, the
+// no-persist-queue ablation, and the non-atomic upper bound).
+//
+// Timing philosophy: the front-end issues one operation per cycle until
+// a structural hazard (full store/persist queue) or an ordering
+// primitive blocks it; every cycle the front-end spends blocked for a
+// persist-ordering reason is counted as a persist stall (the metric in
+// the paper's Figure 8).
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"strandweaver/internal/cache"
+	"strandweaver/internal/config"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+	"strandweaver/internal/strand"
+	"strandweaver/internal/trace"
+)
+
+// Stats aggregates one core's activity counters.
+type Stats struct {
+	// Loads, Stores, CLWBs, RMWs count issued operations.
+	Loads, Stores, CLWBs, RMWs uint64
+	// Fences counts ordering primitives issued (any kind).
+	Fences uint64
+	// StallFenceCycles counts front-end cycles blocked waiting on an
+	// ordering primitive (JoinStrand completion, DFENCE drain).
+	StallFenceCycles uint64
+	// StallQueueFullCycles counts front-end cycles blocked on a full
+	// store queue, persist queue or persist/strand buffer.
+	StallQueueFullCycles uint64
+	// LockSpinCycles counts cycles burnt spinning on locks (contention,
+	// not persist ordering).
+	LockSpinCycles uint64
+	// ComputeCycles counts explicitly modelled non-memory work.
+	ComputeCycles uint64
+	// BusyUntil is the cycle at which the core last completed useful
+	// front-end work.
+	BusyUntil sim.Cycle
+}
+
+// PersistStallCycles returns the cycles the front-end was blocked by
+// persist-ordering hardware (Figure 8's metric).
+func (s Stats) PersistStallCycles() uint64 {
+	return s.StallFenceCycles + s.StallQueueFullCycles
+}
+
+// Core is one simulated core.
+type Core struct {
+	id      int
+	eng     *sim.Engine
+	cfg     config.Config
+	design  hwdesign.Design
+	machine *mem.Machine
+	l1      *cache.L1
+	ctrl    *pmem.Controller
+
+	sq  *storeQueue
+	pq  *strand.PersistQueue // StrandWeaver only
+	sbu *strand.BufferUnit   // StrandWeaver, NoPersistQueue, HOPS
+
+	// outstandingFlushes tracks direct (non-SBU) CLWBs in flight for the
+	// Intel and NonAtomic designs; SFENCE waits for it to reach zero.
+	outstandingFlushes int
+
+	// seq is the core-wide program-order sequence counter; 0 is reserved
+	// as "none".
+	seq uint64
+	// lastPB is the youngest persist barrier inserted (StrandWeaver),
+	// used to gate younger stores until it has issued.
+	lastPB *strand.Entry
+	// lastPBSeq and lastNSSeq locate the youngest persist barrier and
+	// NewStrand in program order.
+	lastPBSeq, lastNSSeq uint64
+
+	co *sim.Coroutine
+
+	// tracer, when set, records every front-end operation with its
+	// issue and completion cycles (nil = disabled, zero cost).
+	tracer *trace.Recorder
+
+	// wake is broadcast whenever core state changes that could unblock
+	// the front-end.
+	wake *sim.Waiter
+	// kickQueued coalesces pump scheduling.
+	kickQueued bool
+
+	rng *rand.Rand
+
+	stats Stats
+}
+
+// NewCore wires a core for the given design. The caller registers the
+// returned core's persist gate on the cache hierarchy when the design
+// has one.
+func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design, machine *mem.Machine, l1 *cache.L1, ctrl *pmem.Controller) *Core {
+	c := &Core{
+		id:      id,
+		eng:     eng,
+		cfg:     cfg,
+		design:  design,
+		machine: machine,
+		l1:      l1,
+		ctrl:    ctrl,
+		wake:    sim.NewWaiter(eng),
+		rng:     rand.New(rand.NewSource(int64(id)*7919 + 12345)),
+	}
+	c.sq = newStoreQueue(c)
+	switch design {
+	case hwdesign.StrandWeaver:
+		c.sbu = strand.NewBufferUnit(eng, l1, cfg.StrandBuffers, cfg.StrandBufferEntries)
+		c.pq = strand.NewPersistQueue(eng, c.sbu, c.sq, cfg.PersistQueueEntries)
+		c.pq.SetOnChange(c.kick)
+		c.sbu.OnChange(c.kick)
+	case hwdesign.NoPersistQueue:
+		c.sbu = strand.NewBufferUnit(eng, l1, cfg.StrandBuffers, cfg.StrandBufferEntries)
+		c.sbu.OnChange(c.kick)
+	case hwdesign.HOPS:
+		// The HOPS persist buffer is a single strand buffer; ofence has
+		// persist-barrier mechanics within it.
+		c.sbu = strand.NewBufferUnit(eng, l1, 1, cfg.HOPSPersistBufferEntries)
+		c.sbu.OnChange(c.kick)
+	}
+	return c
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Design returns the core's hardware design.
+func (c *Core) Design() hwdesign.Design { return c.design }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// PersistGate returns the core's cache persist gate (its strand buffer
+// unit), or nil for designs without write-back/snoop gating.
+func (c *Core) PersistGate() cache.PersistGate {
+	if c.sbu != nil {
+		return c.sbu
+	}
+	return nil
+}
+
+// BufferUnit exposes the strand buffer unit (nil for Intel/NonAtomic);
+// used by tests and the Figure 4 walkthrough.
+func (c *Core) BufferUnit() *strand.BufferUnit { return c.sbu }
+
+// PersistQueue exposes the persist queue (nil except StrandWeaver).
+func (c *Core) PersistQueue() *strand.PersistQueue { return c.pq }
+
+// Attach binds the workload coroutine to this core. Every Core memory
+// API must be called from that coroutine.
+func (c *Core) Attach(co *sim.Coroutine) { c.co = co }
+
+// SetTracer enables per-operation trace recording on this core.
+func (c *Core) SetTracer(r *trace.Recorder) { c.tracer = r }
+
+// traceOp records one completed front-end operation when tracing is on.
+func (c *Core) traceOp(kind isa.OpKind, addr mem.Addr, value uint64, start sim.Cycle) {
+	if c.tracer != nil {
+		c.tracer.Record(c.id, kind, addr, value, start, c.eng.Now())
+	}
+}
+
+// kick schedules a pump of the core's queues; repeated calls before the
+// pump runs are coalesced.
+func (c *Core) kick() {
+	if c.kickQueued {
+		return
+	}
+	c.kickQueued = true
+	c.eng.Schedule(0, func() {
+		c.kickQueued = false
+		c.pump()
+	})
+}
+
+// pump advances the store queue and persist machinery and wakes any
+// blocked front-end.
+func (c *Core) pump() {
+	c.sq.pump()
+	if c.pq != nil {
+		c.pq.Pump()
+	}
+	if c.sbu != nil {
+		c.sbu.Kick()
+	}
+	c.wake.Broadcast()
+}
+
+// Drained reports whether all of the core's persist machinery is idle:
+// the store queue is empty, the persist queue (if any) is empty, the
+// strand buffers (if any) are drained, and no direct flushes are in
+// flight.
+func (c *Core) Drained() bool {
+	if !c.sq.empty() {
+		return false
+	}
+	if c.pq != nil && !c.pq.Empty() {
+		return false
+	}
+	if c.sbu != nil && !c.sbu.Drained() {
+		return false
+	}
+	return c.outstandingFlushes == 0
+}
+
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d[%s]", c.id, c.design)
+}
+
+// stallUntil parks the front-end until cond holds, charging the elapsed
+// cycles to the given stall counter.
+func (c *Core) stallUntil(cond func() bool, counter *uint64) {
+	if cond() {
+		return
+	}
+	start := c.eng.Now()
+	for !cond() {
+		c.wake.Park(c.co)
+	}
+	*counter += uint64(c.eng.Now() - start)
+}
+
+// nextSeq allocates the next program-order sequence number.
+func (c *Core) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// barrierSeqForCLWB returns the sequence of the youngest elder persist
+// barrier not cleared by a later NewStrand (0 if none): the stores that
+// a CLWB must wait for under the persist-barrier rule.
+func (c *Core) barrierSeqForCLWB() uint64 {
+	if c.lastPBSeq > c.lastNSSeq {
+		return c.lastPBSeq
+	}
+	return 0
+}
+
+// storeGateEntry returns the persist-queue barrier entry a new store
+// must wait on (issued) under StrandWeaver, or nil.
+func (c *Core) storeGateEntry() *strand.Entry {
+	if c.design == hwdesign.StrandWeaver && c.lastPBSeq > c.lastNSSeq && c.lastPB != nil && !c.lastPB.HasIssued() {
+		return c.lastPB
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package cpu
+
+import (
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/sim"
+)
+
+// The front-end API. Every method must be called from the coroutine
+// attached with Attach; methods may suspend the coroutine to model
+// latency and stalls.
+
+// issueCycle charges one front-end issue slot.
+func (c *Core) issueCycle() {
+	c.co.WaitCycles(1)
+	c.stats.BusyUntil = c.eng.Now()
+}
+
+// Load64 returns the 8-byte value at addr, modelling store-to-load
+// forwarding and the cache access path. Loads never wait on persist
+// state (TSO allows loads to pass stores to other addresses).
+func (c *Core) Load64(addr mem.Addr) uint64 {
+	c.stats.Loads++
+	start := c.eng.Now()
+	if v, ok := c.sq.forward(addr, 8); ok {
+		c.issueCycle()
+		c.traceOp(isa.OpLoad, addr, v, start)
+		return v
+	}
+	c.access(mem.LineAddr(addr), c.l1.Load)
+	v := c.machine.Volatile.Read64(addr)
+	c.traceOp(isa.OpLoad, addr, v, start)
+	return v
+}
+
+// Load32 returns the 4-byte value at addr.
+func (c *Core) Load32(addr mem.Addr) uint32 {
+	c.stats.Loads++
+	if v, ok := c.sq.forward(addr, 4); ok {
+		c.issueCycle()
+		return uint32(v)
+	}
+	c.access(mem.LineAddr(addr), c.l1.Load)
+	return c.machine.Volatile.Read32(addr)
+}
+
+// access performs a blocking cache access through fn and charges its
+// latency to the calling coroutine.
+func (c *Core) access(line mem.Addr, fn func(mem.Addr, func())) {
+	done := false
+	fn(line, func() {
+		done = true
+		c.wake.Broadcast()
+	})
+	for !done {
+		c.wake.Park(c.co)
+	}
+	c.stats.BusyUntil = c.eng.Now()
+}
+
+// Store64 issues an 8-byte store. The store enters the store queue
+// (stalling if full) and drains to the L1 in order; visibility happens
+// at drain.
+func (c *Core) Store64(addr mem.Addr, v uint64) { c.store(addr, v, 8) }
+
+// Store32 issues a 4-byte store.
+func (c *Core) Store32(addr mem.Addr, v uint32) { c.store(addr, uint64(v), 4) }
+
+func (c *Core) store(addr mem.Addr, v uint64, size uint8) {
+	c.stats.Stores++
+	start := c.eng.Now()
+	c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
+	e := &sqEntry{kind: sqStore, addr: addr, value: v, size: size, seq: c.nextSeq(), gate: c.storeGateEntry()}
+	c.sq.push(e)
+	c.issueCycle()
+	c.traceOp(isa.OpStore, addr, v, start)
+}
+
+// CLWB requests a write-back of the cache line containing addr to the
+// point of persistence. Routing depends on the design.
+func (c *Core) CLWB(addr mem.Addr) {
+	c.stats.CLWBs++
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpCLWB, mem.LineAddr(addr), 0, start) }()
+	line := mem.LineAddr(addr)
+	switch c.design {
+	case hwdesign.StrandWeaver:
+		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
+		c.pq.InsertCLWB(c.nextSeq(), line, c.barrierSeqForCLWB())
+	case hwdesign.HOPS:
+		// Delegated: append to the persist buffer, holding issue until
+		// the elder same-line store (if any) drains so the flush
+		// captures its value.
+		seq := c.nextSeq()
+		ready := func() bool { return !c.sq.HasPendingStoreToLine(line, seq) }
+		c.stallUntil(func() bool {
+			return c.sbu.TryAppendCLWB(line, ready, func() { c.kick() })
+		}, &c.stats.StallQueueFullCycles)
+	default: // IntelX86, NoPersistQueue, NonAtomic
+		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
+		c.sq.push(&sqEntry{kind: sqCLWB, addr: line, seq: c.nextSeq()})
+	}
+	c.issueCycle()
+}
+
+// SFence issues Intel's persist barrier; valid only on the IntelX86 and
+// NonAtomic designs. Per the paper (Section II-B), SFENCE "stalls issue
+// for subsequent updates until prior CLWBs complete": prior stores must
+// be visible and prior CLWBs acknowledged by the PM controller before
+// the core proceeds — the long-latency stall StrandWeaver removes.
+func (c *Core) SFence() {
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpSFence, 0, 0, start) }()
+	c.requireDesign(hwdesign.IntelX86, hwdesign.NonAtomic)
+	c.stats.Fences++
+	c.nextSeq()
+	c.stallUntil(func() bool { return c.sq.empty() && c.outstandingFlushes == 0 },
+		&c.stats.StallFenceCycles)
+	c.issueCycle()
+}
+
+// PersistBarrier orders persists within the current strand (StrandWeaver
+// and NoPersistQueue designs).
+func (c *Core) PersistBarrier() {
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpPersistBarrier, 0, 0, start) }()
+	c.requireDesign(hwdesign.StrandWeaver, hwdesign.NoPersistQueue)
+	c.stats.Fences++
+	seq := c.nextSeq()
+	if c.design == hwdesign.StrandWeaver {
+		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
+		c.lastPB = c.pq.InsertPB(seq)
+	} else {
+		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
+		c.sq.push(&sqEntry{kind: sqPB, seq: seq})
+	}
+	c.lastPBSeq = seq
+	c.issueCycle()
+}
+
+// NewStrand begins a new strand (StrandWeaver and NoPersistQueue).
+func (c *Core) NewStrand() {
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpNewStrand, 0, 0, start) }()
+	c.requireDesign(hwdesign.StrandWeaver, hwdesign.NoPersistQueue)
+	c.stats.Fences++
+	seq := c.nextSeq()
+	if c.design == hwdesign.StrandWeaver {
+		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
+		c.pq.InsertNS(seq)
+	} else {
+		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
+		c.sq.push(&sqEntry{kind: sqNS, seq: seq})
+	}
+	c.lastNSSeq = seq
+	c.issueCycle()
+}
+
+// JoinStrand merges prior strands: the front-end stalls until all prior
+// persists and stores complete (StrandWeaver and NoPersistQueue).
+func (c *Core) JoinStrand() {
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpJoinStrand, 0, 0, start) }()
+	c.requireDesign(hwdesign.StrandWeaver, hwdesign.NoPersistQueue)
+	c.stats.Fences++
+	seq := c.nextSeq()
+	if c.design == hwdesign.StrandWeaver {
+		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
+		e := c.pq.InsertJS(seq)
+		c.stallUntil(e.Retired, &c.stats.StallFenceCycles)
+	} else {
+		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
+		c.sq.push(&sqEntry{kind: sqJS, seq: seq})
+		c.stallUntil(c.sq.empty, &c.stats.StallFenceCycles)
+	}
+	// A join resets strand state: subsequent operations start ordering
+	// afresh.
+	c.lastPB = nil
+	c.lastPBSeq, c.lastNSSeq = 0, 0
+	c.issueCycle()
+}
+
+// OFence issues the HOPS lightweight epoch barrier: ordering is
+// delegated to the persist buffer; the core stalls only if the buffer
+// is full.
+func (c *Core) OFence() {
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpOFence, 0, 0, start) }()
+	c.requireDesign(hwdesign.HOPS)
+	c.stats.Fences++
+	c.nextSeq()
+	c.stallUntil(func() bool { return c.sbu.TryAppendPB(func() { c.kick() }) },
+		&c.stats.StallQueueFullCycles)
+	c.issueCycle()
+}
+
+// DFence issues the HOPS durability barrier: the core stalls until the
+// persist buffer fully drains and prior stores have left the store
+// queue.
+func (c *Core) DFence() {
+	start := c.eng.Now()
+	defer func() { c.traceOp(isa.OpDFence, 0, 0, start) }()
+	c.requireDesign(hwdesign.HOPS)
+	c.stats.Fences++
+	c.nextSeq()
+	c.stallUntil(func() bool { return c.sq.empty() && c.sbu.Drained() },
+		&c.stats.StallFenceCycles)
+	c.issueCycle()
+}
+
+// DrainAll stalls until every persist mechanism on this core is idle
+// (used at workload teardown so all persists land before measurement or
+// crash-free verification). Charged as a fence stall.
+func (c *Core) DrainAll() {
+	c.stallUntil(c.Drained, &c.stats.StallFenceCycles)
+}
+
+// CAS64 performs an atomic compare-and-swap (x86 LOCK CMPXCHG): it
+// drains the store queue (full-fence semantics), obtains exclusive
+// ownership, and atomically updates the value. Returns whether the swap
+// succeeded.
+func (c *Core) CAS64(addr mem.Addr, old, new uint64) bool {
+	c.stats.RMWs++
+	c.stallUntil(c.sq.empty, &c.stats.LockSpinCycles)
+	line := mem.LineAddr(addr)
+	var success bool
+	done := false
+	c.l1.Store(line, func() {
+		cur := c.machine.Volatile.Read64(addr)
+		if cur == old {
+			c.machine.Volatile.Write64(addr, new)
+			success = true
+		}
+		done = true
+		c.wake.Broadcast()
+	})
+	for !done {
+		c.wake.Park(c.co)
+	}
+	c.nextSeq()
+	c.stats.BusyUntil = c.eng.Now()
+	return success
+}
+
+// AtomicAdd64 atomically adds delta to the value at addr and returns the
+// new value (x86 LOCK XADD semantics).
+func (c *Core) AtomicAdd64(addr mem.Addr, delta uint64) uint64 {
+	c.stats.RMWs++
+	c.stallUntil(c.sq.empty, &c.stats.LockSpinCycles)
+	line := mem.LineAddr(addr)
+	var result uint64
+	done := false
+	c.l1.Store(line, func() {
+		result = c.machine.Volatile.Read64(addr) + delta
+		c.machine.Volatile.Write64(addr, result)
+		done = true
+		c.wake.Broadcast()
+	})
+	for !done {
+		c.wake.Park(c.co)
+	}
+	c.nextSeq()
+	c.stats.BusyUntil = c.eng.Now()
+	return result
+}
+
+// Compute models n cycles of non-memory work.
+func (c *Core) Compute(n uint64) {
+	if n == 0 {
+		return
+	}
+	c.stats.ComputeCycles += n
+	c.co.WaitCycles(sim.Cycle(n))
+	c.stats.BusyUntil = c.eng.Now()
+}
+
+// Lock acquires the test-and-test-and-set spinlock at addr, spinning
+// with bounded exponential backoff.
+func (c *Core) Lock(addr mem.Addr) {
+	backoff := uint64(8)
+	start := c.eng.Now()
+	for {
+		if c.Load64(addr) == 0 && c.CAS64(addr, 0, 1) {
+			c.stats.LockSpinCycles += uint64(c.eng.Now()-start) - 0
+			return
+		}
+		c.Compute(backoff + uint64(c.rng.Intn(8)))
+		if backoff < 512 {
+			backoff *= 2
+		}
+	}
+}
+
+// Unlock releases the spinlock at addr (a plain store: x86 stores have
+// release semantics).
+func (c *Core) Unlock(addr mem.Addr) {
+	c.Store64(addr, 0)
+}
+
+func (c *Core) requireDesign(ds ...hwdesign.Design) {
+	for _, d := range ds {
+		if c.design == d {
+			return
+		}
+	}
+	panic("cpu: primitive not available on design " + c.design.String())
+}

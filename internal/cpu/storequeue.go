@@ -1,0 +1,251 @@
+package cpu
+
+import (
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/strand"
+)
+
+// sqKind discriminates store-queue entries. Which kinds appear depends
+// on the design: CLWBs and fences travel through the store queue on
+// Intel, NonAtomic and NoPersistQueue; on StrandWeaver they go to the
+// persist queue, and on HOPS straight to the persist buffer.
+type sqKind uint8
+
+const (
+	sqStore sqKind = iota
+	sqCLWB
+	sqPB
+	sqNS
+	sqJS
+)
+
+type sqEntry struct {
+	kind  sqKind
+	addr  mem.Addr
+	value uint64
+	size  uint8
+	seq   uint64
+	// gate, for StrandWeaver stores, is the persist barrier that must
+	// have issued before this store may drain.
+	gate *strand.Entry
+	// started and finished track a pipelined store drain: cache accesses
+	// for consecutive stores may overlap (MSHRs), but visibility (the
+	// functional write and the pop) happens in program order.
+	started, finished bool
+}
+
+// storeQueue is the per-core store queue: entries drain to the L1 in
+// program order (TSO). It also implements strand.StoreTracker for the
+// persist queue.
+type storeQueue struct {
+	core    *Core
+	entries []*sqEntry
+	// busy marks a drain in progress at the head.
+	busy bool
+	// jsWait marks a NoPersistQueue JoinStrand blocking the head.
+	jsWait bool
+	stats  sqStats
+}
+
+type sqStats struct {
+	maxOccupancy int
+	drained      uint64
+}
+
+func newStoreQueue(c *Core) *storeQueue { return &storeQueue{core: c} }
+
+func (q *storeQueue) full() bool {
+	return len(q.entries) >= q.core.cfg.StoreQueueEntries
+}
+
+func (q *storeQueue) empty() bool { return len(q.entries) == 0 }
+
+func (q *storeQueue) push(e *sqEntry) {
+	q.entries = append(q.entries, e)
+	if len(q.entries) > q.stats.maxOccupancy {
+		q.stats.maxOccupancy = len(q.entries)
+	}
+	q.core.kick()
+}
+
+func (q *storeQueue) pop() {
+	q.entries[0] = nil
+	q.entries = q.entries[1:]
+	if len(q.entries) == 0 {
+		q.entries = nil
+	}
+	q.stats.drained++
+}
+
+// forward returns the value of the youngest elder store overlapping
+// [addr, addr+size) if one is pending, for store-to-load forwarding.
+// Exact-match forwarding only: the simulated workloads always access
+// fields with consistent size and alignment.
+func (q *storeQueue) forward(addr mem.Addr, size uint8) (uint64, bool) {
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		e := q.entries[i]
+		if e.kind == sqStore && e.addr == addr && e.size == size {
+			return e.value, true
+		}
+	}
+	return 0, false
+}
+
+// HasPendingStoreToLine implements strand.StoreTracker.
+func (q *storeQueue) HasPendingStoreToLine(line mem.Addr, seq uint64) bool {
+	for _, e := range q.entries {
+		if e.seq >= seq {
+			break
+		}
+		if e.kind == sqStore && mem.LineAddr(e.addr) == line {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPendingStoreBefore implements strand.StoreTracker.
+func (q *storeQueue) HasPendingStoreBefore(seq uint64) bool {
+	for _, e := range q.entries {
+		if e.seq >= seq {
+			break
+		}
+		if e.kind == sqStore {
+			return true
+		}
+	}
+	return false
+}
+
+// pump advances the store queue. Stores drain with overlap: up to
+// L1MSHRs cache accesses may be in flight at once (an out-of-order
+// core's store misses pipeline), but visibility — the functional write
+// and the pop — is strictly in program order (TSO). Non-store entries
+// (CLWBs and fences, on designs that route them through the store
+// queue) are handled only at the head, which is exactly what creates
+// the head-of-line blocking the persist queue exists to avoid.
+func (q *storeQueue) pump() {
+	if q.jsWait || len(q.entries) == 0 {
+		return
+	}
+	c := q.core
+	// Retire finished stores from the head, in order.
+	for len(q.entries) > 0 {
+		head := q.entries[0]
+		if head.kind != sqStore || !head.finished {
+			break
+		}
+		q.writeFunctional(head)
+		q.pop()
+		c.kick()
+	}
+	// Start eligible store drains, in order, up to the MSHR limit;
+	// scanning stops at the first non-store entry (fence or CLWB), which
+	// must reach the head before draining.
+	inFlight := 0
+	for _, e := range q.entries {
+		if e.kind != sqStore {
+			break
+		}
+		if e.started && !e.finished {
+			inFlight++
+			if inFlight >= c.cfg.L1MSHRs {
+				return
+			}
+			continue
+		}
+		if e.started {
+			continue
+		}
+		// StrandWeaver rule: a store after a persist barrier waits until
+		// the barrier (and hence all elder CLWBs) has issued to the
+		// strand buffer unit — issue, not completion, is the relaxation.
+		if e.gate != nil && !e.gate.HasIssued() {
+			return
+		}
+		e.started = true
+		inFlight++
+		entry := e
+		line := mem.LineAddr(e.addr)
+		c.l1.Store(line, func() {
+			entry.finished = true
+			c.kick()
+		})
+		if inFlight >= c.cfg.L1MSHRs {
+			return
+		}
+	}
+	if len(q.entries) == 0 || q.busy {
+		return
+	}
+	head := q.entries[0]
+	switch head.kind {
+	case sqStore:
+		// Handled above.
+	case sqCLWB:
+		switch c.design {
+		case hwdesign.IntelX86, hwdesign.NonAtomic:
+			// Direct flush: the entry frees once the flush dispatches;
+			// SFENCE tracks completion via outstandingFlushes.
+			q.busy = true
+			c.outstandingFlushes++
+			line := mem.LineAddr(head.addr)
+			c.eng.Schedule(1, func() {
+				c.l1.Flush(line, func() {
+					c.outstandingFlushes--
+					c.kick()
+				})
+				q.busy = false
+				q.pop()
+				c.kick()
+			})
+		case hwdesign.NoPersistQueue:
+			// Head-of-line blocking: the CLWB occupies the head until
+			// the strand buffer unit accepts it.
+			line := mem.LineAddr(head.addr)
+			if !c.sbu.TryAppendCLWB(line, nil, func() { c.kick() }) {
+				return
+			}
+			q.pop()
+			c.kick()
+		default:
+			panic("cpu: CLWB in store queue under " + c.design.String())
+		}
+	case sqPB:
+		if !c.sbu.TryAppendPB(func() { c.kick() }) {
+			return
+		}
+		q.pop()
+		c.kick()
+	case sqNS:
+		c.sbu.NewStrand(nil)
+		q.pop()
+		c.kick()
+	case sqJS:
+		// NoPersistQueue JoinStrand: wait until everything appended so
+		// far to the strand buffer unit has completed and retired.
+		q.jsWait = true
+		tok := c.sbu.RecordTails()
+		c.sbu.CallWhenDrained(tok, func() {
+			q.jsWait = false
+			q.pop()
+			c.kick()
+		})
+	}
+}
+
+// writeFunctional applies the store's value to the globally visible
+// image at drain time (visibility point) and charges nothing further.
+func (q *storeQueue) writeFunctional(e *sqEntry) {
+	switch e.size {
+	case 8:
+		q.core.machine.Volatile.Write64(e.addr, e.value)
+	case 4:
+		q.core.machine.Volatile.Write32(e.addr, uint32(e.value))
+	case 1:
+		q.core.machine.Volatile.SetByte(e.addr, byte(e.value))
+	default:
+		panic("cpu: unsupported store size")
+	}
+}

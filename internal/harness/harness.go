@@ -1,0 +1,170 @@
+// Package harness runs benchmark × language-model × hardware-design
+// experiments on the simulator and regenerates the paper's tables and
+// figures (Table II, Figures 7-10).
+package harness
+
+import (
+	"fmt"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+	"strandweaver/internal/undolog"
+	"strandweaver/internal/workloads"
+)
+
+// Spec configures one measured run.
+type Spec struct {
+	Benchmark string
+	Model     langmodel.Model
+	Design    hwdesign.Design
+	// Threads defaults to 8 (the paper's core count); OpsPerThread
+	// defaults to 250.
+	Threads      int
+	OpsPerThread int
+	Seed         int64
+	// Cfg overrides the machine configuration; zero means Table I
+	// defaults.
+	Cfg *config.Config
+	// RuntimeOpts overrides language-runtime tuning; zero means
+	// defaults.
+	RuntimeOpts *langmodel.Options
+	// CycleLimit aborts runaway simulations (0 = 2e9 cycles).
+	CycleLimit sim.Cycle
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Threads == 0 {
+		s.Threads = 8
+	}
+	if s.OpsPerThread == 0 {
+		s.OpsPerThread = 250
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.CycleLimit == 0 {
+		s.CycleLimit = 2_000_000_000
+	}
+	return s
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Spec       Spec
+	Cycles     uint64
+	TotalOps   uint64
+	CoreTotals cpu.Stats
+	Controller pmem.Stats
+	// CKC is CLWBs issued per thousand CPU cycles (Table II's
+	// write-intensity metric).
+	CKC float64
+	// StallFrac is the fraction of aggregate core cycles spent stalled
+	// on persist ordering (Figure 8's metric).
+	StallFrac float64
+	// OpsPerMCycle is throughput in operations per million cycles.
+	OpsPerMCycle float64
+}
+
+// Run executes one spec and returns its measurements.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	cfg := config.Default()
+	if spec.Cfg != nil {
+		cfg = *spec.Cfg
+	}
+	if cfg.Cores < spec.Threads {
+		cfg.Cores = spec.Threads
+	}
+	sys, err := machine.New(cfg, spec.Design)
+	if err != nil {
+		return nil, err
+	}
+	opts := langmodel.DefaultOptions()
+	if spec.RuntimeOpts != nil {
+		opts = *spec.RuntimeOpts
+	}
+	rt := langmodel.New(sys, spec.Model, spec.Threads, opts)
+	f, err := workloads.Find(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	inst := f.New(workloads.Params{Threads: spec.Threads, OpsPerThread: spec.OpsPerThread, Seed: spec.Seed})
+	inst.Setup(sys, rt)
+	ws := make([]machine.Worker, spec.Threads)
+	for i := range ws {
+		ws[i] = inst.Worker(i)
+	}
+	end, err := sys.Run(ws, spec.CycleLimit)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s/%s: %w", spec.Benchmark, spec.Model, spec.Design, err)
+	}
+	return newResult(spec, sys, uint64(end)), nil
+}
+
+func newResult(spec Spec, sys *machine.System, cycles uint64) *Result {
+	tot := sys.TotalStats()
+	r := &Result{
+		Spec:       spec,
+		Cycles:     cycles,
+		TotalOps:   uint64(spec.Threads * spec.OpsPerThread),
+		CoreTotals: tot,
+		Controller: sys.Ctrl.Stats(),
+	}
+	if cycles > 0 {
+		r.CKC = float64(tot.CLWBs) / (float64(cycles) / 1000)
+		r.StallFrac = float64(tot.PersistStallCycles()) / (float64(cycles) * float64(spec.Threads))
+		r.OpsPerMCycle = float64(r.TotalOps) / (float64(cycles) / 1e6)
+	}
+	return r
+}
+
+// RunWithCrash executes the spec but crashes the machine at the given
+// cycle, runs recovery on the crash image, and verifies the workload's
+// structural invariants. It returns the recovery report.
+func RunWithCrash(spec Spec, crashAt sim.Cycle) (*undolog.Report, error) {
+	spec = spec.withDefaults()
+	cfg := config.Default()
+	if spec.Cfg != nil {
+		cfg = *spec.Cfg
+	}
+	if cfg.Cores < spec.Threads {
+		cfg.Cores = spec.Threads
+	}
+	sys, err := machine.New(cfg, spec.Design)
+	if err != nil {
+		return nil, err
+	}
+	opts := langmodel.DefaultOptions()
+	if spec.RuntimeOpts != nil {
+		opts = *spec.RuntimeOpts
+	}
+	rt := langmodel.New(sys, spec.Model, spec.Threads, opts)
+	f, err := workloads.Find(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	inst := f.New(workloads.Params{Threads: spec.Threads, OpsPerThread: spec.OpsPerThread, Seed: spec.Seed})
+	inst.Setup(sys, rt)
+	ws := make([]machine.Worker, spec.Threads)
+	for i := range ws {
+		ws[i] = inst.Worker(i)
+	}
+	if crashAt > 0 {
+		sys.RunAt(crashAt, sys.Abandon)
+	}
+	_, _ = sys.Run(ws, spec.CycleLimit)
+	img := sys.Mem.CrashImage()
+	rep, err := undolog.Recover(img, spec.Threads)
+	if err != nil {
+		return rep, fmt.Errorf("harness: recovery failed: %w", err)
+	}
+	if err := inst.Verify(img); err != nil {
+		return rep, fmt.Errorf("harness: crash at %d: %w", crashAt, err)
+	}
+	return rep, nil
+}

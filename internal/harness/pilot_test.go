@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPilotGrid is a small-scale smoke of the full Figure 7/8 grid with
+// shape assertions; full-scale runs come from cmd/strandweaver.
+func TestPilotGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run is slow")
+	}
+	g, err := RunGrid(ExpOptions{Threads: 8, OpsPerThread: 40, Benchmarks: []string{"hashmap", "nstore-wr"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig7(os.Stderr, g)
+	cl := ComputeClaims(g)
+	if cl.SWvsIntelGeo <= 1.0 {
+		t.Errorf("StrandWeaver not faster than Intel: %.2f", cl.SWvsIntelGeo)
+	}
+	if cl.SWvsHOPSGeo <= 1.0 {
+		t.Errorf("StrandWeaver not faster than HOPS: %.2f", cl.SWvsHOPSGeo)
+	}
+}

@@ -1,0 +1,72 @@
+// Package hwdesign enumerates the hardware persistency designs compared
+// in the paper's evaluation (Section VI-A).
+package hwdesign
+
+import "fmt"
+
+// Design selects the persist-ordering hardware wired into each core.
+type Design uint8
+
+const (
+	// IntelX86 implements Intel's persistency model: CLWBs flow through
+	// the store queue and SFENCE orders subsequent stores and CLWBs
+	// after completion of all prior CLWBs.
+	IntelX86 Design = iota
+	// HOPS implements the delegated epoch persistency model: a per-core
+	// persist buffer orders epochs (ofence) without stalling the core;
+	// dfence stalls until the buffer drains.
+	HOPS
+	// NoPersistQueue is StrandWeaver without the persist queue: strand
+	// primitives and CLWBs travel through the store queue and can suffer
+	// head-of-line blocking.
+	NoPersistQueue
+	// StrandWeaver is the full proposal: persist queue + strand buffer
+	// unit.
+	StrandWeaver
+	// NonAtomic removes ordering between logs and in-place updates; it
+	// is the performance upper bound and is not crash-consistent.
+	NonAtomic
+)
+
+// All lists every design in evaluation order.
+var All = []Design{IntelX86, HOPS, NoPersistQueue, StrandWeaver, NonAtomic}
+
+var names = [...]string{
+	IntelX86:       "intel-x86",
+	HOPS:           "hops",
+	NoPersistQueue: "no-persist-queue",
+	StrandWeaver:   "strandweaver",
+	NonAtomic:      "non-atomic",
+}
+
+// String returns the design's evaluation label.
+func (d Design) String() string {
+	if int(d) < len(names) {
+		return names[d]
+	}
+	return fmt.Sprintf("Design(%d)", uint8(d))
+}
+
+// Parse returns the design named s.
+func Parse(s string) (Design, error) {
+	for d, n := range names {
+		if n == s {
+			return Design(d), nil
+		}
+	}
+	return 0, fmt.Errorf("hwdesign: unknown design %q", s)
+}
+
+// HasStrandBufferUnit reports whether the design includes the strand
+// buffer unit.
+func (d Design) HasStrandBufferUnit() bool {
+	return d == StrandWeaver || d == NoPersistQueue
+}
+
+// HasPersistQueue reports whether the design includes the dedicated
+// persist queue.
+func (d Design) HasPersistQueue() bool { return d == StrandWeaver }
+
+// CrashConsistent reports whether the design preserves the log-before-
+// update invariant required for correct recovery.
+func (d Design) CrashConsistent() bool { return d != NonAtomic }

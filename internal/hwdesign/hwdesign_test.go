@@ -1,0 +1,39 @@
+package hwdesign
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, d := range All {
+		got, err := Parse(d.String())
+		if err != nil || got != d {
+			t.Errorf("Parse(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := Parse("warp-drive"); err == nil {
+		t.Error("Parse accepted an unknown design")
+	}
+}
+
+func TestDesignPredicates(t *testing.T) {
+	cases := []struct {
+		d           Design
+		sbu, pq, cc bool
+	}{
+		{IntelX86, false, false, true},
+		{HOPS, false, false, true},
+		{NoPersistQueue, true, false, true},
+		{StrandWeaver, true, true, true},
+		{NonAtomic, false, false, false},
+	}
+	for _, c := range cases {
+		if c.d.HasStrandBufferUnit() != c.sbu {
+			t.Errorf("%s: HasStrandBufferUnit = %v", c.d, c.d.HasStrandBufferUnit())
+		}
+		if c.d.HasPersistQueue() != c.pq {
+			t.Errorf("%s: HasPersistQueue = %v", c.d, c.d.HasPersistQueue())
+		}
+		if c.d.CrashConsistent() != c.cc {
+			t.Errorf("%s: CrashConsistent = %v", c.d, c.d.CrashConsistent())
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package isa defines the memory-ordering operations of the simulated
+// machine: ordinary loads and stores, cache-line write-backs (CLWB), the
+// Intel persist barrier (SFENCE), the HOPS barriers (OFENCE, DFENCE), and
+// the three strand-persistency primitives introduced by StrandWeaver
+// (PersistBarrier, NewStrand, JoinStrand).
+package isa
+
+import "fmt"
+
+// OpKind enumerates the operation types a simulated thread can perform.
+type OpKind uint8
+
+const (
+	// OpLoad reads from memory.
+	OpLoad OpKind = iota
+	// OpStore writes to memory.
+	OpStore
+	// OpCLWB flushes the dirty cache line containing Addr to the PM
+	// controller, retaining a clean copy (non-invalidating).
+	OpCLWB
+	// OpSFence is Intel's persist barrier: it orders subsequent stores
+	// and CLWBs after the completion of all prior CLWBs and stores.
+	OpSFence
+	// OpPersistBarrier orders persists within the current strand:
+	// prior stores before subsequent CLWBs, and prior CLWBs (issued)
+	// before subsequent stores.
+	OpPersistBarrier
+	// OpNewStrand begins a new strand; subsequent PM operations carry no
+	// PMO ordering to operations before the NewStrand.
+	OpNewStrand
+	// OpJoinStrand merges prior strands: persists issued on prior strands
+	// complete before any subsequent persists are issued.
+	OpJoinStrand
+	// OpOFence is the HOPS lightweight epoch barrier: ordering is
+	// delegated to the persist buffer; the core does not stall.
+	OpOFence
+	// OpDFence is the HOPS durability barrier: the core stalls until the
+	// persist buffer fully drains.
+	OpDFence
+	// OpRMW is an atomic read-modify-write (compare-and-swap) used to
+	// implement spinlocks. It has both read and write semantics, so it
+	// establishes strong-persist-atomicity order.
+	OpRMW
+	// OpCompute models cycles of non-memory work.
+	OpCompute
+)
+
+var opNames = [...]string{
+	OpLoad:           "LD",
+	OpStore:          "ST",
+	OpCLWB:           "CLWB",
+	OpSFence:         "SFENCE",
+	OpPersistBarrier: "PB",
+	OpNewStrand:      "NS",
+	OpJoinStrand:     "JS",
+	OpOFence:         "OFENCE",
+	OpDFence:         "DFENCE",
+	OpRMW:            "RMW",
+	OpCompute:        "COMP",
+}
+
+// String returns the conventional mnemonic for the op kind.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// IsPersistOrderOp reports whether the op kind is an ordering primitive
+// (as opposed to a data access or compute).
+func (k OpKind) IsPersistOrderOp() bool {
+	switch k {
+	case OpSFence, OpPersistBarrier, OpNewStrand, OpJoinStrand, OpOFence, OpDFence:
+		return true
+	}
+	return false
+}
+
+// Op is one dynamic operation in a thread's instruction stream, used by
+// the trace recorder and the formal PMO model. The timing simulator
+// executes operations directly through the core API rather than through
+// Op values, but records them as Ops for cross-validation.
+type Op struct {
+	Kind   OpKind
+	Thread int
+	// Seq is the per-thread program-order index.
+	Seq int
+	// Addr and Size identify the accessed bytes for data ops.
+	Addr uint64
+	Size uint8
+	// Data is the value stored (stores/RMW) or loaded (loads).
+	Data uint64
+	// Label optionally names the op for litmus-test readability ("A",
+	// "L_A", ...).
+	Label string
+}
+
+// String renders the op in litmus-test notation.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLoad, OpStore, OpCLWB, OpRMW:
+		if o.Label != "" {
+			return fmt.Sprintf("t%d:%s %s", o.Thread, o.Kind, o.Label)
+		}
+		return fmt.Sprintf("t%d:%s %#x", o.Thread, o.Kind, o.Addr)
+	default:
+		return fmt.Sprintf("t%d:%s", o.Thread, o.Kind)
+	}
+}

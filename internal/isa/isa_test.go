@@ -1,0 +1,45 @@
+package isa
+
+import "testing"
+
+func TestOpKindStrings(t *testing.T) {
+	want := map[OpKind]string{
+		OpLoad: "LD", OpStore: "ST", OpCLWB: "CLWB", OpSFence: "SFENCE",
+		OpPersistBarrier: "PB", OpNewStrand: "NS", OpJoinStrand: "JS",
+		OpOFence: "OFENCE", OpDFence: "DFENCE", OpRMW: "RMW", OpCompute: "COMP",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), s)
+		}
+	}
+}
+
+func TestIsPersistOrderOp(t *testing.T) {
+	ordering := []OpKind{OpSFence, OpPersistBarrier, OpNewStrand, OpJoinStrand, OpOFence, OpDFence}
+	for _, k := range ordering {
+		if !k.IsPersistOrderOp() {
+			t.Errorf("%s not classified as ordering op", k)
+		}
+	}
+	for _, k := range []OpKind{OpLoad, OpStore, OpCLWB, OpRMW, OpCompute} {
+		if k.IsPersistOrderOp() {
+			t.Errorf("%s wrongly classified as ordering op", k)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	o := Op{Kind: OpStore, Thread: 1, Addr: 0x40, Label: "A"}
+	if got := o.String(); got != "t1:ST A" {
+		t.Errorf("labelled op renders %q", got)
+	}
+	o = Op{Kind: OpCLWB, Thread: 0, Addr: 0x40}
+	if got := o.String(); got != "t0:CLWB 0x40" {
+		t.Errorf("unlabelled op renders %q", got)
+	}
+	o = Op{Kind: OpJoinStrand, Thread: 2}
+	if got := o.String(); got != "t2:JS" {
+		t.Errorf("barrier renders %q", got)
+	}
+}

@@ -1,0 +1,201 @@
+package langmodel
+
+import (
+	"testing"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/undolog"
+)
+
+var (
+	lockX = mem.DRAMBase + 0x100*64
+	lockY = mem.DRAMBase + 0x101*64
+	cellC = mem.PMBase + undolog.HeapOffset + 2*64
+	cellD = mem.PMBase + undolog.HeapOffset + 3*64
+)
+
+// TestMultiLockRegion: regions acquiring two locks in either order must
+// not deadlock (sorted acquisition) and must stay atomic.
+func TestMultiLockRegion(t *testing.T) {
+	s := sys2(t, hwdesign.StrandWeaver)
+	seed(s, cellC, 0)
+	seed(s, cellD, 0)
+	rt := New(s, SFR, 2, Options{LogEntries: 512, CommitBatch: 2, RegionReserve: 64})
+	mk := func(first, second mem.Addr) machine.Worker {
+		return func(c *cpu.Core) {
+			for i := 0; i < 6; i++ {
+				rt.Region(c, []mem.Addr{first, second}, func(tx *Tx) {
+					tx.Store(cellC, tx.Load(cellC)+1)
+					tx.Store(cellD, tx.Load(cellD)+1)
+				})
+			}
+			rt.Finish(c)
+		}
+	}
+	// Opposite lock orders: sorted acquisition must prevent deadlock.
+	if _, err := s.Run([]machine.Worker{mk(lockX, lockY), mk(lockY, lockX)}, 300_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c, d := s.Mem.Volatile.Read64(cellC), s.Mem.Volatile.Read64(cellD); c != 12 || d != 12 {
+		t.Errorf("C=%d D=%d, want 12/12", c, d)
+	}
+}
+
+// TestLogPressureForcesCommit: a tiny log forces commits before the
+// batch boundary rather than overflowing.
+func TestLogPressureForcesCommit(t *testing.T) {
+	s := sys2(t, hwdesign.StrandWeaver)
+	seed(s, cellC, 0)
+	rt := New(s, SFR, 1, Options{LogEntries: 64, CommitBatch: 1 << 20, RegionReserve: 32})
+	worker := func(c *cpu.Core) {
+		for i := 0; i < 30; i++ {
+			rt.Region(c, []mem.Addr{lockX}, func(tx *Tx) {
+				tx.Store(cellC, uint64(i))
+			})
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 300_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.ThreadStats(0)
+	if st.Commits == 0 {
+		t.Error("log pressure never forced a commit")
+	}
+	if st.Regions != 30 {
+		t.Errorf("Regions = %d", st.Regions)
+	}
+}
+
+// TestReadOnlyRegionsLogNothing: lazy begin means pure readers create
+// no log entries and no commit work.
+func TestReadOnlyRegionsLogNothing(t *testing.T) {
+	s := sys2(t, hwdesign.StrandWeaver)
+	seed(s, cellC, 7)
+	rt := New(s, TXN, 1, Options{LogEntries: 512, CommitBatch: 4, RegionReserve: 64})
+	worker := func(c *cpu.Core) {
+		for i := 0; i < 5; i++ {
+			rt.Region(c, []mem.Addr{lockX}, func(tx *Tx) {
+				if got := tx.Load(cellC); got != 7 {
+					t.Errorf("read %d", got)
+				}
+			})
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 300_000_000); err != nil {
+		t.Fatal(err)
+	}
+	l := rt.Logs().PerThread[0]
+	if l.Tail() != 0 {
+		t.Errorf("read-only regions appended %d log entries", l.Tail())
+	}
+	if rt.ThreadStats(0).Commits != 0 {
+		t.Errorf("read-only regions committed")
+	}
+}
+
+// TestReadOnlyRegionPropagatesDeps: writer A -> reader B -> writer C
+// through the same lock; C's region must depend on A's (through B) and
+// defer its commit until A commits.
+func TestReadOnlyRegionPropagatesDeps(t *testing.T) {
+	s := sys3(t, hwdesign.StrandWeaver)
+	seed(s, cellC, 0)
+	rt := New(s, SFR, 3, Options{LogEntries: 512, CommitBatch: 1 << 20, RegionReserve: 64})
+	stage := mem.DRAMBase + 0x200*64 // volatile stage counter
+	wait := func(c *cpu.Core, v uint64) {
+		for c.Load64(stage) < v {
+			c.Compute(50)
+		}
+	}
+	w0 := func(c *cpu.Core) { // writer A
+		rt.Region(c, []mem.Addr{lockX}, func(tx *Tx) { tx.Store(cellC, 1) })
+		c.Store64(stage, 1)
+		wait(c, 3)
+		rt.Finish(c)
+	}
+	w1 := func(c *cpu.Core) { // reader B
+		wait(c, 1)
+		rt.Region(c, []mem.Addr{lockX}, func(tx *Tx) { _ = tx.Load(cellC) })
+		c.Store64(stage, 2)
+		rt.Finish(c)
+	}
+	w2 := func(c *cpu.Core) { // writer C
+		wait(c, 2)
+		rt.Region(c, []mem.Addr{lockX}, func(tx *Tx) { tx.Store(cellC, 2) })
+		// Force a commit attempt: must defer, because A (thread 0) has
+		// not committed and C transitively depends on it via B's
+		// read-only region.
+		rt.commitEligible(c, rt.ts[2], true)
+		if rt.ts[2].committedUpTo != 0 {
+			t.Error("writer C committed before its transitive dependency A")
+		}
+		c.Store64(stage, 3)
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{w0, w1, w2}, 300_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ts[2].committedUpTo == 0 {
+		t.Error("writer C never committed")
+	}
+}
+
+// TestATLASEmitsLockMetadata: ATLAS regions perform the extra
+// happens-before metadata persists SFR omits.
+func TestATLASEmitsLockMetadata(t *testing.T) {
+	count := func(m Model) uint64 {
+		s := sys2(t, hwdesign.StrandWeaver)
+		seed(s, cellC, 0)
+		rt := New(s, m, 1, Options{LogEntries: 512, CommitBatch: 4, RegionReserve: 64})
+		worker := func(c *cpu.Core) {
+			for i := 0; i < 4; i++ {
+				rt.Region(c, []mem.Addr{lockX}, func(tx *Tx) { tx.Store(cellC, uint64(i)) })
+			}
+			rt.Finish(c)
+		}
+		if _, err := s.Run([]machine.Worker{worker}, 300_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var clwbs uint64
+		for _, core := range s.Cores[:1] {
+			clwbs = core.Stats().CLWBs
+		}
+		return clwbs
+	}
+	atlas, sfr := count(ATLAS), count(SFR)
+	if atlas <= sfr {
+		t.Errorf("ATLAS CLWBs (%d) not above SFR's (%d); metadata not emitted", atlas, sfr)
+	}
+}
+
+// TestModelStringAndParse round-trips model names.
+func TestModelStringAndParse(t *testing.T) {
+	for _, m := range All {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("zen"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// sys3 builds a three-core test system.
+func sys3(t *testing.T, d hwdesign.Design) *machine.System {
+	t.Helper()
+	cfg := configFor(3)
+	return machine.MustNew(cfg, d)
+}
+
+// configFor returns the default configuration with n cores.
+func configFor(n int) config.Config {
+	cfg := config.Default()
+	cfg.Cores = n
+	return cfg
+}

@@ -1,0 +1,128 @@
+// Package litmus executes abstract persistency litmus programs (package
+// pmo) on the timing simulator, injects crashes at many points, and
+// validates every observed post-crash PM state against the formal
+// strand-persistency model. This is the cross-validation harness that
+// ties the paper's Section III (the model) to Section IV (the
+// hardware).
+package litmus
+
+import (
+	"fmt"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmo"
+	"strandweaver/internal/sim"
+)
+
+// LocAddr maps an abstract location to a PM cache line of its own.
+func LocAddr(loc int) mem.Addr {
+	return mem.PMBase + mem.Addr(loc)*mem.LineSize
+}
+
+// workers translates the abstract program into simulator workers: each
+// store is a Store64 + CLWB on the current strand, barriers map to the
+// StrandWeaver primitives.
+func workers(p pmo.Program) []machine.Worker {
+	var ws []machine.Worker
+	for _, thread := range p {
+		ops := thread
+		ws = append(ws, func(c *cpu.Core) {
+			for _, op := range ops {
+				switch op.Kind {
+				case pmo.KStore:
+					c.Store64(LocAddr(op.Loc), op.Val)
+					c.CLWB(LocAddr(op.Loc))
+				case pmo.KLoad:
+					c.Load64(LocAddr(op.Loc))
+				case pmo.KPB:
+					c.PersistBarrier()
+				case pmo.KNS:
+					c.NewStrand()
+				case pmo.KJS:
+					c.JoinStrand()
+				}
+			}
+			c.DrainAll()
+		})
+	}
+	return ws
+}
+
+func newSystem(p pmo.Program) *machine.System {
+	cfg := config.Default()
+	if len(p) > cfg.Cores {
+		cfg.Cores = len(p)
+	}
+	return machine.MustNew(cfg, hwdesign.StrandWeaver)
+}
+
+// observedState reads the abstract locations from the persistent image.
+func observedState(img *mem.Image, p pmo.Program) pmo.State {
+	st := make(pmo.State)
+	seen := map[int]bool{}
+	for _, th := range p {
+		for _, op := range th {
+			if op.Kind == pmo.KStore && !seen[op.Loc] {
+				seen[op.Loc] = true
+				if v := img.Read64(LocAddr(op.Loc)); v != 0 {
+					st[op.Loc] = v
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Result summarises one cross-validation run.
+type Result struct {
+	// TotalCycles is the crash-free execution length.
+	TotalCycles uint64
+	// CrashPoints is the number of crash cycles exercised.
+	CrashPoints int
+	// States maps observed state keys to one example crash cycle.
+	States map[string]uint64
+}
+
+// Check runs the program crash-free to find its length, then re-runs it
+// with a crash injected every stride cycles, checking each observed
+// post-crash state against the formal model. It returns an error naming
+// the first forbidden state observed, if any.
+func Check(p pmo.Program, stride uint64) (*Result, error) {
+	if stride == 0 {
+		stride = 64
+	}
+	allowed := pmo.AllowedStates(p)
+
+	// Crash-free run (also validates the final state).
+	s := newSystem(p)
+	end, err := s.Run(workers(p), 10_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("litmus: crash-free run: %w", err)
+	}
+	res := &Result{TotalCycles: uint64(end), States: make(map[string]uint64)}
+	final := observedState(s.Mem.Persistent, p)
+	if _, ok := allowed[final.Key()]; !ok {
+		return res, fmt.Errorf("litmus: final state %q not allowed by the model", final.Key())
+	}
+	res.States[final.Key()] = uint64(end)
+
+	for at := uint64(1); at <= uint64(end)+1; at += stride {
+		sc := newSystem(p)
+		crashAt := sim.Cycle(at)
+		sc.RunAt(crashAt, sc.Abandon)
+		_, _ = sc.Run(workers(p), 10_000_000) // error expected: stopped engine
+		st := observedState(sc.Mem.Persistent, p)
+		res.CrashPoints++
+		if _, ok := allowed[st.Key()]; !ok {
+			return res, fmt.Errorf("litmus: crash at cycle %d observed forbidden state %q", at, st.Key())
+		}
+		if _, dup := res.States[st.Key()]; !dup {
+			res.States[st.Key()] = at
+		}
+	}
+	return res, nil
+}

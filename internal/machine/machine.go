@@ -1,0 +1,140 @@
+// Package machine assembles a complete simulated system — engine,
+// functional memory, PM controller, cache hierarchy, and one core per
+// hardware thread — and runs workloads on it.
+package machine
+
+import (
+	"fmt"
+
+	"strandweaver/internal/cache"
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+	"strandweaver/internal/trace"
+)
+
+// System is one simulated machine.
+type System struct {
+	Eng    *sim.Engine
+	Cfg    config.Config
+	Design hwdesign.Design
+	Mem    *mem.Machine
+	Ctrl   *pmem.Controller
+	Hier   *cache.Hierarchy
+	Cores  []*cpu.Core
+
+	coros []*sim.Coroutine
+}
+
+// New builds a system for the given configuration and hardware design.
+func New(cfg config.Config, design hwdesign.Design) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	m := mem.NewMachine()
+	ctrl := pmem.New(eng, cfg, m)
+	hier := cache.NewHierarchy(eng, cfg, m, ctrl)
+	s := &System{Eng: eng, Cfg: cfg, Design: design, Mem: m, Ctrl: ctrl, Hier: hier}
+	for i := 0; i < cfg.Cores; i++ {
+		core := cpu.NewCore(i, eng, cfg, design, m, hier.L1(i), ctrl)
+		hier.SetGate(i, core.PersistGate())
+		s.Cores = append(s.Cores, core)
+	}
+	return s, nil
+}
+
+// MustNew is New, panicking on configuration errors; for tests and
+// examples with known-good configurations.
+func MustNew(cfg config.Config, design hwdesign.Design) *System {
+	s, err := New(cfg, design)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Worker is a simulated-thread body: it runs on the given core, calling
+// the core's memory API.
+type Worker func(c *cpu.Core)
+
+// Spawn creates (but does not start) a coroutine running worker on core
+// i, staggered to start at cycle i (deterministic tie-breaking).
+func (s *System) Spawn(i int, worker Worker) {
+	core := s.Cores[i]
+	co := sim.NewCoroutine(s.Eng, func(_ *sim.Coroutine) { worker(core) })
+	core.Attach(co)
+	s.coros = append(s.coros, co)
+	s.Eng.ScheduleAt(sim.Cycle(i), func() { co.Resume() })
+}
+
+// Run spawns one worker per entry of workers and runs the simulation
+// until all workers finish and all persist machinery drains, or limit
+// cycles elapse (0 = no limit). It returns the final cycle count.
+func (s *System) Run(workers []Worker, limit sim.Cycle) (sim.Cycle, error) {
+	if len(workers) > len(s.Cores) {
+		return 0, fmt.Errorf("machine: %d workers but only %d cores", len(workers), len(s.Cores))
+	}
+	for i, w := range workers {
+		s.Spawn(i, w)
+	}
+	end := s.Eng.Run(limit)
+	for _, co := range s.coros {
+		if !co.Done() {
+			if limit != 0 && end >= limit {
+				return end, fmt.Errorf("machine: cycle limit %d reached with workers still running", limit)
+			}
+			return end, fmt.Errorf("machine: simulation quiesced with a worker still blocked (deadlock)")
+		}
+	}
+	return end, nil
+}
+
+// RunAt schedules an extra event: fn runs at the absolute cycle at
+// during a subsequent Run (for crash injection).
+func (s *System) RunAt(at sim.Cycle, fn func()) { s.Eng.ScheduleAt(at, fn) }
+
+// Abandon aborts all worker coroutines (crash): their goroutines unwind
+// and exit. The system must not be used afterwards except to read
+// functional state.
+func (s *System) Abandon() {
+	s.Eng.Stop()
+	for _, co := range s.coros {
+		co.Abort()
+	}
+}
+
+// EnableTracing attaches a fresh trace recorder to every core and
+// returns it; all subsequent front-end operations are recorded with
+// issue and completion cycles.
+func (s *System) EnableTracing() *trace.Recorder {
+	r := trace.New()
+	for _, c := range s.Cores {
+		c.SetTracer(r)
+	}
+	return r
+}
+
+// TotalStats sums the per-core statistics.
+func (s *System) TotalStats() cpu.Stats {
+	var t cpu.Stats
+	for _, c := range s.Cores {
+		st := c.Stats()
+		t.Loads += st.Loads
+		t.Stores += st.Stores
+		t.CLWBs += st.CLWBs
+		t.RMWs += st.RMWs
+		t.Fences += st.Fences
+		t.StallFenceCycles += st.StallFenceCycles
+		t.StallQueueFullCycles += st.StallQueueFullCycles
+		t.LockSpinCycles += st.LockSpinCycles
+		t.ComputeCycles += st.ComputeCycles
+		if st.BusyUntil > t.BusyUntil {
+			t.BusyUntil = st.BusyUntil
+		}
+	}
+	return t
+}

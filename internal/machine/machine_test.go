@@ -1,0 +1,305 @@
+package machine
+
+import (
+	"testing"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/mem"
+)
+
+func smallConfig() config.Config {
+	cfg := config.Default()
+	cfg.Cores = 2
+	return cfg
+}
+
+// TestStorePersistFlow checks the fundamental flow on every design:
+// store, flush, fence; the value must be visible and persistent.
+func TestStorePersistFlow(t *testing.T) {
+	for _, d := range hwdesign.All {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			s := MustNew(smallConfig(), d)
+			addr := mem.PMBase
+			worker := func(c *cpu.Core) {
+				c.Store64(addr, 42)
+				c.CLWB(addr)
+				switch d {
+				case hwdesign.IntelX86, hwdesign.NonAtomic:
+					c.SFence()
+				case hwdesign.HOPS:
+					c.OFence()
+					c.DFence()
+				default:
+					c.PersistBarrier()
+					c.JoinStrand()
+				}
+				c.DrainAll()
+				if got := c.Load64(addr); got != 42 {
+					t.Errorf("%s: load after store = %d, want 42", d, got)
+				}
+			}
+			end, err := s.Run([]Worker{worker}, 2_000_000)
+			if err != nil {
+				t.Fatalf("%s: %v", d, err)
+			}
+			if end == 0 {
+				t.Fatalf("%s: simulation did not advance", d)
+			}
+			if got := s.Mem.Volatile.Read64(addr); got != 42 {
+				t.Errorf("%s: volatile image = %d, want 42", d, got)
+			}
+			if got := s.Mem.Persistent.Read64(addr); got != 42 {
+				t.Errorf("%s: persistent image = %d, want 42", d, got)
+			}
+		})
+	}
+}
+
+// TestUnflushedStoreDoesNotPersist checks that a store without a flush
+// stays volatile (the cache is write-back).
+func TestUnflushedStoreDoesNotPersist(t *testing.T) {
+	s := MustNew(smallConfig(), hwdesign.StrandWeaver)
+	addr := mem.PMBase + 128
+	worker := func(c *cpu.Core) {
+		c.Store64(addr, 7)
+		c.DrainAll()
+	}
+	if _, err := s.Run([]Worker{worker}, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Volatile.Read64(addr); got != 7 {
+		t.Errorf("volatile image = %d, want 7", got)
+	}
+	if got := s.Mem.Persistent.Read64(addr); got != 0 {
+		t.Errorf("persistent image = %d, want 0 (unflushed)", got)
+	}
+}
+
+// TestCrossThreadVisibility checks coherence: a value stored by core 0
+// under a lock is observed by core 1.
+func TestCrossThreadVisibility(t *testing.T) {
+	s := MustNew(smallConfig(), hwdesign.StrandWeaver)
+	lock := mem.DRAMBase
+	data := mem.PMBase + 256
+	var got uint64
+	w0 := func(c *cpu.Core) {
+		c.Lock(lock + 64)
+		c.Store64(data, 99)
+		c.Unlock(lock + 64)
+		c.Store64(lock, 1) // publish flag
+	}
+	w1 := func(c *cpu.Core) {
+		for c.Load64(lock) == 0 {
+			c.Compute(20)
+		}
+		got = c.Load64(data)
+	}
+	if _, err := s.Run([]Worker{w0, w1}, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Errorf("core 1 observed %d, want 99", got)
+	}
+}
+
+// TestJoinStrandWaitsForPersist checks that JoinStrand does not complete
+// before prior CLWBs are acknowledged: at JoinStrand return, the flushed
+// line must already be persistent.
+func TestJoinStrandWaitsForPersist(t *testing.T) {
+	for _, d := range []hwdesign.Design{hwdesign.StrandWeaver, hwdesign.NoPersistQueue} {
+		s := MustNew(smallConfig(), d)
+		addr := mem.PMBase + 512
+		var persisted uint64
+		worker := func(c *cpu.Core) {
+			c.Store64(addr, 5)
+			c.CLWB(addr)
+			c.JoinStrand()
+			persisted = s.Mem.Persistent.Read64(addr)
+		}
+		if _, err := s.Run([]Worker{worker}, 2_000_000); err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if persisted != 5 {
+			t.Errorf("%s: at JoinStrand completion persistent=%d, want 5", d, persisted)
+		}
+	}
+}
+
+// TestSFenceWaitsForPersist checks the Intel ordering: after SFENCE
+// drains, prior CLWBs have completed. We verify by issuing a store after
+// the fence and checking at its drain that the flush landed.
+func TestSFenceWaitsForPersist(t *testing.T) {
+	s := MustNew(smallConfig(), hwdesign.IntelX86)
+	addr := mem.PMBase + 1024
+	worker := func(c *cpu.Core) {
+		c.Store64(addr, 11)
+		c.CLWB(addr)
+		c.SFence()
+		// Wait for the whole pipeline to drain: the fence has certainly
+		// drained then, implying flush completion.
+		c.DrainAll()
+		if got := s.Mem.Persistent.Read64(addr); got != 11 {
+			t.Errorf("after SFENCE drain persistent=%d, want 11", got)
+		}
+	}
+	if _, err := s.Run([]Worker{worker}, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrandWeaverFasterThanIntel is the headline shape on a logging
+// microkernel: pairwise log/update ordering on strands beats global
+// SFENCE epochs.
+func TestStrandWeaverFasterThanIntel(t *testing.T) {
+	run := func(d hwdesign.Design) uint64 {
+		s := MustNew(smallConfig(), d)
+		logBase := mem.PMBase
+		dataBase := mem.PMBase + 1<<20
+		var start, stop uint64
+		worker := func(c *cpu.Core) {
+			// Warm the lines (cold read-for-ownership misses would
+			// otherwise dominate every design equally).
+			for i := 0; i < 64; i++ {
+				c.Store64(logBase+mem.Addr(i*64), 1)
+				c.Store64(dataBase+mem.Addr(i*64), 1)
+			}
+			c.DrainAll()
+			start = uint64(s.Eng.Now())
+			for i := 0; i < 64; i++ {
+				la := logBase + mem.Addr(i*64)
+				da := dataBase + mem.Addr(i*64)
+				switch d {
+				case hwdesign.IntelX86:
+					c.Store64(la, uint64(i))
+					c.CLWB(la)
+					c.SFence()
+					c.Store64(da, uint64(i))
+					c.CLWB(da)
+				case hwdesign.HOPS:
+					c.Store64(la, uint64(i))
+					c.CLWB(la)
+					c.OFence()
+					c.Store64(da, uint64(i))
+					c.CLWB(da)
+				case hwdesign.StrandWeaver:
+					c.NewStrand()
+					c.Store64(la, uint64(i))
+					c.CLWB(la)
+					c.PersistBarrier()
+					c.Store64(da, uint64(i))
+					c.CLWB(da)
+				}
+			}
+			switch d {
+			case hwdesign.IntelX86:
+				c.SFence()
+			case hwdesign.HOPS:
+				c.DFence()
+			case hwdesign.StrandWeaver:
+				c.JoinStrand()
+			}
+			c.DrainAll()
+			stop = uint64(s.Eng.Now())
+		}
+		if _, err := s.Run([]Worker{worker}, 50_000_000); err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		return stop - start
+	}
+	intel := run(hwdesign.IntelX86)
+	hops := run(hwdesign.HOPS)
+	sw := run(hwdesign.StrandWeaver)
+	t.Logf("cycles: intel=%d hops=%d strandweaver=%d", intel, hops, sw)
+	if !(sw < hops && hops < intel) {
+		t.Errorf("expected strandweaver < hops < intel, got sw=%d hops=%d intel=%d", sw, hops, intel)
+	}
+}
+
+// TestTracing: the recorder captures the op stream with fence stalls
+// visible as long-duration events.
+func TestTracing(t *testing.T) {
+	s := MustNew(smallConfig(), hwdesign.StrandWeaver)
+	rec := s.EnableTracing()
+	addr := mem.PMBase + 0x2000
+	worker := func(c *cpu.Core) {
+		c.Store64(addr, 1)
+		c.CLWB(addr)
+		c.JoinStrand()
+	}
+	if _, err := s.Run([]Worker{worker}, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events, want 3", len(evs))
+	}
+	js := evs[2]
+	if js.Kind.String() != "JS" {
+		t.Fatalf("last event %v", js)
+	}
+	if js.End-js.Start < 100 {
+		t.Errorf("JoinStrand event spans %d cycles; stall not captured", js.End-js.Start)
+	}
+}
+
+// TestRunErrors: structural misuse is reported, not hung.
+func TestRunErrors(t *testing.T) {
+	s := MustNew(smallConfig(), hwdesign.StrandWeaver)
+	// More workers than cores.
+	ws := make([]Worker, 3)
+	for i := range ws {
+		ws[i] = func(c *cpu.Core) {}
+	}
+	if _, err := s.Run(ws, 1000); err == nil {
+		t.Error("worker overflow accepted")
+	}
+	// A worker blocked forever (spinning on a flag nobody sets) hits the
+	// cycle limit and errors.
+	s2 := MustNew(smallConfig(), hwdesign.StrandWeaver)
+	blocked := func(c *cpu.Core) {
+		for c.Load64(mem.DRAMBase+0x9000) == 0 {
+			c.Compute(100)
+		}
+	}
+	if _, err := s2.Run([]Worker{blocked}, 50_000); err == nil {
+		t.Error("cycle-limit overrun not reported")
+	}
+}
+
+// TestAbandonStopsEverything: after Abandon, workers are done and the
+// engine is stopped.
+func TestAbandonStopsEverything(t *testing.T) {
+	s := MustNew(smallConfig(), hwdesign.StrandWeaver)
+	worker := func(c *cpu.Core) {
+		for i := 0; ; i++ {
+			c.Store64(mem.PMBase+mem.Addr((i%64)*64), uint64(i))
+			c.Compute(50)
+		}
+	}
+	s.RunAt(10_000, s.Abandon)
+	_, _ = s.Run([]Worker{worker}, 0)
+	if !s.Eng.Stopped() {
+		t.Error("engine not stopped after Abandon")
+	}
+	if got := s.Eng.Now(); got > 10_000 {
+		t.Errorf("engine advanced to %d after the crash point", got)
+	}
+}
+
+// TestInvalidConfigRejected: New propagates validation errors.
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := config.Default()
+	cfg.Cores = 0
+	if _, err := New(cfg, hwdesign.StrandWeaver); err == nil {
+		t.Error("invalid config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(cfg, hwdesign.StrandWeaver)
+}

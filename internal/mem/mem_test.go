@@ -1,0 +1,159 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineHelpers(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Errorf("LineAddr(0x1234) = %#x", LineAddr(0x1234))
+	}
+	if LineOffset(0x1234) != 0x34 {
+		t.Errorf("LineOffset(0x1234) = %#x", LineOffset(0x1234))
+	}
+	if !SameLine(0x1200, 0x123F) || SameLine(0x123F, 0x1240) {
+		t.Error("SameLine misclassifies")
+	}
+}
+
+func TestImageReadWrite(t *testing.T) {
+	im := NewImage()
+	if im.Read64(0x1000) != 0 {
+		t.Error("fresh image not zero")
+	}
+	im.Write64(0x1000, 0xDEADBEEFCAFE)
+	if got := im.Read64(0x1000); got != 0xDEADBEEFCAFE {
+		t.Errorf("Read64 = %#x", got)
+	}
+	im.Write32(0x2000, 0x12345678)
+	if got := im.Read32(0x2000); got != 0x12345678 {
+		t.Errorf("Read32 = %#x", got)
+	}
+	im.SetByte(0x3000, 0xAB)
+	if got := im.ByteAt(0x3000); got != 0xAB {
+		t.Errorf("ByteAt = %#x", got)
+	}
+}
+
+// TestImageRoundTripQuick is a property test: any byte slice written at
+// any address reads back identically, including across page boundaries.
+func TestImageRoundTripQuick(t *testing.T) {
+	f := func(addrSeed uint32, data []byte) bool {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		// Bias addresses toward page boundaries to exercise spanning.
+		addr := Addr(addrSeed)&^0xF + pageSize - 8
+		im := NewImage()
+		im.Write(addr, data)
+		got := make([]byte, len(data))
+		im.Read(addr, got)
+		return bytes.Equal(data, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageLineOps(t *testing.T) {
+	im := NewImage()
+	var src, dst [LineSize]byte
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	im.StoreLine(0x4000, &src)
+	im.CopyLine(0x4000, &dst)
+	if src != dst {
+		t.Error("line round trip mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned CopyLine did not panic")
+		}
+	}()
+	im.CopyLine(0x4001, &dst)
+}
+
+func TestImageClone(t *testing.T) {
+	im := NewImage()
+	im.Write64(0x1000, 42)
+	c := im.Clone()
+	c.Write64(0x1000, 99)
+	if im.Read64(0x1000) != 42 {
+		t.Error("clone aliases original")
+	}
+	if c.Read64(0x1000) != 99 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestAddressSpacePredicates(t *testing.T) {
+	if !IsPM(PMBase) || !IsPM(PMBase+PMSize-1) || IsPM(PMBase+PMSize) || IsPM(0) {
+		t.Error("IsPM misclassifies")
+	}
+	if !IsDRAM(DRAMBase) || IsDRAM(PMBase) || IsDRAM(0) {
+		t.Error("IsDRAM misclassifies")
+	}
+}
+
+func TestMachinePersistLine(t *testing.T) {
+	m := NewMachine()
+	addr := PMBase + 0x100
+	m.Volatile.Write64(addr, 77)
+	if m.Persistent.Read64(addr) != 0 {
+		t.Error("persist happened without PersistLine")
+	}
+	m.PersistLine(LineAddr(addr))
+	if m.Persistent.Read64(addr) != 77 {
+		t.Error("PersistLine did not copy the line")
+	}
+	// DRAM lines never persist.
+	d := DRAMBase + 0x100
+	m.Volatile.Write64(d, 5)
+	m.PersistLine(LineAddr(d))
+	if m.Persistent.Read64(d) != 0 {
+		t.Error("DRAM line persisted")
+	}
+}
+
+func TestMachinePersistLineData(t *testing.T) {
+	m := NewMachine()
+	addr := PMBase + 0x40
+	var snap [LineSize]byte
+	snap[0] = 9
+	// The snapshot, not the current volatile value, must land.
+	m.Volatile.SetByte(addr, 1)
+	m.PersistLineData(addr, &snap)
+	if m.Persistent.ByteAt(addr) != 9 {
+		t.Error("PersistLineData ignored the snapshot")
+	}
+}
+
+func TestCrashImageIsolation(t *testing.T) {
+	m := NewMachine()
+	addr := PMBase
+	m.Volatile.Write64(addr, 1)
+	m.PersistLine(addr)
+	img := m.CrashImage()
+	m.Volatile.Write64(addr, 2)
+	m.PersistLine(addr)
+	if img.Read64(addr) != 1 {
+		t.Error("crash image mutated by later persists")
+	}
+}
+
+func BenchmarkImageWrite64(b *testing.B) {
+	im := NewImage()
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(r.Uint64() % (1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Write64(addrs[i%len(addrs)], uint64(i))
+	}
+}

@@ -1,0 +1,143 @@
+// Package mem implements the functional (value-carrying) memory images of
+// the simulated machine: the volatile image, which reflects the latest
+// globally visible value of every location, and the persistent image,
+// which reflects only the bytes that have reached the ADR persistence
+// domain. A simulated crash discards the volatile image; recovery runs
+// against the persistent image.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LineSize is the cache-line (and persist) granularity in bytes.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// LineAddr returns the address of the cache line containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns a's offset within its cache line.
+func LineOffset(a Addr) uint64 { return uint64(a) & (LineSize - 1) }
+
+// SameLine reports whether a and b fall on the same cache line.
+func SameLine(a, b Addr) bool { return LineAddr(a) == LineAddr(b) }
+
+const pageSize = 1 << 16 // 64 KiB sparse pages
+
+// Image is a sparse byte-addressable memory image.
+type Image struct {
+	pages map[Addr]*[pageSize]byte
+}
+
+// NewImage returns an empty image; all bytes read as zero.
+func NewImage() *Image {
+	return &Image{pages: make(map[Addr]*[pageSize]byte)}
+}
+
+func (im *Image) page(a Addr, create bool) (*[pageSize]byte, uint64) {
+	base := a &^ (pageSize - 1)
+	off := uint64(a) & (pageSize - 1)
+	p := im.pages[base]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		im.pages[base] = p
+	}
+	return p, off
+}
+
+// ByteAt returns the byte at a.
+func (im *Image) ByteAt(a Addr) byte {
+	p, off := im.page(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[off]
+}
+
+// SetByte sets the byte at a.
+func (im *Image) SetByte(a Addr, v byte) {
+	p, off := im.page(a, true)
+	p[off] = v
+}
+
+// Read copies len(dst) bytes starting at a into dst.
+func (im *Image) Read(a Addr, dst []byte) {
+	for i := range dst {
+		dst[i] = im.ByteAt(a + Addr(i))
+	}
+}
+
+// Write copies src into the image starting at a.
+func (im *Image) Write(a Addr, src []byte) {
+	for i, b := range src {
+		im.SetByte(a+Addr(i), b)
+	}
+}
+
+// Read64 returns the little-endian uint64 at a. a need not be aligned but
+// must not span a page boundary mid-word in pathological layouts; callers
+// in this codebase always use 8-byte-aligned fields.
+func (im *Image) Read64(a Addr) uint64 {
+	var buf [8]byte
+	im.Read(a, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write64 stores v little-endian at a.
+func (im *Image) Write64(a Addr, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	im.Write(a, buf[:])
+}
+
+// Read32 returns the little-endian uint32 at a.
+func (im *Image) Read32(a Addr) uint32 {
+	var buf [4]byte
+	im.Read(a, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Write32 stores v little-endian at a.
+func (im *Image) Write32(a Addr, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	im.Write(a, buf[:])
+}
+
+// CopyLine copies the 64-byte line at line (which must be line-aligned)
+// into dst.
+func (im *Image) CopyLine(line Addr, dst *[LineSize]byte) {
+	if LineOffset(line) != 0 {
+		panic(fmt.Sprintf("mem: CopyLine of unaligned address %#x", line))
+	}
+	im.Read(line, dst[:])
+}
+
+// StoreLine installs the 64 bytes in src at the line-aligned address line.
+func (im *Image) StoreLine(line Addr, src *[LineSize]byte) {
+	if LineOffset(line) != 0 {
+		panic(fmt.Sprintf("mem: StoreLine of unaligned address %#x", line))
+	}
+	im.Write(line, src[:])
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	c := NewImage()
+	for base, p := range im.pages {
+		np := new([pageSize]byte)
+		*np = *p
+		c.pages[base] = np
+	}
+	return c
+}
+
+// PageCount reports how many sparse pages have been touched.
+func (im *Image) PageCount() int { return len(im.pages) }

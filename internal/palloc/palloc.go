@@ -1,0 +1,108 @@
+// Package palloc provides simple arena allocators over the simulated
+// address space: a persistent arena for recoverable data (PM region) and
+// a volatile arena for locks and scratch state (DRAM region).
+//
+// Allocator bookkeeping itself is host-side (it is not the object of
+// study); each allocation charges a small amount of simulated compute to
+// the calling core, approximating a fast pool allocator. All returned
+// blocks are 8-byte aligned; cache-line-aligned variants are provided
+// for structures that must not share lines (log entries, per-thread
+// state).
+package palloc
+
+import (
+	"fmt"
+
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/mem"
+)
+
+// AllocCostCycles is the simulated cost charged per allocation.
+const AllocCostCycles = 30
+
+// Arena is a bump allocator with per-size free lists.
+type Arena struct {
+	name string
+	base mem.Addr
+	end  mem.Addr
+	next mem.Addr
+	free map[uint64][]mem.Addr
+}
+
+// New returns an arena spanning [base, base+size).
+func New(name string, base mem.Addr, size uint64) *Arena {
+	return &Arena{
+		name: name,
+		base: base,
+		end:  base + mem.Addr(size),
+		next: base,
+		free: make(map[uint64][]mem.Addr),
+	}
+}
+
+// NewPM returns an arena over the PM heap region starting at offset from
+// PMBase.
+func NewPM(offset, size uint64) *Arena {
+	return New("pm", mem.PMBase+mem.Addr(offset), size)
+}
+
+// NewDRAM returns an arena over the DRAM region starting at offset.
+func NewDRAM(offset, size uint64) *Arena {
+	return New("dram", mem.DRAMBase+mem.Addr(offset), size)
+}
+
+func align(a mem.Addr, to uint64) mem.Addr {
+	return mem.Addr((uint64(a) + to - 1) &^ (to - 1))
+}
+
+// Alloc returns an 8-byte-aligned block of the given size, charging the
+// core's simulated allocation cost. c may be nil for host-side setup
+// allocations that should not consume simulated time.
+func (a *Arena) Alloc(c *cpu.Core, size uint64) mem.Addr {
+	return a.alloc(c, size, 8)
+}
+
+// AllocLine returns a 64-byte-aligned block rounded up to whole lines.
+func (a *Arena) AllocLine(c *cpu.Core, size uint64) mem.Addr {
+	size = (size + mem.LineSize - 1) &^ (mem.LineSize - 1)
+	return a.alloc(c, size, mem.LineSize)
+}
+
+func (a *Arena) alloc(c *cpu.Core, size, alignment uint64) mem.Addr {
+	if size == 0 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	if c != nil {
+		c.Compute(AllocCostCycles)
+	}
+	if fl := a.free[size]; len(fl) > 0 && alignment <= 8 {
+		addr := fl[len(fl)-1]
+		a.free[size] = fl[:len(fl)-1]
+		return addr
+	}
+	addr := align(a.next, alignment)
+	if addr+mem.Addr(size) > a.end {
+		panic(fmt.Sprintf("palloc: arena %q exhausted (%d bytes requested)", a.name, size))
+	}
+	a.next = addr + mem.Addr(size)
+	return addr
+}
+
+// Free returns a block to the per-size free list.
+func (a *Arena) Free(c *cpu.Core, addr mem.Addr, size uint64) {
+	if size == 0 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	if c != nil {
+		c.Compute(AllocCostCycles / 2)
+	}
+	a.free[size] = append(a.free[size], addr)
+}
+
+// Used reports bytes consumed from the arena (excluding freed blocks).
+func (a *Arena) Used() uint64 { return uint64(a.next - a.base) }
+
+// Base returns the arena's first address.
+func (a *Arena) Base() mem.Addr { return a.base }

@@ -1,0 +1,81 @@
+package palloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"strandweaver/internal/mem"
+)
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	a := NewPM(0, 1<<20)
+	seen := map[mem.Addr]uint64{}
+	sizes := []uint64{8, 16, 24, 64, 100, 128, 4096}
+	for i := 0; i < 200; i++ {
+		sz := sizes[i%len(sizes)]
+		addr := a.Alloc(nil, sz)
+		if uint64(addr)%8 != 0 {
+			t.Fatalf("allocation %#x not 8-byte aligned", addr)
+		}
+		rounded := (sz + 7) &^ 7
+		for prev, psz := range seen {
+			if addr < prev+mem.Addr(psz) && prev < addr+mem.Addr(rounded) {
+				t.Fatalf("overlap: [%#x,+%d) and [%#x,+%d)", addr, rounded, prev, psz)
+			}
+		}
+		seen[addr] = rounded
+	}
+}
+
+func TestAllocLineAlignment(t *testing.T) {
+	a := NewPM(0, 1<<20)
+	a.Alloc(nil, 24) // misalign the bump pointer
+	addr := a.AllocLine(nil, 100)
+	if uint64(addr)%mem.LineSize != 0 {
+		t.Errorf("AllocLine returned %#x, not line aligned", addr)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	a := NewPM(0, 1<<20)
+	x := a.Alloc(nil, 64)
+	a.Free(nil, x, 64)
+	y := a.Alloc(nil, 64)
+	if x != y {
+		t.Errorf("freed block not reused: %#x then %#x", x, y)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := New("tiny", mem.PMBase, 128)
+	a.Alloc(nil, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhaustion did not panic")
+		}
+	}()
+	a.Alloc(nil, 128)
+}
+
+func TestRegionsWithinArena(t *testing.T) {
+	f := func(n uint8) bool {
+		a := NewDRAM(0, 1<<16)
+		size := uint64(n)%512 + 1
+		addr := a.Alloc(nil, size)
+		return addr >= a.Base() && uint64(addr)+size <= uint64(a.Base())+1<<16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUsedAccounting(t *testing.T) {
+	a := NewPM(0, 1<<20)
+	if a.Used() != 0 {
+		t.Error("fresh arena reports usage")
+	}
+	a.Alloc(nil, 100) // rounds to 104
+	if a.Used() != 104 {
+		t.Errorf("Used = %d, want 104", a.Used())
+	}
+}

@@ -1,0 +1,60 @@
+package pds
+
+import (
+	"fmt"
+
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/palloc"
+)
+
+// Array is the paper's array-swap microbenchmark: a persistent array of
+// 8-byte elements whose swaps must be failure-atomic (a torn swap would
+// duplicate one element and lose another).
+type Array struct {
+	base mem.Addr
+	n    uint64
+}
+
+// NewArray lays out an array of n elements initialised to 1..n
+// host-side (distinct values make permutation checking exact).
+func NewArray(h Host, arena *palloc.Arena, n uint64) *Array {
+	a := &Array{base: arena.AllocLine(nil, n*8), n: n}
+	for i := uint64(0); i < n; i++ {
+		h.Write64(a.base+mem.Addr(i*8), i+1)
+	}
+	return a
+}
+
+// Base returns the array's base address.
+func (a *Array) Base() mem.Addr { return a.base }
+
+// Len returns the element count.
+func (a *Array) Len() uint64 { return a.n }
+
+func (a *Array) elem(i uint64) mem.Addr { return a.base + mem.Addr((i%a.n)*8) }
+
+// Swap exchanges elements i and j inside an open region.
+func (a *Array) Swap(tx *langmodel.Tx, i, j uint64) {
+	ai, aj := a.elem(i), a.elem(j)
+	vi := tx.Load(ai)
+	vj := tx.Load(aj)
+	tx.Store(ai, vj)
+	tx.Store(aj, vi)
+}
+
+// VerifyArray checks that img holds a permutation of 1..n at base.
+func VerifyArray(img *mem.Image, base mem.Addr, n uint64) error {
+	seen := make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		v := img.Read64(base + mem.Addr(i*8))
+		if v < 1 || v > n {
+			return fmt.Errorf("array: element %d holds out-of-range value %d", i, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("array: duplicate value %d (a torn swap)", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package pds
+
+import (
+	"fmt"
+
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/palloc"
+)
+
+// Hashmap is a persistent chained hash table (the paper's hashmap
+// microbenchmark and the index inside the N-Store key-value engine).
+// Buckets hold node-pointer heads; nodes are line-aligned records
+// {key, value, stamp, next}. Keys are non-zero.
+type Hashmap struct {
+	buckets mem.Addr
+	nb      uint64
+	arena   *palloc.Arena
+}
+
+// Node field offsets.
+const (
+	hnKey   = 0
+	hnVal   = 8
+	hnStamp = 16
+	hnNext  = 24
+	// hashNodeSize is the allocation size per node (line-aligned).
+	hashNodeSize = 64
+)
+
+// NewHashmap lays out a hashmap with nb buckets (power of two).
+func NewHashmap(h Host, arena *palloc.Arena, nb uint64) *Hashmap {
+	if nb == 0 || nb&(nb-1) != 0 {
+		panic("pds: hashmap buckets must be a power of two")
+	}
+	m := &Hashmap{buckets: arena.AllocLine(nil, nb*8), nb: nb, arena: arena}
+	for i := uint64(0); i < nb; i++ {
+		h.Write64(m.buckets+mem.Addr(i*8), 0)
+	}
+	return m
+}
+
+// Buckets returns the bucket array address.
+func (m *Hashmap) Buckets() mem.Addr { return m.buckets }
+
+// NumBuckets returns the bucket count.
+func (m *Hashmap) NumBuckets() uint64 { return m.nb }
+
+// BucketIndex returns key's bucket.
+func (m *Hashmap) BucketIndex(key uint64) uint64 { return hash64(key) & (m.nb - 1) }
+
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (m *Hashmap) bucketAddr(key uint64) mem.Addr {
+	return m.buckets + mem.Addr(m.BucketIndex(key)*8)
+}
+
+// SetupInsert inserts host-side during population (no simulation cost).
+func (m *Hashmap) SetupInsert(h Host, key, val, stamp uint64) {
+	b := m.bucketAddr(key)
+	node := m.arena.AllocLine(nil, hashNodeSize)
+	h.Write64(node+hnKey, key)
+	h.Write64(node+hnVal, val)
+	h.Write64(node+hnStamp, stamp)
+	h.Write64(node+hnNext, h.Read64(b))
+	h.Write64(b, uint64(node))
+}
+
+// Lookup returns the value and stamp for key, reading inside or outside
+// a region (loads are never logged).
+func (m *Hashmap) Lookup(tx *langmodel.Tx, key uint64) (val, stamp uint64, ok bool) {
+	node := mem.Addr(tx.Load(m.bucketAddr(key)))
+	for node != 0 {
+		if tx.Load(node+hnKey) == key {
+			return tx.Load(node + hnVal), tx.Load(node + hnStamp), true
+		}
+		node = mem.Addr(tx.Load(node + hnNext))
+	}
+	return 0, 0, false
+}
+
+// Update sets key's value and stamp inside an open region, inserting a
+// new node if absent. The stamp pairing (val == key ^ stamp is the
+// convention used by the workloads) gives crash verifiers an atomicity
+// check across the two stores.
+func (m *Hashmap) Update(tx *langmodel.Tx, key, val, stamp uint64) {
+	b := m.bucketAddr(key)
+	node := mem.Addr(tx.Load(b))
+	for node != 0 {
+		if tx.Load(node+hnKey) == key {
+			tx.Store(node+hnVal, val)
+			tx.Store(node+hnStamp, stamp)
+			return
+		}
+		node = mem.Addr(tx.Load(node + hnNext))
+	}
+	// Insert a fresh node at the chain head.
+	n := m.arena.AllocLine(tx.Core(), hashNodeSize)
+	tx.Store(n+hnKey, key)
+	tx.Store(n+hnVal, val)
+	tx.Store(n+hnStamp, stamp)
+	tx.Store(n+hnNext, tx.Load(b))
+	tx.Store(b, uint64(n))
+}
+
+// VerifyHashmap checks structural integrity in img: acyclic chains,
+// keys hashed to the right bucket, and the val/stamp atomicity pairing
+// (val == key ^ stamp for every node).
+func VerifyHashmap(img *mem.Image, buckets mem.Addr, nb uint64) error {
+	if nb == 0 || nb&(nb-1) != 0 {
+		return fmt.Errorf("hashmap: implausible bucket count %d", nb)
+	}
+	visited := make(map[mem.Addr]bool)
+	for i := uint64(0); i < nb; i++ {
+		node := mem.Addr(img.Read64(buckets + mem.Addr(i*8)))
+		steps := 0
+		for node != 0 {
+			if visited[node] {
+				return fmt.Errorf("hashmap: node %#x reachable twice (cycle or cross-link)", node)
+			}
+			visited[node] = true
+			if steps++; steps > 1<<20 {
+				return fmt.Errorf("hashmap: bucket %d chain too long", i)
+			}
+			key := img.Read64(node + hnKey)
+			if key == 0 {
+				return fmt.Errorf("hashmap: reachable node %#x has zero key (torn insert)", node)
+			}
+			if hash64(key)&(nb-1) != i {
+				return fmt.Errorf("hashmap: key %d found in bucket %d, want %d", key, i, hash64(key)&(nb-1))
+			}
+			val := img.Read64(node + hnVal)
+			stamp := img.Read64(node + hnStamp)
+			if val != key^stamp {
+				return fmt.Errorf("hashmap: node key=%d torn update: val=%d stamp=%d", key, val, stamp)
+			}
+			node = mem.Addr(img.Read64(node + hnNext))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package pds implements the persistent data structures used by the
+// paper's benchmarks — a bounded FIFO queue, a chained hashmap, a swap
+// array, and a red-black tree — over the failure-atomic Tx interface of
+// package langmodel. Each structure also provides host-side setup
+// (direct image writes plus cache preload, modelling a pre-populated
+// structure) and a structural verifier that runs against a recovered
+// crash image.
+package pds
+
+import (
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+)
+
+// Host performs host-side (un-simulated) initialisation writes: the
+// value lands in both the volatile and persistent images, and the line
+// is preloaded into the shared L2 so the measured phase starts warm.
+type Host struct {
+	Sys *machine.System
+}
+
+// Write64 writes v at addr in both images and preloads the line.
+func (h Host) Write64(addr mem.Addr, v uint64) {
+	h.Sys.Mem.Volatile.Write64(addr, v)
+	h.Sys.Mem.Persistent.Write64(addr, v)
+	h.Sys.Hier.Preload(mem.LineAddr(addr))
+}
+
+// Read64 reads addr from the volatile image.
+func (h Host) Read64(addr mem.Addr) uint64 {
+	return h.Sys.Mem.Volatile.Read64(addr)
+}
+
+// PreloadRange preloads every line of [base, base+size).
+func (h Host) PreloadRange(base mem.Addr, size uint64) {
+	first := mem.LineAddr(base)
+	last := mem.LineAddr(base + mem.Addr(size) - 1)
+	for line := first; line <= last; line += mem.LineSize {
+		h.Sys.Hier.Preload(line)
+	}
+}

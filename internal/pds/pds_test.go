@@ -1,0 +1,264 @@
+package pds
+
+import (
+	"math/rand"
+	"testing"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/palloc"
+	"strandweaver/internal/undolog"
+)
+
+func newSys(t *testing.T) (*machine.System, *langmodel.Runtime, Host, *palloc.Arena) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Cores = 2
+	s := machine.MustNew(cfg, hwdesign.StrandWeaver)
+	rt := langmodel.New(s, langmodel.SFR, 2, langmodel.Options{LogEntries: 1024, CommitBatch: 4, RegionReserve: 128})
+	arena := palloc.NewPM(undolog.HeapOffset, 1<<30)
+	return s, rt, Host{Sys: s}, arena
+}
+
+var lockA = mem.DRAMBase + 64
+
+func TestQueuePushPop(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	q := NewQueue(h, arena, 16)
+	var popped []uint64
+	worker := func(c *cpu.Core) {
+		for i := uint64(1); i <= 8; i++ {
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) { q.Push(tx, i*100) })
+		}
+		for i := 0; i < 3; i++ {
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+				if v, ok := q.Pop(tx); ok {
+					popped = append(popped, v)
+				}
+			})
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(popped) != 3 || popped[0] != 100 || popped[1] != 200 || popped[2] != 300 {
+		t.Errorf("popped %v, want [100 200 300]", popped)
+	}
+	if err := VerifyQueue(s.Mem.Volatile, q.Header(), q.slots); err != nil {
+		t.Errorf("volatile verify: %v", err)
+	}
+	img := s.Mem.CrashImage()
+	if _, err := undolog.Recover(img, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQueue(img, q.Header(), q.slots); err != nil {
+		t.Errorf("persistent verify: %v", err)
+	}
+}
+
+func TestQueueBounds(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	q := NewQueue(h, arena, 4)
+	var fullRejected, emptyRejected bool
+	worker := func(c *cpu.Core) {
+		rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+			if _, ok := q.Pop(tx); !ok {
+				emptyRejected = true
+			}
+		})
+		for i := uint64(0); i < 5; i++ {
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+				if !q.Push(tx, i+1) && i == 4 {
+					fullRejected = true
+				}
+			})
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !emptyRejected || !fullRejected {
+		t.Errorf("bounds not enforced: emptyRejected=%v fullRejected=%v", emptyRejected, fullRejected)
+	}
+}
+
+func TestArraySwap(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	a := NewArray(h, arena, 32)
+	worker := func(c *cpu.Core) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 10; i++ {
+			x, y := rng.Uint64()%32, rng.Uint64()%32
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) { a.Swap(tx, x, y) })
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArray(s.Mem.Volatile, a.Base(), 32); err != nil {
+		t.Errorf("volatile verify: %v", err)
+	}
+	img := s.Mem.CrashImage()
+	if _, err := undolog.Recover(img, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArray(img, a.Base(), 32); err != nil {
+		t.Errorf("persistent verify: %v", err)
+	}
+}
+
+func TestHashmapOps(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	m := NewHashmap(h, arena, 64)
+	for k := uint64(1); k <= 50; k++ {
+		m.SetupInsert(h, k, k^7, 7)
+	}
+	var foundVal uint64
+	var found bool
+	worker := func(c *cpu.Core) {
+		// Update existing and insert fresh keys.
+		for k := uint64(1); k <= 10; k++ {
+			k := k
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+				m.Update(tx, k, k^99, 99)
+			})
+		}
+		for k := uint64(100); k <= 105; k++ {
+			k := k
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+				m.Update(tx, k, k^3, 3)
+			})
+		}
+		rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+			foundVal, _, found = m.Lookup(tx, 5)
+		})
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !found || foundVal != 5^99 {
+		t.Errorf("lookup(5) = %d,%v want %d,true", foundVal, found, 5^99)
+	}
+	if err := VerifyHashmap(s.Mem.Volatile, m.Buckets(), 64); err != nil {
+		t.Errorf("volatile verify: %v", err)
+	}
+	img := s.Mem.CrashImage()
+	if _, err := undolog.Recover(img, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHashmap(img, m.Buckets(), 64); err != nil {
+		t.Errorf("persistent verify: %v", err)
+	}
+}
+
+// TestRBTreeHostReference drives the shared tree algorithms host-side
+// against a map reference with thousands of random ops, then checks all
+// red-black invariants.
+func TestRBTreeHostReference(t *testing.T) {
+	s, _, h, arena := newSys(t)
+	tree := NewRBTree(h, arena)
+	hm := hostMem{h: h, arena: arena}
+	ref := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4000; i++ {
+		k := rng.Uint64()%500 + 1
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			tree.insert(hm, k, v)
+			ref[k] = v
+		} else {
+			got := tree.delete(hm, k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if i%500 == 0 {
+			if err := VerifyRBTree(s.Mem.Volatile, tree.Header()); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := VerifyRBTree(s.Mem.Volatile, tree.Header()); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Read64(tree.Header() + rbhCount); got != uint64(len(ref)) {
+		t.Fatalf("count %d, want %d", got, len(ref))
+	}
+	// Every reference key resolves via the image walker.
+	img := s.Mem.Volatile
+	for k, v := range ref {
+		if got, ok := lookupInImage(img, tree.Header(), k); !ok || got != v {
+			t.Fatalf("lookup(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+}
+
+// lookupInImage searches the tree in an image (test helper mirroring
+// recovery-time reads).
+func lookupInImage(img *mem.Image, header mem.Addr, key uint64) (uint64, bool) {
+	m := imgMem{img: img}
+	nilN := mem.Addr(m.r(header + rbhSentinel))
+	x := mem.Addr(m.r(header + rbhRoot))
+	for x != nilN && x != 0 {
+		k := m.r(x + rbKey)
+		switch {
+		case key == k:
+			return m.r(x + rbVal), true
+		case key < k:
+			x = mem.Addr(m.r(x + rbLeft))
+		default:
+			x = mem.Addr(m.r(x + rbRight))
+		}
+	}
+	return 0, false
+}
+
+// TestRBTreeSimulated runs inserts and deletes through failure-atomic
+// regions on the simulator and verifies the recovered image.
+func TestRBTreeSimulated(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	tree := NewRBTree(h, arena)
+	for k := uint64(2); k <= 40; k += 2 {
+		tree.SetupInsert(h, k, k*10)
+	}
+	worker := func(c *cpu.Core) {
+		for k := uint64(1); k <= 9; k += 2 {
+			k := k
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) { tree.Insert(tx, k, k*10) })
+		}
+		for k := uint64(2); k <= 10; k += 4 {
+			k := k
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) { tree.Delete(tx, k) })
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 800_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRBTree(s.Mem.Volatile, tree.Header()); err != nil {
+		t.Errorf("volatile verify: %v", err)
+	}
+	img := s.Mem.CrashImage()
+	if _, err := undolog.Recover(img, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRBTree(img, tree.Header()); err != nil {
+		t.Errorf("persistent verify: %v", err)
+	}
+	if v, ok := lookupInImage(img, tree.Header(), 7); !ok || v != 70 {
+		t.Errorf("persisted lookup(7) = %d,%v want 70,true", v, ok)
+	}
+	if _, ok := lookupInImage(img, tree.Header(), 6); ok {
+		t.Errorf("key 6 still present after delete")
+	}
+}

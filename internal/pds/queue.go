@@ -1,0 +1,123 @@
+package pds
+
+import (
+	"fmt"
+
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/palloc"
+)
+
+// Queue is a bounded persistent FIFO ring of 8-byte values, the paper's
+// queue microbenchmark (insert/delete, lowest write intensity, all
+// threads serialised on one lock).
+//
+// Header layout (one line): capacity, head, tail, pushSum, popSum.
+// head/tail are monotone; slot = idx % capacity. pushSum/popSum maintain
+// the crash invariant pushSum-popSum == Σ values in [head, tail).
+type Queue struct {
+	header mem.Addr
+	slots  mem.Addr
+	cap    uint64
+}
+
+// Queue header field offsets.
+const (
+	qCap     = 0
+	qHead    = 8
+	qTail    = 16
+	qPushSum = 24
+	qPopSum  = 32
+)
+
+// NewQueue lays out a queue of the given capacity host-side.
+func NewQueue(h Host, arena *palloc.Arena, capacity uint64) *Queue {
+	q := &Queue{
+		header: arena.AllocLine(nil, 64),
+		slots:  arena.AllocLine(nil, capacity*8),
+		cap:    capacity,
+	}
+	h.Write64(q.header+qCap, capacity)
+	h.Write64(q.header+qHead, 0)
+	h.Write64(q.header+qTail, 0)
+	h.Write64(q.header+qPushSum, 0)
+	h.Write64(q.header+qPopSum, 0)
+	h.PreloadRange(q.slots, capacity*8)
+	return q
+}
+
+// Header returns the queue's header address (published via the PM root
+// so the verifier can find it in a crash image).
+func (q *Queue) Header() mem.Addr { return q.header }
+
+// Slots returns the slot array's base address.
+func (q *Queue) Slots() mem.Addr { return q.slots }
+
+// SetupPush appends v host-side during population.
+func (q *Queue) SetupPush(h Host, v uint64) bool {
+	head := h.Read64(q.header + qHead)
+	tail := h.Read64(q.header + qTail)
+	if tail-head == q.cap {
+		return false
+	}
+	h.Write64(q.slot(tail), v)
+	h.Write64(q.header+qTail, tail+1)
+	h.Write64(q.header+qPushSum, h.Read64(q.header+qPushSum)+v)
+	return true
+}
+
+func (q *Queue) slot(idx uint64) mem.Addr { return q.slots + mem.Addr((idx%q.cap)*8) }
+
+// Push appends v inside an open region; returns false when full.
+func (q *Queue) Push(tx *langmodel.Tx, v uint64) bool {
+	head := tx.Load(q.header + qHead)
+	tail := tx.Load(q.header + qTail)
+	if tail-head == q.cap {
+		return false
+	}
+	tx.Store(q.slot(tail), v)
+	tx.Store(q.header+qTail, tail+1)
+	tx.Store(q.header+qPushSum, tx.Load(q.header+qPushSum)+v)
+	return true
+}
+
+// Pop removes the head value inside an open region; ok is false when
+// empty.
+func (q *Queue) Pop(tx *langmodel.Tx) (v uint64, ok bool) {
+	head := tx.Load(q.header + qHead)
+	tail := tx.Load(q.header + qTail)
+	if tail == head {
+		return 0, false
+	}
+	v = tx.Load(q.slot(head))
+	tx.Store(q.header+qHead, head+1)
+	tx.Store(q.header+qPopSum, tx.Load(q.header+qPopSum)+v)
+	return v, true
+}
+
+// VerifyQueue checks the queue's crash invariants in img given its
+// header address.
+func VerifyQueue(img *mem.Image, header mem.Addr, slots mem.Addr) error {
+	capacity := img.Read64(header + qCap)
+	head := img.Read64(header + qHead)
+	tail := img.Read64(header + qTail)
+	if capacity == 0 || capacity > 1<<30 {
+		return fmt.Errorf("queue: implausible capacity %d", capacity)
+	}
+	if tail < head {
+		return fmt.Errorf("queue: tail %d < head %d", tail, head)
+	}
+	if tail-head > capacity {
+		return fmt.Errorf("queue: occupancy %d exceeds capacity %d", tail-head, capacity)
+	}
+	var sum uint64
+	for i := head; i < tail; i++ {
+		sum += img.Read64(slots + mem.Addr((i%capacity)*8))
+	}
+	pushSum := img.Read64(header + qPushSum)
+	popSum := img.Read64(header + qPopSum)
+	if pushSum-popSum != sum {
+		return fmt.Errorf("queue: checksum mismatch: pushSum-popSum=%d, live sum=%d", pushSum-popSum, sum)
+	}
+	return nil
+}

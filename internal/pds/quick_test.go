@@ -1,0 +1,161 @@
+package pds
+
+import (
+	"math/rand"
+	"testing"
+
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+)
+
+// Model-based property tests: drive each structure through the
+// simulator with random operations against an in-memory reference
+// model, then check both the results and the structural verifiers.
+
+func TestQueueAgainstReferenceModel(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	q := NewQueue(h, arena, 8)
+	rng := rand.New(rand.NewSource(99))
+	type op struct {
+		push bool
+		val  uint64
+	}
+	ops := make([]op, 60)
+	for i := range ops {
+		ops[i] = op{push: rng.Intn(2) == 0, val: rng.Uint64()%1000 + 1}
+	}
+	// Reference model.
+	var ref []uint64
+	type result struct {
+		ok  bool
+		val uint64
+	}
+	var got []result
+	worker := func(c *cpu.Core) {
+		for _, o := range ops {
+			o := o
+			rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+				if o.push {
+					got = append(got, result{ok: q.Push(tx, o.val)})
+				} else {
+					v, ok := q.Pop(tx)
+					got = append(got, result{ok: ok, val: v})
+				}
+			})
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 800_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range ops {
+		if o.push {
+			want := len(ref) < 8
+			if got[i].ok != want {
+				t.Fatalf("op %d: push ok=%v, want %v", i, got[i].ok, want)
+			}
+			if want {
+				ref = append(ref, o.val)
+			}
+		} else {
+			want := len(ref) > 0
+			if got[i].ok != want {
+				t.Fatalf("op %d: pop ok=%v, want %v", i, got[i].ok, want)
+			}
+			if want {
+				if got[i].val != ref[0] {
+					t.Fatalf("op %d: pop = %d, want %d", i, got[i].val, ref[0])
+				}
+				ref = ref[1:]
+			}
+		}
+	}
+	if err := VerifyQueue(s.Mem.Volatile, q.Header(), q.Slots()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashmapAgainstReferenceModel(t *testing.T) {
+	s, rt, h, arena := newSys(t)
+	m := NewHashmap(h, arena, 16) // small bucket count: long chains
+	rng := rand.New(rand.NewSource(5))
+	ref := map[uint64]uint64{}
+	worker := func(c *cpu.Core) {
+		for i := 0; i < 80; i++ {
+			key := rng.Uint64()%40 + 1
+			if rng.Intn(3) == 0 {
+				var v, st uint64
+				var ok bool
+				rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+					v, st, ok = m.Lookup(tx, key)
+				})
+				want, wok := ref[key]
+				if ok != wok || (ok && v != want) {
+					t.Fatalf("lookup(%d) = %d,%v want %d,%v", key, v, ok, want, wok)
+				}
+				_ = st
+			} else {
+				stamp := rng.Uint64()
+				rt.Region(c, []mem.Addr{lockA}, func(tx *langmodel.Tx) {
+					m.Update(tx, key, key^stamp, stamp)
+				})
+				ref[key] = key ^ stamp
+			}
+		}
+		rt.Finish(c)
+	}
+	if _, err := s.Run([]machine.Worker{worker}, 800_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHashmap(s.Mem.Volatile, m.Buckets(), m.NumBuckets()); err != nil {
+		t.Error(err)
+	}
+	// Final sweep: every reference entry resolves.
+	for k, v := range ref {
+		b := m.Buckets() + mem.Addr((m.BucketIndex(k))*8)
+		node := mem.Addr(s.Mem.Volatile.Read64(b))
+		found := false
+		for node != 0 {
+			if s.Mem.Volatile.Read64(node) == k {
+				if got := s.Mem.Volatile.Read64(node + 8); got != v {
+					t.Fatalf("key %d = %d, want %d", k, got, v)
+				}
+				found = true
+				break
+			}
+			node = mem.Addr(s.Mem.Volatile.Read64(node + 24))
+		}
+		if !found {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+// VerifierCatchesRBTreeCorruption: guard against vacuous tree checking.
+func TestVerifierCatchesRBTreeCorruption(t *testing.T) {
+	s, _, h, arena := newSys(t)
+	tree := NewRBTree(h, arena)
+	for k := uint64(1); k <= 20; k++ {
+		tree.SetupInsert(h, k, k)
+	}
+	if err := VerifyRBTree(s.Mem.Volatile, tree.Header()); err != nil {
+		t.Fatalf("pristine tree rejected: %v", err)
+	}
+	// Corrupt: flip the root's color to red.
+	root := mem.Addr(s.Mem.Volatile.Read64(tree.Header()))
+	s.Mem.Volatile.Write64(root+40, 1)
+	if err := VerifyRBTree(s.Mem.Volatile, tree.Header()); err == nil {
+		t.Error("red root accepted")
+	}
+	s.Mem.Volatile.Write64(root+40, 0)
+	// Corrupt: break a key to violate BST order.
+	left := mem.Addr(s.Mem.Volatile.Read64(root + 16))
+	if left != mem.Addr(s.Mem.Volatile.Read64(tree.Header()+8)) { // not sentinel
+		s.Mem.Volatile.Write64(left, 1<<40)
+		if err := VerifyRBTree(s.Mem.Volatile, tree.Header()); err == nil {
+			t.Error("BST violation accepted")
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package pds
+
+import (
+	"fmt"
+
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/palloc"
+)
+
+// RBTree is the paper's red-black tree microbenchmark: a classic
+// CLRS-style red-black tree with parent pointers and a sentinel nil
+// node, fully persistent — every mutation goes through the
+// failure-atomic Tx interface, so inserts and deletes (including
+// rotations and fixups) are atomic with respect to crashes.
+//
+// Node layout (one 64-byte line): key, val, left, right, parent, color.
+type RBTree struct {
+	header mem.Addr
+	arena  *palloc.Arena
+}
+
+// Node field offsets.
+const (
+	rbKey      = 0
+	rbVal      = 8
+	rbLeft     = 16
+	rbRight    = 24
+	rbParent   = 32
+	rbColor    = 40
+	rbNodeSize = 64
+)
+
+// Colors.
+const (
+	rbBlack = 0
+	rbRed   = 1
+)
+
+// Header field offsets.
+const (
+	rbhRoot     = 0
+	rbhSentinel = 8
+	rbhCount    = 16
+)
+
+// rbMem abstracts memory access so the tree algorithms are written once
+// and run in three modes: inside a failure-atomic region (txMem),
+// host-side setup (hostMem), and read-only verification (imgMem).
+type rbMem interface {
+	r(a mem.Addr) uint64
+	w(a mem.Addr, v uint64)
+	alloc() mem.Addr
+}
+
+type txMem struct {
+	tx    *langmodel.Tx
+	arena *palloc.Arena
+}
+
+func (m txMem) r(a mem.Addr) uint64    { return m.tx.Load(a) }
+func (m txMem) w(a mem.Addr, v uint64) { m.tx.Store(a, v) }
+func (m txMem) alloc() mem.Addr        { return m.arena.AllocLine(m.tx.Core(), rbNodeSize) }
+
+type hostMem struct {
+	h     Host
+	arena *palloc.Arena
+}
+
+func (m hostMem) r(a mem.Addr) uint64    { return m.h.Read64(a) }
+func (m hostMem) w(a mem.Addr, v uint64) { m.h.Write64(a, v) }
+func (m hostMem) alloc() mem.Addr        { return m.arena.AllocLine(nil, rbNodeSize) }
+
+type imgMem struct{ img *mem.Image }
+
+func (m imgMem) r(a mem.Addr) uint64    { return m.img.Read64(a) }
+func (m imgMem) w(a mem.Addr, v uint64) { panic("pds: write through read-only image") }
+func (m imgMem) alloc() mem.Addr        { panic("pds: alloc through read-only image") }
+
+// NewRBTree lays out an empty tree host-side.
+func NewRBTree(h Host, arena *palloc.Arena) *RBTree {
+	t := &RBTree{header: arena.AllocLine(nil, 64), arena: arena}
+	sentinel := arena.AllocLine(nil, rbNodeSize)
+	h.Write64(sentinel+rbColor, rbBlack)
+	h.Write64(t.header+rbhRoot, uint64(sentinel))
+	h.Write64(t.header+rbhSentinel, uint64(sentinel))
+	h.Write64(t.header+rbhCount, 0)
+	return t
+}
+
+// Header returns the tree's header address.
+func (t *RBTree) Header() mem.Addr { return t.header }
+
+// SetupInsert inserts host-side during population.
+func (t *RBTree) SetupInsert(h Host, key, val uint64) {
+	t.insert(hostMem{h: h, arena: t.arena}, key, val)
+}
+
+// Insert adds or updates key inside an open region.
+func (t *RBTree) Insert(tx *langmodel.Tx, key, val uint64) {
+	t.insert(txMem{tx: tx, arena: t.arena}, key, val)
+}
+
+// Delete removes key inside an open region; reports whether it existed.
+func (t *RBTree) Delete(tx *langmodel.Tx, key uint64) bool {
+	return t.delete(txMem{tx: tx, arena: t.arena}, key)
+}
+
+// Lookup finds key using a core directly (loads need no region).
+func (t *RBTree) Lookup(c *cpu.Core, key uint64) (uint64, bool) {
+	nilN := mem.Addr(c.Load64(t.header + rbhSentinel))
+	x := mem.Addr(c.Load64(t.header + rbhRoot))
+	for x != nilN {
+		k := c.Load64(x + rbKey)
+		switch {
+		case key == k:
+			return c.Load64(x + rbVal), true
+		case key < k:
+			x = mem.Addr(c.Load64(x + rbLeft))
+		default:
+			x = mem.Addr(c.Load64(x + rbRight))
+		}
+	}
+	return 0, false
+}
+
+func (t *RBTree) sentinel(m rbMem) mem.Addr { return mem.Addr(m.r(t.header + rbhSentinel)) }
+func (t *RBTree) root(m rbMem) mem.Addr     { return mem.Addr(m.r(t.header + rbhRoot)) }
+
+func (t *RBTree) setRoot(m rbMem, n mem.Addr) { m.w(t.header+rbhRoot, uint64(n)) }
+
+func (t *RBTree) leftRotate(m rbMem, x mem.Addr) {
+	nilN := t.sentinel(m)
+	y := mem.Addr(m.r(x + rbRight))
+	yl := mem.Addr(m.r(y + rbLeft))
+	m.w(x+rbRight, uint64(yl))
+	if yl != nilN {
+		m.w(yl+rbParent, uint64(x))
+	}
+	xp := mem.Addr(m.r(x + rbParent))
+	m.w(y+rbParent, uint64(xp))
+	switch {
+	case xp == nilN:
+		t.setRoot(m, y)
+	case x == mem.Addr(m.r(xp+rbLeft)):
+		m.w(xp+rbLeft, uint64(y))
+	default:
+		m.w(xp+rbRight, uint64(y))
+	}
+	m.w(y+rbLeft, uint64(x))
+	m.w(x+rbParent, uint64(y))
+}
+
+func (t *RBTree) rightRotate(m rbMem, x mem.Addr) {
+	nilN := t.sentinel(m)
+	y := mem.Addr(m.r(x + rbLeft))
+	yr := mem.Addr(m.r(y + rbRight))
+	m.w(x+rbLeft, uint64(yr))
+	if yr != nilN {
+		m.w(yr+rbParent, uint64(x))
+	}
+	xp := mem.Addr(m.r(x + rbParent))
+	m.w(y+rbParent, uint64(xp))
+	switch {
+	case xp == nilN:
+		t.setRoot(m, y)
+	case x == mem.Addr(m.r(xp+rbRight)):
+		m.w(xp+rbRight, uint64(y))
+	default:
+		m.w(xp+rbLeft, uint64(y))
+	}
+	m.w(y+rbRight, uint64(x))
+	m.w(x+rbParent, uint64(y))
+}
+
+func (t *RBTree) insert(m rbMem, key, val uint64) {
+	nilN := t.sentinel(m)
+	y := nilN
+	x := t.root(m)
+	for x != nilN {
+		y = x
+		k := m.r(x + rbKey)
+		switch {
+		case key == k:
+			m.w(x+rbVal, val)
+			return
+		case key < k:
+			x = mem.Addr(m.r(x + rbLeft))
+		default:
+			x = mem.Addr(m.r(x + rbRight))
+		}
+	}
+	z := m.alloc()
+	m.w(z+rbKey, key)
+	m.w(z+rbVal, val)
+	m.w(z+rbLeft, uint64(nilN))
+	m.w(z+rbRight, uint64(nilN))
+	m.w(z+rbParent, uint64(y))
+	m.w(z+rbColor, rbRed)
+	switch {
+	case y == nilN:
+		t.setRoot(m, z)
+	case key < m.r(y+rbKey):
+		m.w(y+rbLeft, uint64(z))
+	default:
+		m.w(y+rbRight, uint64(z))
+	}
+	m.w(t.header+rbhCount, m.r(t.header+rbhCount)+1)
+	t.insertFixup(m, z)
+}
+
+func (t *RBTree) insertFixup(m rbMem, z mem.Addr) {
+	nilN := t.sentinel(m)
+	for {
+		zp := mem.Addr(m.r(z + rbParent))
+		if zp == nilN || m.r(zp+rbColor) != rbRed {
+			break
+		}
+		zpp := mem.Addr(m.r(zp + rbParent))
+		if zp == mem.Addr(m.r(zpp+rbLeft)) {
+			y := mem.Addr(m.r(zpp + rbRight))
+			if y != nilN && m.r(y+rbColor) == rbRed {
+				m.w(zp+rbColor, rbBlack)
+				m.w(y+rbColor, rbBlack)
+				m.w(zpp+rbColor, rbRed)
+				z = zpp
+				continue
+			}
+			if z == mem.Addr(m.r(zp+rbRight)) {
+				z = zp
+				t.leftRotate(m, z)
+				zp = mem.Addr(m.r(z + rbParent))
+				zpp = mem.Addr(m.r(zp + rbParent))
+			}
+			m.w(zp+rbColor, rbBlack)
+			m.w(zpp+rbColor, rbRed)
+			t.rightRotate(m, zpp)
+		} else {
+			y := mem.Addr(m.r(zpp + rbLeft))
+			if y != nilN && m.r(y+rbColor) == rbRed {
+				m.w(zp+rbColor, rbBlack)
+				m.w(y+rbColor, rbBlack)
+				m.w(zpp+rbColor, rbRed)
+				z = zpp
+				continue
+			}
+			if z == mem.Addr(m.r(zp+rbLeft)) {
+				z = zp
+				t.rightRotate(m, z)
+				zp = mem.Addr(m.r(z + rbParent))
+				zpp = mem.Addr(m.r(zp + rbParent))
+			}
+			m.w(zp+rbColor, rbBlack)
+			m.w(zpp+rbColor, rbRed)
+			t.leftRotate(m, zpp)
+		}
+	}
+	root := t.root(m)
+	if m.r(root+rbColor) != rbBlack {
+		m.w(root+rbColor, rbBlack)
+	}
+}
+
+func (t *RBTree) transplant(m rbMem, u, v mem.Addr) {
+	nilN := t.sentinel(m)
+	up := mem.Addr(m.r(u + rbParent))
+	switch {
+	case up == nilN:
+		t.setRoot(m, v)
+	case u == mem.Addr(m.r(up+rbLeft)):
+		m.w(up+rbLeft, uint64(v))
+	default:
+		m.w(up+rbRight, uint64(v))
+	}
+	m.w(v+rbParent, uint64(up))
+}
+
+func (t *RBTree) minimum(m rbMem, x mem.Addr) mem.Addr {
+	nilN := t.sentinel(m)
+	for {
+		l := mem.Addr(m.r(x + rbLeft))
+		if l == nilN {
+			return x
+		}
+		x = l
+	}
+}
+
+func (t *RBTree) delete(m rbMem, key uint64) bool {
+	nilN := t.sentinel(m)
+	z := t.root(m)
+	for z != nilN {
+		k := m.r(z + rbKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = mem.Addr(m.r(z + rbLeft))
+		} else {
+			z = mem.Addr(m.r(z + rbRight))
+		}
+	}
+	if z == nilN {
+		return false
+	}
+	y := z
+	yColor := m.r(y + rbColor)
+	var x mem.Addr
+	if mem.Addr(m.r(z+rbLeft)) == nilN {
+		x = mem.Addr(m.r(z + rbRight))
+		t.transplant(m, z, x)
+	} else if mem.Addr(m.r(z+rbRight)) == nilN {
+		x = mem.Addr(m.r(z + rbLeft))
+		t.transplant(m, z, x)
+	} else {
+		y = t.minimum(m, mem.Addr(m.r(z+rbRight)))
+		yColor = m.r(y + rbColor)
+		x = mem.Addr(m.r(y + rbRight))
+		if mem.Addr(m.r(y+rbParent)) == z {
+			m.w(x+rbParent, uint64(y))
+		} else {
+			t.transplant(m, y, x)
+			zr := mem.Addr(m.r(z + rbRight))
+			m.w(y+rbRight, uint64(zr))
+			m.w(zr+rbParent, uint64(y))
+		}
+		t.transplant(m, z, y)
+		zl := mem.Addr(m.r(z + rbLeft))
+		m.w(y+rbLeft, uint64(zl))
+		m.w(zl+rbParent, uint64(y))
+		m.w(y+rbColor, m.r(z+rbColor))
+	}
+	m.w(t.header+rbhCount, m.r(t.header+rbhCount)-1)
+	if yColor == rbBlack {
+		t.deleteFixup(m, x)
+	}
+	return true
+}
+
+func (t *RBTree) deleteFixup(m rbMem, x mem.Addr) {
+	for x != t.root(m) && m.r(x+rbColor) == rbBlack {
+		xp := mem.Addr(m.r(x + rbParent))
+		if x == mem.Addr(m.r(xp+rbLeft)) {
+			w := mem.Addr(m.r(xp + rbRight))
+			if m.r(w+rbColor) == rbRed {
+				m.w(w+rbColor, rbBlack)
+				m.w(xp+rbColor, rbRed)
+				t.leftRotate(m, xp)
+				w = mem.Addr(m.r(xp + rbRight))
+			}
+			wl := mem.Addr(m.r(w + rbLeft))
+			wr := mem.Addr(m.r(w + rbRight))
+			if m.r(wl+rbColor) == rbBlack && m.r(wr+rbColor) == rbBlack {
+				m.w(w+rbColor, rbRed)
+				x = xp
+				continue
+			}
+			if m.r(wr+rbColor) == rbBlack {
+				m.w(wl+rbColor, rbBlack)
+				m.w(w+rbColor, rbRed)
+				t.rightRotate(m, w)
+				w = mem.Addr(m.r(xp + rbRight))
+				wr = mem.Addr(m.r(w + rbRight))
+			}
+			m.w(w+rbColor, m.r(xp+rbColor))
+			m.w(xp+rbColor, rbBlack)
+			m.w(wr+rbColor, rbBlack)
+			t.leftRotate(m, xp)
+			x = t.root(m)
+		} else {
+			w := mem.Addr(m.r(xp + rbLeft))
+			if m.r(w+rbColor) == rbRed {
+				m.w(w+rbColor, rbBlack)
+				m.w(xp+rbColor, rbRed)
+				t.rightRotate(m, xp)
+				w = mem.Addr(m.r(xp + rbLeft))
+			}
+			wl := mem.Addr(m.r(w + rbLeft))
+			wr := mem.Addr(m.r(w + rbRight))
+			if m.r(wr+rbColor) == rbBlack && m.r(wl+rbColor) == rbBlack {
+				m.w(w+rbColor, rbRed)
+				x = xp
+				continue
+			}
+			if m.r(wl+rbColor) == rbBlack {
+				m.w(wr+rbColor, rbBlack)
+				m.w(w+rbColor, rbRed)
+				t.leftRotate(m, w)
+				w = mem.Addr(m.r(xp + rbLeft))
+				wl = mem.Addr(m.r(w + rbLeft))
+			}
+			m.w(w+rbColor, m.r(xp+rbColor))
+			m.w(xp+rbColor, rbBlack)
+			m.w(wl+rbColor, rbBlack)
+			t.rightRotate(m, xp)
+			x = t.root(m)
+		}
+	}
+	if m.r(x+rbColor) != rbBlack {
+		m.w(x+rbColor, rbBlack)
+	}
+}
+
+// VerifyRBTree checks the red-black invariants in img: BST ordering,
+// no red node with a red child, equal black heights, consistent parent
+// pointers, and count agreement.
+func VerifyRBTree(img *mem.Image, header mem.Addr) error {
+	m := imgMem{img: img}
+	nilN := mem.Addr(m.r(header + rbhSentinel))
+	root := mem.Addr(m.r(header + rbhRoot))
+	if nilN == 0 {
+		return fmt.Errorf("rbtree: nil sentinel pointer")
+	}
+	if root == nilN {
+		if c := m.r(header + rbhCount); c != 0 {
+			return fmt.Errorf("rbtree: empty tree with count %d", c)
+		}
+		return nil
+	}
+	if m.r(root+rbColor) != rbBlack {
+		return fmt.Errorf("rbtree: red root")
+	}
+	count := uint64(0)
+	visited := make(map[mem.Addr]bool)
+	var walk func(n mem.Addr, lo, hi *uint64) (int, error)
+	walk = func(n mem.Addr, lo, hi *uint64) (int, error) {
+		if n == nilN {
+			return 1, nil
+		}
+		if visited[n] {
+			return 0, fmt.Errorf("rbtree: node %#x reachable twice (cycle)", n)
+		}
+		visited[n] = true
+		count++
+		k := m.r(n + rbKey)
+		if lo != nil && k <= *lo {
+			return 0, fmt.Errorf("rbtree: BST violation at key %d (lower bound %d)", k, *lo)
+		}
+		if hi != nil && k >= *hi {
+			return 0, fmt.Errorf("rbtree: BST violation at key %d (upper bound %d)", k, *hi)
+		}
+		color := m.r(n + rbColor)
+		l := mem.Addr(m.r(n + rbLeft))
+		r := mem.Addr(m.r(n + rbRight))
+		for _, ch := range []mem.Addr{l, r} {
+			if ch != nilN {
+				if p := mem.Addr(m.r(ch + rbParent)); p != n {
+					return 0, fmt.Errorf("rbtree: node %#x has wrong parent pointer %#x, want %#x", ch, p, n)
+				}
+				if color == rbRed && m.r(ch+rbColor) == rbRed {
+					return 0, fmt.Errorf("rbtree: red-red violation at key %d", k)
+				}
+			}
+		}
+		lb, err := walk(l, lo, &k)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := walk(r, &k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if lb != rb {
+			return 0, fmt.Errorf("rbtree: black-height mismatch at key %d (%d vs %d)", k, lb, rb)
+		}
+		if color == rbBlack {
+			lb++
+		}
+		return lb, nil
+	}
+	if _, err := walk(root, nil, nil); err != nil {
+		return err
+	}
+	if c := m.r(header + rbhCount); c != count {
+		return fmt.Errorf("rbtree: count field %d but %d reachable nodes", c, count)
+	}
+	return nil
+}

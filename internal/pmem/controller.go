@@ -1,0 +1,191 @@
+// Package pmem models the memory controller of the simulated machine.
+// The PM side is ADR-supported (asynchronous data refresh): once a write
+// is accepted into the controller's write queue it is guaranteed durable,
+// so acceptance is the persistence point. The controller then drains
+// accepted writes to the PM media in the background across PMBanks banks.
+//
+// The DRAM side shares the controller front-end but writes to DRAM are
+// never durable; they simply complete.
+package pmem
+
+import (
+	"strandweaver/internal/config"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/sim"
+)
+
+// WriteAck is invoked when a submitted PM write has been accepted by the
+// controller (i.e. has persisted).
+type WriteAck func()
+
+// ReadDone is invoked when a read request completes.
+type ReadDone func()
+
+type pendingWrite struct {
+	line mem.Addr
+	data [mem.LineSize]byte
+	ack  WriteAck
+}
+
+// Controller is the shared DRAM+PM memory controller.
+type Controller struct {
+	eng     *sim.Engine
+	cfg     config.Config
+	machine *mem.Machine
+
+	// writeQOccupied counts accepted PM writes not yet drained to media.
+	writeQOccupied int
+	// pending holds PM writes that arrived while the write queue was
+	// full; they are accepted FIFO as entries free.
+	pending []pendingWrite
+	// busyBanks counts banks currently writing to media.
+	busyBanks int
+
+	// readsInFlight counts outstanding PM reads (bounded by the read
+	// queue).
+	readsInFlight int
+	pendingReads  []func()
+
+	stats Stats
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	// PMWritesAccepted counts line writes that reached the persistence
+	// domain (flushes plus dirty write-backs).
+	PMWritesAccepted uint64
+	// PMWritesDrained counts line writes completed to media.
+	PMWritesDrained uint64
+	// PMReads counts PM read requests serviced.
+	PMReads uint64
+	// DRAMReads and DRAMWrites count volatile-region traffic.
+	DRAMReads  uint64
+	DRAMWrites uint64
+	// WriteQueueFullEvents counts arrivals that found the write queue
+	// full and had to wait.
+	WriteQueueFullEvents uint64
+	// MaxWriteQueueDepth tracks the high-water mark of the write queue.
+	MaxWriteQueueDepth int
+}
+
+// New returns a controller bound to the engine, configuration and
+// functional machine images.
+func New(eng *sim.Engine, cfg config.Config, machine *mem.Machine) *Controller {
+	return &Controller{eng: eng, cfg: cfg, machine: machine}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// SubmitPMWrite sends the given snapshot of a PM line toward the
+// controller. After the on-chip transit latency the write is accepted as
+// soon as a write-queue entry is free; acceptance persists the data and
+// schedules ack after the acknowledgement latency. ack may be nil.
+func (c *Controller) SubmitPMWrite(line mem.Addr, data [mem.LineSize]byte, ack WriteAck) {
+	if !mem.IsPM(line) {
+		// Flush of a volatile line: no durability action; ack after the
+		// same round trip so timing stays uniform.
+		c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles+c.cfg.PMAckCycles), func() {
+			if ack != nil {
+				ack()
+			}
+		})
+		return
+	}
+	c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles), func() {
+		c.arrive(pendingWrite{line: line, data: data, ack: ack})
+	})
+}
+
+func (c *Controller) arrive(w pendingWrite) {
+	if c.writeQOccupied >= c.cfg.PMWriteQueueEntries {
+		c.stats.WriteQueueFullEvents++
+		c.pending = append(c.pending, w)
+		return
+	}
+	c.accept(w)
+}
+
+// accept is the persistence point.
+func (c *Controller) accept(w pendingWrite) {
+	c.writeQOccupied++
+	if c.writeQOccupied > c.stats.MaxWriteQueueDepth {
+		c.stats.MaxWriteQueueDepth = c.writeQOccupied
+	}
+	c.stats.PMWritesAccepted++
+	c.machine.PersistLineData(w.line, &w.data)
+	if w.ack != nil {
+		ack := w.ack
+		c.eng.Schedule(sim.Cycle(c.cfg.PMAckCycles), sim.Event(ack))
+	}
+	c.tryDrain()
+}
+
+// tryDrain starts media writes on free banks.
+func (c *Controller) tryDrain() {
+	for c.busyBanks < c.cfg.PMBanks && c.writeQOccupied-c.busyBanks > 0 {
+		c.busyBanks++
+		c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToMediaCycles), c.mediaWriteDone)
+	}
+}
+
+func (c *Controller) mediaWriteDone() {
+	c.busyBanks--
+	c.writeQOccupied--
+	c.stats.PMWritesDrained++
+	// A queue entry freed: accept a waiting arrival, oldest first.
+	if len(c.pending) > 0 && c.writeQOccupied < c.cfg.PMWriteQueueEntries {
+		w := c.pending[0]
+		copy(c.pending, c.pending[1:])
+		c.pending = c.pending[:len(c.pending)-1]
+		c.accept(w)
+	}
+	c.tryDrain()
+}
+
+// SubmitRead requests a line fill from memory. For PM addresses the
+// Table-I read latency applies and the read queue bounds concurrency;
+// DRAM reads use the DRAM latency and are unbounded (DRAM bandwidth is
+// not the bottleneck in any modelled workload).
+func (c *Controller) SubmitRead(line mem.Addr, done ReadDone) {
+	if done == nil {
+		panic("pmem: SubmitRead with nil completion")
+	}
+	if !mem.IsPM(line) {
+		c.stats.DRAMReads++
+		c.eng.Schedule(sim.Cycle(c.cfg.DRAMReadCycles), sim.Event(done))
+		return
+	}
+	start := func() {
+		c.readsInFlight++
+		c.eng.Schedule(sim.Cycle(c.cfg.PMReadCycles), func() {
+			c.readsInFlight--
+			c.stats.PMReads++
+			done()
+			if len(c.pendingReads) > 0 {
+				next := c.pendingReads[0]
+				copy(c.pendingReads, c.pendingReads[1:])
+				c.pendingReads = c.pendingReads[:len(c.pendingReads)-1]
+				next()
+			}
+		})
+	}
+	if c.readsInFlight >= c.cfg.PMReadQueueEntries {
+		c.pendingReads = append(c.pendingReads, start)
+		return
+	}
+	start()
+}
+
+// SubmitDRAMWrite absorbs a volatile write-back; DRAM writes complete
+// without modelled back-pressure.
+func (c *Controller) SubmitDRAMWrite(line mem.Addr) {
+	c.stats.DRAMWrites++
+}
+
+// WriteQueueDepth reports current write-queue occupancy (accepted,
+// undrained writes).
+func (c *Controller) WriteQueueDepth() int { return c.writeQOccupied }
+
+// PendingArrivals reports writes waiting for a free write-queue entry.
+func (c *Controller) PendingArrivals() int { return len(c.pending) }

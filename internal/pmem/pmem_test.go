@@ -1,0 +1,156 @@
+package pmem
+
+import (
+	"testing"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/sim"
+)
+
+func newCtrl() (*sim.Engine, *Controller, *mem.Machine, config.Config) {
+	eng := sim.NewEngine()
+	cfg := config.Default()
+	m := mem.NewMachine()
+	return eng, New(eng, cfg, m), m, cfg
+}
+
+func lineData(b byte) [mem.LineSize]byte {
+	var d [mem.LineSize]byte
+	for i := range d {
+		d[i] = b
+	}
+	return d
+}
+
+func TestWriteAcceptanceIsPersistencePoint(t *testing.T) {
+	eng, c, m, cfg := newCtrl()
+	line := mem.PMBase
+	acked := sim.Cycle(0)
+	c.SubmitPMWrite(line, lineData(7), func() { acked = eng.Now() })
+	eng.Run(0)
+	if m.Persistent.ByteAt(line) != 7 {
+		t.Error("write did not persist")
+	}
+	wantAck := sim.Cycle(cfg.PMWriteToControllerCycles + cfg.PMAckCycles)
+	if acked != wantAck {
+		t.Errorf("ack at %d, want %d", acked, wantAck)
+	}
+	st := c.Stats()
+	if st.PMWritesAccepted != 1 || st.PMWritesDrained != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestWriteSnapshotNotCurrentValue(t *testing.T) {
+	eng, c, m, _ := newCtrl()
+	line := mem.PMBase
+	m.Volatile.SetByte(line, 99) // newer volatile value
+	c.SubmitPMWrite(line, lineData(7), nil)
+	eng.Run(0)
+	if got := m.Persistent.ByteAt(line); got != 7 {
+		t.Errorf("persisted %d, want the snapshot 7", got)
+	}
+}
+
+func TestDRAMLineFlushIsNotDurable(t *testing.T) {
+	eng, c, m, _ := newCtrl()
+	line := mem.DRAMBase
+	acked := false
+	c.SubmitPMWrite(line, lineData(3), func() { acked = true })
+	eng.Run(0)
+	if !acked {
+		t.Error("DRAM flush not acknowledged")
+	}
+	if m.Persistent.ByteAt(line) != 0 {
+		t.Error("DRAM flush persisted")
+	}
+	if c.Stats().PMWritesAccepted != 0 {
+		t.Error("DRAM flush counted as PM write")
+	}
+}
+
+func TestWriteQueueBackPressure(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := config.Default()
+	cfg.PMWriteQueueEntries = 4
+	cfg.PMBanks = 1
+	m := mem.NewMachine()
+	c := New(eng, cfg, m)
+	n := 12
+	ackTimes := make([]sim.Cycle, 0, n)
+	for i := 0; i < n; i++ {
+		line := mem.PMBase + mem.Addr(i*mem.LineSize)
+		c.SubmitPMWrite(line, lineData(byte(i)), func() { ackTimes = append(ackTimes, eng.Now()) })
+	}
+	eng.Run(0)
+	if len(ackTimes) != n {
+		t.Fatalf("%d acks, want %d", len(ackTimes), n)
+	}
+	st := c.Stats()
+	if st.WriteQueueFullEvents == 0 {
+		t.Error("expected write-queue-full events with a 4-entry queue and 1 bank")
+	}
+	if st.MaxWriteQueueDepth > 4 {
+		t.Errorf("queue depth %d exceeded capacity 4", st.MaxWriteQueueDepth)
+	}
+	// Later acks must be substantially delayed by the serialised media.
+	last := ackTimes[len(ackTimes)-1]
+	if uint64(last) < 8*cfg.PMWriteToMediaCycles {
+		t.Errorf("last ack at %d: media serialisation not modelled", last)
+	}
+	// All data eventually persisted.
+	for i := 0; i < n; i++ {
+		line := mem.PMBase + mem.Addr(i*mem.LineSize)
+		if m.Persistent.ByteAt(line) != byte(i) {
+			t.Errorf("line %d lost", i)
+		}
+	}
+}
+
+func TestReadLatencyAndQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := config.Default()
+	cfg.PMReadQueueEntries = 2
+	m := mem.NewMachine()
+	c := New(eng, cfg, m)
+	var done []sim.Cycle
+	for i := 0; i < 5; i++ {
+		c.SubmitRead(mem.PMBase+mem.Addr(i*64), func() { done = append(done, eng.Now()) })
+	}
+	eng.Run(0)
+	if len(done) != 5 {
+		t.Fatalf("%d reads completed", len(done))
+	}
+	if done[0] != sim.Cycle(cfg.PMReadCycles) {
+		t.Errorf("first read at %d, want %d", done[0], cfg.PMReadCycles)
+	}
+	// With a 2-entry read queue, the 5th read completes in the 3rd wave.
+	if done[4] < sim.Cycle(3*cfg.PMReadCycles) {
+		t.Errorf("read queue not limiting concurrency: 5th at %d", done[4])
+	}
+	if c.Stats().PMReads != 5 {
+		t.Errorf("PMReads = %d", c.Stats().PMReads)
+	}
+}
+
+func TestDRAMReadLatency(t *testing.T) {
+	eng, c, _, cfg := newCtrl()
+	var at sim.Cycle
+	c.SubmitRead(mem.DRAMBase, func() { at = eng.Now() })
+	eng.Run(0)
+	if at != sim.Cycle(cfg.DRAMReadCycles) {
+		t.Errorf("DRAM read at %d, want %d", at, cfg.DRAMReadCycles)
+	}
+}
+
+func TestSameLineWritesLastWins(t *testing.T) {
+	eng, c, m, _ := newCtrl()
+	line := mem.PMBase
+	c.SubmitPMWrite(line, lineData(1), nil)
+	c.SubmitPMWrite(line, lineData(2), nil)
+	eng.Run(0)
+	if got := m.Persistent.ByteAt(line); got != 2 {
+		t.Errorf("persisted %d, want 2 (submission order)", got)
+	}
+}

@@ -1,0 +1,103 @@
+package pmo
+
+import "testing"
+
+// TestFigure1Orderings reproduces the paper's Figure 1(e-g) argument:
+// the desired ordering — persist A before B, with C concurrent to both
+// — is expressible under strand persistency but NOT under epoch
+// persistency, whichever epoch C is placed in.
+//
+// Epoch persistency is encoded in the model as persist barriers without
+// NewStrand (an epoch boundary orders everything before it with
+// everything after it, which is exactly Equation 1 with no NS).
+func TestFigure1Orderings(t *testing.T) {
+	// Desired (Figure 1e): A -> B ordered; C free.
+	ideal := Program{{St(0, 1), PB(), St(1, 1), NS(), St(2, 1)}}
+	idealStates := AllowedStates(ideal)
+
+	// Epoch option 1 (Figure 1f): C in the first epoch with A.
+	epoch1 := Program{{St(0, 1), St(2, 1), PB(), St(1, 1)}}
+	// Epoch option 2 (Figure 1g): C in the second epoch with B.
+	epoch2 := Program{{St(0, 1), PB(), St(1, 1), St(2, 1)}}
+
+	for name, p := range map[string]Program{"C-in-epoch-1": epoch1, "C-in-epoch-2": epoch2} {
+		states := AllowedStates(p)
+		// Every epoch-allowed state must be ideal-allowed (epochs only
+		// ADD constraints relative to the ideal)...
+		for k := range states {
+			if _, ok := idealStates[k]; !ok {
+				t.Errorf("%s: allows %q which the ideal ordering forbids", name, k)
+			}
+		}
+		// ...and the epoch placement must LOSE at least one ideal state:
+		// the precise-ordering expressiveness gap of Figure 1(f,g).
+		lost := false
+		for k := range idealStates {
+			if _, ok := states[k]; !ok {
+				lost = true
+				break
+			}
+		}
+		if !lost {
+			t.Errorf("%s: epoch placement did not restrict the ideal ordering", name)
+		}
+	}
+
+	// The specific losses called out by the figure:
+	// option 1 orders C before B: state {A,B} without C becomes forbidden.
+	if Allowed(epoch1, State{0: 1, 1: 1}) {
+		t.Error("epoch-1 placement should forbid A,B-without-C (C is ordered before B)")
+	}
+	if !Allowed(ideal, State{0: 1, 1: 1}) {
+		t.Error("ideal ordering must allow A,B-without-C")
+	}
+	// option 2 orders A before C: state {C} alone becomes forbidden.
+	if Allowed(epoch2, State{2: 1}) {
+		t.Error("epoch-2 placement should forbid C-alone (A is ordered before C)")
+	}
+	if !Allowed(ideal, State{2: 1}) {
+		t.Error("ideal ordering must allow C-alone")
+	}
+}
+
+// TestFigure1LoggingIdeal encodes Figure 1(d)'s ideal constraints for
+// two log/update pairs: L_A -> A and L_B -> B pairwise only. The
+// strand encoding must allow the cross-pair reorderings SFENCE forbids.
+func TestFigure1LoggingIdeal(t *testing.T) {
+	const (
+		locLA = 0
+		locA  = 1
+		locLB = 2
+		locB  = 3
+	)
+	strand := Program{{
+		St(locLA, 1), PB(), St(locA, 1), NS(),
+		St(locLB, 1), PB(), St(locB, 1),
+	}}
+	// Pairwise ordering enforced:
+	expect := func(s State, want bool, why string) {
+		t.Helper()
+		if got := Allowed(strand, s); got != want {
+			t.Errorf("state %q allowed=%v want %v (%s)", s.Key(), got, want, why)
+		}
+	}
+	expect(State{locA: 1}, false, "A without its log")
+	expect(State{locB: 1}, false, "B without its log")
+	// Cross-pair concurrency allowed (what SFENCE would forbid):
+	expect(State{locLB: 1, locB: 1}, true, "pair B completes before pair A starts persisting")
+	expect(State{locLB: 1}, true, "log B persists before log A")
+	expect(State{locLA: 1, locA: 1, locLB: 1, locB: 1}, true, "both pairs complete")
+
+	// The Intel encoding (SFENCEs = epoch barriers, no strands)
+	// serialises the pairs: log B cannot persist before log A.
+	intel := Program{{
+		St(locLA, 1), PB(), St(locA, 1), PB(),
+		St(locLB, 1), PB(), St(locB, 1),
+	}}
+	if Allowed(intel, State{locLB: 1}) {
+		t.Error("epoch encoding should forbid log-B-first")
+	}
+	if Allowed(intel, State{locLB: 1, locB: 1}) {
+		t.Error("epoch encoding should forbid pair-B-first")
+	}
+}

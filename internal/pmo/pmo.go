@@ -1,0 +1,276 @@
+// Package pmo is an executable formal model of the strand persistency
+// memory model (paper Section III): it builds the persist memory order
+// (PMO) prescribed by Equations 1-4 over a small multi-threaded program
+// and enumerates every post-crash PM state the model allows. The timing
+// simulator is cross-validated against this checker: any crash state the
+// hardware produces must be allowed here.
+//
+// The model works at the abstraction of the paper's Figure 2: a "store"
+// is a persist (the flush is implicit), loads participate in ordering
+// only through Equations 1-2 and transitivity (never through strong
+// persist atomicity), and volatile memory order (VMO) is a total
+// interleaving of the threads' program orders (TSO without store
+// buffering, which is conservative for visibility and exact for the
+// litmus shapes of Figure 2).
+package pmo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates abstract litmus operations.
+type Kind uint8
+
+const (
+	// KStore persists a value to a location.
+	KStore Kind = iota
+	// KLoad reads a location (orders only via Eq. 1-2 + transitivity).
+	KLoad
+	// KPB is a persist barrier.
+	KPB
+	// KNS is NewStrand.
+	KNS
+	// KJS is JoinStrand.
+	KJS
+)
+
+// Op is one abstract operation.
+type Op struct {
+	Kind Kind
+	// Loc is the persistent location (stores/loads only).
+	Loc int
+	// Val is the stored value (stores only); values should be unique per
+	// location per program for unambiguous states.
+	Val uint64
+	// Label optionally names the op in diagnostics.
+	Label string
+}
+
+// St returns a store op.
+func St(loc int, val uint64) Op { return Op{Kind: KStore, Loc: loc, Val: val} }
+
+// Ld returns a load op.
+func Ld(loc int) Op { return Op{Kind: KLoad, Loc: loc} }
+
+// PB returns a persist barrier.
+func PB() Op { return Op{Kind: KPB} }
+
+// NS returns a NewStrand.
+func NS() Op { return Op{Kind: KNS} }
+
+// JS returns a JoinStrand.
+func JS() Op { return Op{Kind: KJS} }
+
+// Program is one abstract op sequence per thread.
+type Program [][]Op
+
+// State maps location to its post-crash value; locations absent from the
+// map hold the initial value 0.
+type State map[int]uint64
+
+// Key renders a canonical string for set membership and diagnostics.
+func (s State) Key() string {
+	locs := make([]int, 0, len(s))
+	for l, v := range s {
+		if v != 0 {
+			locs = append(locs, l)
+		}
+	}
+	sort.Ints(locs)
+	var b strings.Builder
+	for i, l := range locs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d=%d", l, s[l])
+	}
+	return b.String()
+}
+
+// event is a dynamic op instance within one interleaving.
+type event struct {
+	op     Op
+	thread int
+	// progIdx is the index in the thread's program.
+	progIdx int
+	// vmoIdx is the position in the chosen total visibility order.
+	vmoIdx int
+}
+
+// AllowedStates returns every crash state reachable under some
+// interleaving and some PMO-downward-closed persist set. Programs must
+// stay small (the enumeration is exponential); litmus tests use at most
+// ~12 operations.
+func AllowedStates(p Program) map[string]State {
+	total := 0
+	for _, t := range p {
+		total += len(t)
+	}
+	if total > 16 {
+		panic(fmt.Sprintf("pmo: program too large for exhaustive checking (%d ops)", total))
+	}
+	out := make(map[string]State)
+	idx := make([]int, len(p))
+	var inter []event
+	var rec func()
+	rec = func() {
+		done := true
+		for t := range p {
+			if idx[t] < len(p[t]) {
+				done = false
+				ev := event{op: p[t][idx[t]], thread: t, progIdx: idx[t], vmoIdx: len(inter)}
+				idx[t]++
+				inter = append(inter, ev)
+				rec()
+				inter = inter[:len(inter)-1]
+				idx[t]--
+			}
+		}
+		if done {
+			for key, st := range statesOfInterleaving(p, inter) {
+				out[key] = st
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+// statesOfInterleaving computes the allowed crash states for one total
+// visibility order.
+func statesOfInterleaving(p Program, inter []event) map[string]State {
+	// Collect memory events (PMO nodes).
+	var nodes []event
+	for _, e := range inter {
+		if e.op.Kind == KStore || e.op.Kind == KLoad {
+			nodes = append(nodes, e)
+		}
+	}
+	n := len(nodes)
+	ord := make([][]bool, n)
+	for i := range ord {
+		ord[i] = make([]bool, n)
+	}
+	// Equations 1 and 2: same-thread ordering via PB (without intervening
+	// NS) or via JS.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a, b := nodes[i], nodes[j]
+			if a.thread != b.thread || a.progIdx >= b.progIdx {
+				continue
+			}
+			prog := p[a.thread]
+			hasPB, hasNS, hasJS := false, false, false
+			for k := a.progIdx + 1; k < b.progIdx; k++ {
+				switch prog[k].Kind {
+				case KPB:
+					hasPB = true
+				case KNS:
+					hasNS = true
+				case KJS:
+					hasJS = true
+				}
+			}
+			if hasJS || (hasPB && !hasNS) {
+				ord[i][j] = true
+			}
+		}
+	}
+	// Equation 3: strong persist atomicity — conflicting stores ordered
+	// by visibility.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a, b := nodes[i], nodes[j]
+			if a.op.Kind == KStore && b.op.Kind == KStore &&
+				a.op.Loc == b.op.Loc && a.vmoIdx < b.vmoIdx {
+				ord[i][j] = true
+			}
+		}
+	}
+	// Equation 4: transitivity.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !ord[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if ord[k][j] {
+					ord[i][j] = true
+				}
+			}
+		}
+	}
+	// Persist indices.
+	var persists []int
+	for i, e := range nodes {
+		if e.op.Kind == KStore {
+			persists = append(persists, i)
+		}
+	}
+	out := make(map[string]State)
+	// Enumerate downward-closed persist subsets: subset S is a valid
+	// crash cut iff for every included persist, every PMO-smaller persist
+	// is included.
+	for mask := 0; mask < 1<<len(persists); mask++ {
+		ok := true
+		for bi, i := range persists {
+			if mask&(1<<bi) == 0 {
+				continue
+			}
+			for bj, j := range persists {
+				if mask&(1<<bj) == 0 && ord[j][i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		st := make(State)
+		for bi, i := range persists {
+			if mask&(1<<bi) == 0 {
+				continue
+			}
+			e := nodes[i]
+			// Strong persist atomicity makes same-location persists
+			// visibility-ordered; the state holds the latest included one.
+			cur, seen := st[e.op.Loc]
+			_ = cur
+			if !seen || laterSameLoc(nodes, persists, mask, e) {
+				st[e.op.Loc] = e.op.Val
+			}
+		}
+		out[st.Key()] = st
+	}
+	return out
+}
+
+// laterSameLoc reports whether e is the visibility-latest included store
+// to its location.
+func laterSameLoc(nodes []event, persists []int, mask int, e event) bool {
+	for bi, i := range persists {
+		if mask&(1<<bi) == 0 {
+			continue
+		}
+		o := nodes[i]
+		if o.op.Loc == e.op.Loc && o.vmoIdx > e.vmoIdx {
+			return false
+		}
+	}
+	return true
+}
+
+// Allowed reports whether state is reachable for the program.
+func Allowed(p Program, state State) bool {
+	_, ok := AllowedStates(p)[state.Key()]
+	return ok
+}
+
+// Forbidden is the negation of Allowed, for litmus-test readability.
+func Forbidden(p Program, state State) bool { return !Allowed(p, state) }

@@ -1,0 +1,183 @@
+package pmo
+
+import "testing"
+
+// Locations used by the Figure 2 litmus programs.
+const (
+	locA = iota
+	locB
+	locC
+)
+
+func expectAllowed(t *testing.T, p Program, s State, want bool) {
+	t.Helper()
+	if got := Allowed(p, s); got != want {
+		states := AllowedStates(p)
+		t.Errorf("state %q allowed=%v, want %v (allowed set: %d states)", s.Key(), got, want, len(states))
+		for k := range states {
+			t.Logf("  allowed: %q", k)
+		}
+	}
+}
+
+// TestLitmusFigure2AB: persist barrier orders A before B within strand 0;
+// NewStrand makes C concurrent to both.
+//
+//	ST A; PB; ST B; NS; ST C
+func TestLitmusFigure2AB(t *testing.T) {
+	p := Program{{St(locA, 1), PB(), St(locB, 1), NS(), St(locC, 1)}}
+	// B without A is the forbidden state from Figure 2(b).
+	expectAllowed(t, p, State{locB: 1}, false)
+	expectAllowed(t, p, State{locB: 1, locC: 1}, false)
+	// C may persist before A and B (separate strand).
+	expectAllowed(t, p, State{locC: 1}, true)
+	expectAllowed(t, p, State{locA: 1, locC: 1}, true)
+	expectAllowed(t, p, State{locA: 1}, true)
+	expectAllowed(t, p, State{}, true)
+	expectAllowed(t, p, State{locA: 1, locB: 1, locC: 1}, true)
+}
+
+// TestLitmusFigure2CD: JoinStrand orders persists on both prior strands
+// before C.
+//
+//	ST A; NS; ST B; JS; ST C
+func TestLitmusFigure2CD(t *testing.T) {
+	p := Program{{St(locA, 1), NS(), St(locB, 1), JS(), St(locC, 1)}}
+	// Figure 2(d): C persisted while A or B missing is forbidden.
+	expectAllowed(t, p, State{locC: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locC: 1}, false)
+	expectAllowed(t, p, State{locB: 1, locC: 1}, false)
+	// A and B are mutually unordered.
+	expectAllowed(t, p, State{locA: 1}, true)
+	expectAllowed(t, p, State{locB: 1}, true)
+	expectAllowed(t, p, State{locA: 1, locB: 1}, true)
+	expectAllowed(t, p, State{locA: 1, locB: 1, locC: 1}, true)
+}
+
+// TestLitmusFigure2EF: strong persist atomicity orders the two stores to
+// A across strands (program order = visibility order); transitivity then
+// orders B after the first store to A.
+//
+//	ST A=1; NS; ST A=2; PB; ST B
+func TestLitmusFigure2EF(t *testing.T) {
+	p := Program{{St(locA, 1), NS(), St(locA, 2), PB(), St(locB, 1)}}
+	// Figure 2(f): B persisted while A still holds the first value (or
+	// no value) is forbidden.
+	expectAllowed(t, p, State{locB: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locB: 1}, false)
+	expectAllowed(t, p, State{locA: 2, locB: 1}, true)
+	expectAllowed(t, p, State{locA: 1}, true)
+	expectAllowed(t, p, State{locA: 2}, true)
+}
+
+// TestLitmusFigure2GH: a conflicting load does NOT establish persist
+// order: B may persist before A even though the load of A is program-
+// ordered between them.
+//
+//	ST A; NS; LD A; PB; ST B
+func TestLitmusFigure2GH(t *testing.T) {
+	p := Program{{St(locA, 1), NS(), Ld(locA), PB(), St(locB, 1)}}
+	// Figure 2(h): (A=0, B=1) is NOT forbidden.
+	expectAllowed(t, p, State{locB: 1}, true)
+	expectAllowed(t, p, State{locA: 1, locB: 1}, true)
+	expectAllowed(t, p, State{locA: 1}, true)
+}
+
+// TestLitmusFigure2GHWriteSemantics: replacing the load with a store
+// (read-modify-write has write semantics) re-establishes the order, as
+// the paper notes.
+func TestLitmusFigure2GHWriteSemantics(t *testing.T) {
+	p := Program{{St(locA, 1), NS(), St(locA, 2), PB(), St(locB, 1)}}
+	expectAllowed(t, p, State{locB: 1}, false)
+}
+
+// TestLitmusFigure2IJ: inter-thread strong persist atomicity. Thread 0
+// persists A and B on separate strands; thread 1 persists B then C with
+// a persist barrier. Whatever the visibility order of the two B stores,
+// C cannot persist while B holds its initial value.
+//
+//	T0: ST A; NS; ST B=1        T1: ST B=2; PB; ST C
+func TestLitmusFigure2IJ(t *testing.T) {
+	p := Program{
+		{St(locA, 1), NS(), St(locB, 1)},
+		{St(locB, 2), PB(), St(locC, 1)},
+	}
+	// Figure 2(j): C persisted with B unwritten is forbidden in every
+	// interleaving.
+	expectAllowed(t, p, State{locC: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locC: 1}, false)
+	// A is concurrent with everything on thread 1.
+	expectAllowed(t, p, State{locA: 1}, true)
+	expectAllowed(t, p, State{locB: 2, locC: 1}, true)
+	// If B=1 became visible after B=2, both B stores persist before C.
+	expectAllowed(t, p, State{locB: 1, locC: 1}, true)
+	expectAllowed(t, p, State{locB: 1}, true)
+	expectAllowed(t, p, State{locB: 2}, true)
+}
+
+// TestNewStrandClearsBarrier: a NewStrand between two ops removes the
+// persist-barrier edge even if the barrier is still between them.
+func TestNewStrandClearsBarrier(t *testing.T) {
+	// ST A; PB; NS; ST B: NS after the PB clears ordering to B.
+	p := Program{{St(locA, 1), PB(), NS(), St(locB, 1)}}
+	expectAllowed(t, p, State{locB: 1}, true)
+	// ST A; NS; PB; ST B: the barrier is on the new strand; A is on the
+	// old strand, so still unordered.
+	p2 := Program{{St(locA, 1), NS(), PB(), St(locB, 1)}}
+	expectAllowed(t, p2, State{locB: 1}, true)
+	// Control: ST A; PB; ST B is ordered.
+	p3 := Program{{St(locA, 1), PB(), St(locB, 1)}}
+	expectAllowed(t, p3, State{locB: 1}, false)
+}
+
+// TestTransitivityAcrossThreads: A ordered before B on thread 0 (PB),
+// SPA orders B across threads, PB orders C after B on thread 1 — so A
+// must persist before C (Equation 4 chain).
+func TestTransitivityAcrossThreads(t *testing.T) {
+	p := Program{
+		{St(locA, 1), PB(), St(locB, 1)},
+		{St(locB, 2), PB(), St(locC, 1)},
+	}
+	// In the interleaving where B=1 is visible before B=2:
+	// A ≤p B1 ≤p B2 ≤p C. In the other interleaving C only needs B2.
+	// So C=1 with A=0 and B=2 is allowed (second interleaving), but
+	// C=1 with B=1 present and A=0 is forbidden (B1 persisted means
+	// B1 was visible first... note B=1 final requires B2 before B1).
+	expectAllowed(t, p, State{locB: 2, locC: 1}, true)
+	// B final value 1 means B1 was SPA-last; including B1 drags in its
+	// PMO predecessors — A (thread-0 barrier) and B2 — so B=1 without A
+	// is forbidden, with A allowed.
+	expectAllowed(t, p, State{locB: 1, locC: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locB: 1, locC: 1}, true)
+	// C with no B at all is forbidden: C requires B2 in every
+	// interleaving.
+	expectAllowed(t, p, State{locC: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locC: 1}, false)
+}
+
+// TestJoinStrandEmptyAndDegenerate: degenerate programs behave sanely.
+func TestJoinStrandEmptyAndDegenerate(t *testing.T) {
+	// Empty program: only the empty state.
+	states := AllowedStates(Program{{}})
+	if len(states) != 1 {
+		t.Fatalf("empty program: %d states, want 1", len(states))
+	}
+	if _, ok := states[State{}.Key()]; !ok {
+		t.Fatalf("empty program should allow the initial state")
+	}
+	// Lone store: persisted or not.
+	states = AllowedStates(Program{{St(locA, 1)}})
+	if len(states) != 2 {
+		t.Fatalf("single store: %d states, want 2", len(states))
+	}
+}
+
+// TestBackToBackBarriers: consecutive persist barriers chain strictly.
+func TestBackToBackBarriers(t *testing.T) {
+	p := Program{{St(locA, 1), PB(), St(locB, 1), PB(), St(locC, 1)}}
+	expectAllowed(t, p, State{locC: 1}, false)
+	expectAllowed(t, p, State{locB: 1, locC: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locB: 1, locC: 1}, true)
+	expectAllowed(t, p, State{locA: 1, locC: 1}, false)
+	expectAllowed(t, p, State{locA: 1, locB: 1}, true)
+}

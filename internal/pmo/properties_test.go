@@ -1,0 +1,195 @@
+package pmo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomProgram draws a small single- or two-thread program.
+func randomProgram(r *rand.Rand) Program {
+	threads := 1 + r.Intn(2)
+	val := uint64(1)
+	var p Program
+	budget := 8
+	for t := 0; t < threads; t++ {
+		n := 2 + r.Intn(3)
+		if n > budget {
+			n = budget
+		}
+		budget -= n
+		var ops []Op
+		for i := 0; i < n; i++ {
+			switch r.Intn(8) {
+			case 0, 1, 2:
+				ops = append(ops, St(r.Intn(3), val))
+				val++
+			case 3:
+				ops = append(ops, Ld(r.Intn(3)))
+			case 4, 5:
+				ops = append(ops, PB())
+			case 6:
+				ops = append(ops, NS())
+			default:
+				ops = append(ops, JS())
+			}
+		}
+		p = append(p, ops)
+	}
+	return p
+}
+
+func finalState(p Program) State {
+	// The state where every store persisted: per location, any
+	// sequentially consistent execution's last writer. With unique
+	// values we just need SOME allowed full state; instead assert via
+	// membership of the all-persist cut of program order (thread-major
+	// interleaving).
+	st := make(State)
+	for _, th := range p {
+		for _, op := range th {
+			if op.Kind == KStore {
+				st[op.Loc] = op.Val
+			}
+		}
+	}
+	return st
+}
+
+// TestEmptyStateAlwaysAllowed: the crash-at-time-zero state (nothing
+// persisted) is allowed for every program.
+func TestEmptyStateAlwaysAllowed(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		p := randomProgram(r)
+		if !Allowed(p, State{}) {
+			t.Fatalf("program %v forbids the empty state", p)
+		}
+	}
+}
+
+// TestSomeFullStateAllowed: for single-thread programs, the state where
+// everything persisted with program-order last-writers is allowed
+// (crash after completion).
+func TestSomeFullStateAllowed(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		p := randomProgram(r)
+		if len(p) != 1 {
+			continue
+		}
+		if !Allowed(p, finalState(p)) {
+			t.Fatalf("single-thread program %v forbids its final state %v", p, finalState(p))
+		}
+	}
+}
+
+// TestJoinStrandOnlyRestricts: inserting a JoinStrand anywhere can only
+// shrink (or preserve) the allowed state set.
+func TestJoinStrandOnlyRestricts(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		p := randomProgram(r)
+		base := AllowedStates(p)
+		// Insert a JS at a random point of thread 0.
+		pos := r.Intn(len(p[0]) + 1)
+		var aug []Op
+		aug = append(aug, p[0][:pos]...)
+		aug = append(aug, JS())
+		aug = append(aug, p[0][pos:]...)
+		p2 := make(Program, len(p))
+		copy(p2, p)
+		p2[0] = aug
+		restricted := AllowedStates(p2)
+		for k := range restricted {
+			if _, ok := base[k]; !ok {
+				t.Fatalf("JS introduced new state %q:\nbase %v\naug %v", k, p, p2)
+			}
+		}
+	}
+}
+
+// TestNewStrandOnlyRelaxes: inserting a NewStrand can only grow (or
+// preserve) the allowed state set.
+func TestNewStrandOnlyRelaxes(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 60; i++ {
+		p := randomProgram(r)
+		base := AllowedStates(p)
+		pos := r.Intn(len(p[0]) + 1)
+		var aug []Op
+		aug = append(aug, p[0][:pos]...)
+		aug = append(aug, NS())
+		aug = append(aug, p[0][pos:]...)
+		p2 := make(Program, len(p))
+		copy(p2, p)
+		p2[0] = aug
+		relaxed := AllowedStates(p2)
+		for k := range base {
+			if _, ok := relaxed[k]; !ok {
+				t.Fatalf("NS removed state %q:\nbase %v\naug %v", k, p, p2)
+			}
+		}
+	}
+}
+
+// TestRemovingBarrierOnlyRelaxes: deleting a persist barrier can only
+// grow the allowed set.
+func TestRemovingBarrierOnlyRelaxes(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 200 && checked < 40; i++ {
+		p := randomProgram(r)
+		idx := -1
+		for j, op := range p[0] {
+			if op.Kind == KPB {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		checked++
+		base := AllowedStates(p)
+		p2 := make(Program, len(p))
+		copy(p2, p)
+		p2[0] = append(append([]Op{}, p[0][:idx]...), p[0][idx+1:]...)
+		relaxed := AllowedStates(p2)
+		for k := range base {
+			if _, ok := relaxed[k]; !ok {
+				t.Fatalf("removing PB removed state %q:\nbase %v\nrelaxed %v", k, p, p2)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no PB-bearing programs drawn")
+	}
+}
+
+// TestStrictChainIsTotalOrder: ST;PB;ST;PB;...;ST allows exactly the
+// n+1 prefix states.
+func TestStrictChainIsTotalOrder(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		var ops []Op
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				ops = append(ops, PB())
+			}
+			ops = append(ops, St(i, uint64(i+1)))
+		}
+		states := AllowedStates(Program{ops})
+		if len(states) != n+1 {
+			t.Errorf("chain of %d: %d states, want %d", n, len(states), n+1)
+		}
+	}
+}
+
+// TestAllStrandsFullyConcurrent: NS-separated stores allow the full
+// power set of persist subsets.
+func TestAllStrandsFullyConcurrent(t *testing.T) {
+	p := Program{{St(0, 1), NS(), St(1, 1), NS(), St(2, 1)}}
+	states := AllowedStates(p)
+	if len(states) != 8 {
+		t.Errorf("3 unordered persists allow %d states, want 8", len(states))
+	}
+}

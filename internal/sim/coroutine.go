@@ -1,0 +1,143 @@
+package sim
+
+// Coroutine bridges a goroutine into the discrete-event engine so that a
+// simulated hardware thread can be written as straight-line Go code.
+//
+// The contract: exactly one party runs at a time. The engine resumes the
+// coroutine with resume(); the coroutine runs until it calls Yield (or
+// returns), at which point control passes back to the engine. The
+// coroutine re-enters the event loop via engine.Schedule callbacks that
+// call resume again. This is cooperative scheduling, so the simulation
+// stays fully deterministic.
+type Coroutine struct {
+	eng      *Engine
+	resumeCh chan struct{}
+	yieldCh  chan struct{}
+	done     bool
+	aborted  bool
+}
+
+// errAborted is the panic sentinel used to unwind an aborted coroutine's
+// goroutine so it does not leak (e.g. when a simulated crash abandons
+// the machine mid-run).
+type abortSentinel struct{}
+
+// NewCoroutine starts body on its own goroutine, paused: it does not run
+// until the first Resume. Inside body, use co.WaitCycles / co.WaitUntil /
+// co.Yield to give up control.
+func NewCoroutine(eng *Engine, body func(co *Coroutine)) *Coroutine {
+	co := &Coroutine{
+		eng:      eng,
+		resumeCh: make(chan struct{}),
+		yieldCh:  make(chan struct{}),
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSentinel); !ok {
+					panic(r)
+				}
+			}
+			co.done = true
+			co.yieldCh <- struct{}{}
+		}()
+		<-co.resumeCh
+		if co.aborted {
+			panic(abortSentinel{})
+		}
+		body(co)
+	}()
+	return co
+}
+
+// Abort unwinds a parked coroutine so its goroutine exits: the next time
+// it would run it panics internally with a recovered sentinel. Used when
+// a simulated crash abandons the machine. No-op if already done.
+func (co *Coroutine) Abort() {
+	if co.done {
+		return
+	}
+	co.aborted = true
+	co.Resume()
+}
+
+// Done reports whether the coroutine's body has returned.
+func (co *Coroutine) Done() bool { return co.done }
+
+// Resume hands control to the coroutine and blocks until it yields or
+// finishes. Must be called from the engine side (an event callback or the
+// top-level driver).
+func (co *Coroutine) Resume() {
+	if co.done {
+		return
+	}
+	co.resumeCh <- struct{}{}
+	<-co.yieldCh
+}
+
+// Yield returns control to the engine side. The coroutine blocks until
+// the next Resume. Must be called from within the coroutine body.
+func (co *Coroutine) Yield() {
+	co.yieldCh <- struct{}{}
+	<-co.resumeCh
+	if co.aborted {
+		panic(abortSentinel{})
+	}
+}
+
+// WaitCycles suspends the coroutine for d simulated cycles: it schedules
+// its own resumption and yields.
+func (co *Coroutine) WaitCycles(d Cycle) {
+	co.eng.Schedule(d, func() { co.Resume() })
+	co.Yield()
+}
+
+// WaitUntil repeatedly re-checks cond each poll cycles until it is true.
+// Use for back-pressure conditions with no dedicated wakeup signal.
+func (co *Coroutine) WaitUntil(cond func() bool, poll Cycle) {
+	if poll == 0 {
+		poll = 1
+	}
+	for !cond() {
+		co.WaitCycles(poll)
+	}
+}
+
+// Waiter is a one-shot wakeup list: coroutines park on it and are resumed
+// (in FIFO order, deterministically) when Broadcast fires. It models
+// hardware wakeup signals such as "queue entry freed" or "ack received".
+type Waiter struct {
+	eng     *Engine
+	parked  []*Coroutine
+	signals int
+}
+
+// NewWaiter returns a Waiter bound to eng.
+func NewWaiter(eng *Engine) *Waiter { return &Waiter{eng: eng} }
+
+// Park suspends co until the next Broadcast.
+func (w *Waiter) Park(co *Coroutine) {
+	w.parked = append(w.parked, co)
+	co.Yield()
+}
+
+// Broadcast wakes every parked coroutine at the current cycle (as a
+// zero-delay event, preserving deterministic ordering).
+func (w *Waiter) Broadcast() {
+	if len(w.parked) == 0 {
+		return
+	}
+	woken := w.parked
+	w.parked = nil
+	w.signals++
+	for _, co := range woken {
+		c := co
+		w.eng.Schedule(0, func() { c.Resume() })
+	}
+}
+
+// ParkedCount reports how many coroutines are currently parked.
+func (w *Waiter) ParkedCount() int { return len(w.parked) }
+
+// Broadcasts reports how many times Broadcast woke at least one coroutine.
+func (w *Waiter) Broadcasts() int { return w.signals }

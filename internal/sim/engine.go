@@ -1,0 +1,146 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances an integer cycle clock (2 GHz by convention: one
+// cycle = 0.5 ns) and fires scheduled events in (cycle, sequence) order,
+// so simulations are bit-reproducible across runs. Simulated hardware
+// threads are ordinary goroutines driven one at a time through a
+// cooperative handshake (see Coroutine), which preserves determinism:
+// exactly one goroutine — the engine's or a coroutine's — runs at any
+// instant.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type eventEntry struct {
+	at    Cycle
+	seq   uint64
+	fn    Event
+	index int
+}
+
+type eventHeap []*eventEntry
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*eventEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// Stopped is set by Stop; Run returns promptly once set.
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles. A delay of 0 runs fn later in the
+// current cycle, after already-scheduled same-cycle events.
+func (e *Engine) Schedule(delay Cycle, fn Event) {
+	if fn == nil {
+		panic("sim: Schedule called with nil event")
+	}
+	e.seq++
+	heap.Push(&e.events, &eventEntry{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at the absolute cycle at, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(at Cycle, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, e.now))
+	}
+	e.Schedule(at-e.now, fn)
+}
+
+// Stop makes Run return after the event currently executing (if any)
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending reports the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Step fires the next event, advancing the clock to its cycle. It returns
+// false if no events remain or the engine is stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*eventEntry)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain, Stop is called, or the clock would
+// pass limit (limit 0 means no limit). It returns the cycle at which it
+// stopped.
+func (e *Engine) Run(limit Cycle) Cycle {
+	for !e.stopped && e.events.Len() > 0 {
+		next := e.events[0].at
+		if limit != 0 && next > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntil fires events while cond returns false, subject to the same
+// termination rules as Run.
+func (e *Engine) RunUntil(cond func() bool, limit Cycle) Cycle {
+	for !e.stopped && !cond() && e.events.Len() > 0 {
+		next := e.events[0].at
+		if limit != 0 && next > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}

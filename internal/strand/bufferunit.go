@@ -1,0 +1,322 @@
+// Package strand implements the paper's core hardware contribution: the
+// strand buffer unit and the persist queue (Section IV). The strand
+// buffer unit sits beside the L1 and schedules CLWBs from different
+// strands to PM concurrently while persist barriers order CLWBs within a
+// strand. The persist queue sits beside the store queue and enforces the
+// issue-side ordering rules of PersistBarrier, NewStrand and JoinStrand.
+//
+// A BufferUnit configured with a single buffer doubles as the HOPS
+// persist buffer: ofence has exactly persist-barrier mechanics inside
+// one buffer, and dfence is a full-drain wait, so both designs share one
+// faithful implementation and the comparison is storage-fair.
+package strand
+
+import (
+	"fmt"
+
+	"strandweaver/internal/cache"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/sim"
+)
+
+// entryKind discriminates strand-buffer and persist-queue entries.
+type entryKind uint8
+
+const (
+	entryCLWB entryKind = iota
+	entryPB
+	entryNS
+	entryJS
+)
+
+func (k entryKind) String() string {
+	switch k {
+	case entryCLWB:
+		return "CLWB"
+	case entryPB:
+		return "PB"
+	case entryNS:
+		return "NS"
+	case entryJS:
+		return "JS"
+	}
+	return fmt.Sprintf("entryKind(%d)", uint8(k))
+}
+
+// sbEntry is one strand-buffer slot, with the CanIssue / HasIssued /
+// Completed state machine from Figure 3.
+type sbEntry struct {
+	kind       entryKind
+	line       mem.Addr
+	canIssue   bool
+	hasIssued  bool
+	completed  bool
+	onComplete func()
+	// ready, when non-nil, must return true before the entry may issue
+	// (used by the HOPS configuration to hold a flush until the elder
+	// same-line store drains; StrandWeaver resolves this in the persist
+	// queue instead).
+	ready func() bool
+}
+
+// strandBuffer manages persist order within one strand: CLWBs separated
+// by a persist barrier complete in order; CLWBs not separated by one may
+// issue concurrently. Entries retire from the head in order.
+type strandBuffer struct {
+	entries []*sbEntry
+	// appended and retired are monotonic counters used for tail-index
+	// gating by the write-back and snoop buffers.
+	appended uint64
+	retired  uint64
+}
+
+// BufferUnit is the strand buffer unit: an array of strand buffers plus
+// the ongoing-buffer index that NewStrand rotates round-robin.
+type BufferUnit struct {
+	eng         *sim.Engine
+	l1          *cache.L1
+	buffers     []*strandBuffer
+	capacity    int
+	ongoing     int
+	subscribers []func()
+	gateWaits   []gateWait
+
+	stats UnitStats
+}
+
+type gateWait struct {
+	token cache.GateToken
+	cb    func()
+}
+
+// UnitStats aggregates strand-buffer-unit activity.
+type UnitStats struct {
+	CLWBsAccepted   uint64
+	CLWBsIssued     uint64
+	PBsAccepted     uint64
+	NewStrands      uint64
+	MaxInFlight     int
+	inFlight        int
+	GateWaitsServed uint64
+}
+
+// NewBufferUnit builds a unit with buffers strand buffers of
+// entriesPerBuffer entries each, flushing through l1.
+func NewBufferUnit(eng *sim.Engine, l1 *cache.L1, buffers, entriesPerBuffer int) *BufferUnit {
+	if buffers <= 0 || entriesPerBuffer <= 0 {
+		panic("strand: buffer unit needs positive geometry")
+	}
+	u := &BufferUnit{eng: eng, l1: l1, capacity: entriesPerBuffer}
+	for i := 0; i < buffers; i++ {
+		u.buffers = append(u.buffers, &strandBuffer{})
+	}
+	return u
+}
+
+// OnChange registers fn to be called whenever unit state changes in a way
+// that could unblock a waiter (retirement, rotation). Used by the persist
+// queue and store queue to re-pump.
+func (u *BufferUnit) OnChange(fn func()) { u.subscribers = append(u.subscribers, fn) }
+
+func (u *BufferUnit) notify() {
+	for _, fn := range u.subscribers {
+		u.eng.Schedule(0, fn)
+	}
+}
+
+// Stats returns a copy of the unit's counters.
+func (u *BufferUnit) Stats() UnitStats { return u.stats }
+
+// Buffers reports the number of strand buffers.
+func (u *BufferUnit) Buffers() int { return len(u.buffers) }
+
+// OngoingIndex reports the buffer to which incoming entries are appended.
+func (u *BufferUnit) OngoingIndex() int { return u.ongoing }
+
+// Occupancy reports the number of unretired entries in buffer i.
+func (u *BufferUnit) Occupancy(i int) int { return len(u.buffers[i].entries) }
+
+// Drained reports whether every strand buffer is empty.
+func (u *BufferUnit) Drained() bool {
+	for _, b := range u.buffers {
+		if len(b.entries) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TryAppendCLWB appends a CLWB for line to the ongoing strand buffer.
+// It returns false (and does nothing) if the buffer is full. onComplete
+// fires when the flush has been acknowledged by the PM controller and
+// the entry has completed. ready, if non-nil, gates issue (see sbEntry).
+func (u *BufferUnit) TryAppendCLWB(line mem.Addr, ready func() bool, onComplete func()) bool {
+	b := u.buffers[u.ongoing]
+	if len(b.entries) >= u.capacity {
+		return false
+	}
+	e := &sbEntry{kind: entryCLWB, line: line, onComplete: onComplete, ready: ready}
+	b.entries = append(b.entries, e)
+	b.appended++
+	u.stats.CLWBsAccepted++
+	u.issueEligible(b)
+	return true
+}
+
+// TryAppendPB appends a persist barrier to the ongoing strand buffer,
+// returning false if full. onComplete fires when every entry ahead of
+// the barrier has completed and retired.
+func (u *BufferUnit) TryAppendPB(onComplete func()) bool {
+	b := u.buffers[u.ongoing]
+	if len(b.entries) >= u.capacity {
+		return false
+	}
+	e := &sbEntry{kind: entryPB, onComplete: onComplete}
+	b.entries = append(b.entries, e)
+	b.appended++
+	u.stats.PBsAccepted++
+	// A barrier that arrives at an empty buffer completes right away.
+	u.tryRetire(b)
+	return true
+}
+
+// NewStrand rotates the ongoing buffer index round-robin and completes
+// immediately (paper: the unit acknowledges NewStrand when it updates
+// the current buffer index).
+func (u *BufferUnit) NewStrand(onComplete func()) {
+	u.ongoing = (u.ongoing + 1) % len(u.buffers)
+	u.stats.NewStrands++
+	if onComplete != nil {
+		u.eng.Schedule(0, onComplete)
+	}
+	u.notify()
+}
+
+// issueEligible issues every unissued CLWB in b that is not behind a
+// persist barrier and whose ready gate (if any) is satisfied.
+func (u *BufferUnit) issueEligible(b *strandBuffer) {
+	for _, x := range b.entries {
+		if x.kind == entryPB {
+			break
+		}
+		if !x.hasIssued && (x.ready == nil || x.ready()) {
+			u.issue(b, x)
+		}
+	}
+}
+
+// Kick re-evaluates issue eligibility in every buffer; the core calls it
+// when external conditions (such as store-queue drains) may have
+// satisfied entry gates.
+func (u *BufferUnit) Kick() {
+	for _, b := range u.buffers {
+		u.issueEligible(b)
+	}
+}
+
+// issue performs a CLWB: an L1 lookup and, if dirty, a flush to the PM
+// controller (cache.Flush models the datapath and its latencies).
+func (u *BufferUnit) issue(b *strandBuffer, e *sbEntry) {
+	if e.hasIssued {
+		return
+	}
+	e.canIssue = true
+	e.hasIssued = true
+	u.stats.CLWBsIssued++
+	u.stats.inFlight++
+	if u.stats.inFlight > u.stats.MaxInFlight {
+		u.stats.MaxInFlight = u.stats.inFlight
+	}
+	u.l1.Flush(e.line, func() {
+		u.stats.inFlight--
+		e.completed = true
+		u.tryRetire(b)
+	})
+}
+
+// tryRetire pops completed entries from the buffer head in order. A
+// persist barrier at the head completes (all entries ahead of it have
+// retired), acknowledges, and unblocks the CLWBs behind it up to the
+// next barrier.
+func (u *BufferUnit) tryRetire(b *strandBuffer) {
+	progressed := false
+	for len(b.entries) > 0 {
+		head := b.entries[0]
+		if head.kind == entryPB {
+			head.completed = true
+			if head.onComplete != nil {
+				u.eng.Schedule(0, head.onComplete)
+			}
+			b.pop()
+			progressed = true
+			// Resolve dependencies: issue CLWBs up to the next barrier.
+			u.issueEligible(b)
+			continue
+		}
+		if !head.completed {
+			break
+		}
+		if head.onComplete != nil {
+			u.eng.Schedule(0, head.onComplete)
+		}
+		b.pop()
+		progressed = true
+	}
+	if progressed {
+		u.serveGateWaits()
+		u.notify()
+	}
+}
+
+func (b *strandBuffer) pop() {
+	b.entries[0] = nil
+	b.entries = b.entries[1:]
+	b.retired++
+	if len(b.entries) == 0 {
+		// Reset backing array so it cannot grow without bound.
+		b.entries = nil
+	}
+}
+
+// RecordTails implements cache.PersistGate: it snapshots each buffer's
+// appended count, exactly the "tail index of the buffer" the paper
+// records in write-back and snoop buffer entries.
+func (u *BufferUnit) RecordTails() cache.GateToken {
+	t := make(cache.GateToken, len(u.buffers))
+	for i, b := range u.buffers {
+		t[i] = b.appended
+	}
+	return t
+}
+
+// CallWhenDrained implements cache.PersistGate: cb runs once every
+// buffer has retired past the recorded tail.
+func (u *BufferUnit) CallWhenDrained(t cache.GateToken, cb func()) {
+	if u.drainedTo(t) {
+		u.eng.Schedule(0, cb)
+		return
+	}
+	u.gateWaits = append(u.gateWaits, gateWait{token: t, cb: cb})
+}
+
+func (u *BufferUnit) drainedTo(t cache.GateToken) bool {
+	for i, b := range u.buffers {
+		if i < len(t) && b.retired < t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (u *BufferUnit) serveGateWaits() {
+	kept := u.gateWaits[:0]
+	for _, w := range u.gateWaits {
+		if u.drainedTo(w.token) {
+			u.stats.GateWaitsServed++
+			u.eng.Schedule(0, w.cb)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	u.gateWaits = kept
+}

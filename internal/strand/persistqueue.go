@@ -1,0 +1,255 @@
+package strand
+
+import (
+	"strandweaver/internal/mem"
+	"strandweaver/internal/sim"
+)
+
+// StoreTracker is the persist queue's window into the core's store
+// queue, used for the store-ordering rules of Section IV ("Persist queue
+// operation").
+type StoreTracker interface {
+	// HasPendingStoreToLine reports whether any store older than seq to
+	// the given cache line has not yet drained to the L1 (the
+	// load-to-store-forwarding-style lookup the persist queue performs
+	// on CLWB insertion).
+	HasPendingStoreToLine(line mem.Addr, seq uint64) bool
+	// HasPendingStoreBefore reports whether any store older than seq
+	// has not yet drained to the L1.
+	HasPendingStoreBefore(seq uint64) bool
+}
+
+// Entry is a persist-queue entry handle. The store queue keeps Entry
+// references to gate stores on "prior CLWBs issued" (persist-barrier
+// rule) and the front-end keeps them to wait for JoinStrand completion.
+type Entry struct {
+	kind entryKind
+	line mem.Addr
+	// seq is the core-wide program-order sequence number.
+	seq uint64
+	// barrierSeq, for CLWBs, is the sequence number of the youngest
+	// elder persist barrier with no intervening NewStrand (0 if none):
+	// stores older than barrierSeq must drain before the CLWB issues.
+	barrierSeq uint64
+	hasIssued  bool
+	completed  bool
+	retired    bool
+}
+
+// HasIssued reports whether the entry has been issued to the strand
+// buffer unit.
+func (e *Entry) HasIssued() bool { return e.hasIssued }
+
+// Completed reports whether the entry has completed.
+func (e *Entry) Completed() bool { return e.completed }
+
+// Retired reports whether the entry has left the persist queue.
+func (e *Entry) Retired() bool { return e.retired }
+
+// PersistQueue implements the paper's persist queue: a FIFO alongside
+// the store queue that records ongoing CLWBs, persist barriers,
+// NewStrand and JoinStrand operations, issues them in order to the
+// strand buffer unit, and retires them in order on completion.
+type PersistQueue struct {
+	eng      *sim.Engine
+	sbu      *BufferUnit
+	tracker  StoreTracker
+	capacity int
+	entries  []*Entry
+	onChange func()
+	pumping  bool
+
+	stats QueueStats
+}
+
+// QueueStats aggregates persist-queue activity.
+type QueueStats struct {
+	CLWBs, PBs, NSs, JSs uint64
+	MaxOccupancy         int
+}
+
+// NewPersistQueue builds a persist queue of the given capacity issuing
+// to sbu and observing stores through tracker.
+func NewPersistQueue(eng *sim.Engine, sbu *BufferUnit, tracker StoreTracker, capacity int) *PersistQueue {
+	pq := &PersistQueue{eng: eng, sbu: sbu, tracker: tracker, capacity: capacity}
+	sbu.OnChange(pq.Pump)
+	return pq
+}
+
+// SetOnChange registers a callback fired whenever queue state changes
+// (issue or retirement); the core uses it to re-evaluate store gates and
+// wake stalled front-ends.
+func (pq *PersistQueue) SetOnChange(fn func()) { pq.onChange = fn }
+
+func (pq *PersistQueue) changed() {
+	if pq.onChange != nil {
+		pq.eng.Schedule(0, pq.onChange)
+	}
+}
+
+// Stats returns a copy of the queue counters.
+func (pq *PersistQueue) Stats() QueueStats { return pq.stats }
+
+// Full reports whether the queue has no free entry.
+func (pq *PersistQueue) Full() bool { return len(pq.entries) >= pq.capacity }
+
+// Len reports current occupancy.
+func (pq *PersistQueue) Len() int { return len(pq.entries) }
+
+// Empty reports whether the queue is empty.
+func (pq *PersistQueue) Empty() bool { return len(pq.entries) == 0 }
+
+func (pq *PersistQueue) insert(e *Entry) {
+	pq.entries = append(pq.entries, e)
+	if len(pq.entries) > pq.stats.MaxOccupancy {
+		pq.stats.MaxOccupancy = len(pq.entries)
+	}
+	pq.Pump()
+}
+
+// InsertCLWB appends a CLWB. The caller must have checked Full.
+func (pq *PersistQueue) InsertCLWB(seq uint64, line mem.Addr, barrierSeq uint64) *Entry {
+	pq.mustHaveSpace()
+	e := &Entry{kind: entryCLWB, line: line, seq: seq, barrierSeq: barrierSeq}
+	pq.stats.CLWBs++
+	pq.insert(e)
+	return e
+}
+
+// InsertPB appends a persist barrier.
+func (pq *PersistQueue) InsertPB(seq uint64) *Entry {
+	pq.mustHaveSpace()
+	e := &Entry{kind: entryPB, seq: seq}
+	pq.stats.PBs++
+	pq.insert(e)
+	return e
+}
+
+// InsertNS appends a NewStrand.
+func (pq *PersistQueue) InsertNS(seq uint64) *Entry {
+	pq.mustHaveSpace()
+	e := &Entry{kind: entryNS, seq: seq}
+	pq.stats.NSs++
+	pq.insert(e)
+	return e
+}
+
+// InsertJS appends a JoinStrand. JoinStrand is not issued to the strand
+// buffer unit; it completes when all elder persist-queue entries have
+// completed and retired and all elder stores have drained.
+func (pq *PersistQueue) InsertJS(seq uint64) *Entry {
+	pq.mustHaveSpace()
+	e := &Entry{kind: entryJS, seq: seq}
+	pq.stats.JSs++
+	pq.insert(e)
+	return e
+}
+
+func (pq *PersistQueue) mustHaveSpace() {
+	if pq.Full() {
+		panic("strand: insert into full persist queue (front-end must check Full)")
+	}
+}
+
+// Pump advances the queue: issues the oldest unissued entries whose
+// dependencies have resolved (in order) and retires completed entries
+// from the head. It is safe to call at any time; reentrant calls are
+// coalesced.
+func (pq *PersistQueue) Pump() {
+	if pq.pumping {
+		return
+	}
+	pq.pumping = true
+	defer func() { pq.pumping = false }()
+
+	for {
+		progressed := false
+		// Retire from the head in order.
+		for len(pq.entries) > 0 {
+			head := pq.entries[0]
+			if head.kind == entryJS && !head.completed {
+				// JoinStrand completes when it reaches the head (all
+				// elder entries retired) and elder stores have drained.
+				if !pq.tracker.HasPendingStoreBefore(head.seq) {
+					head.completed = true
+				}
+			}
+			if !head.completed {
+				break
+			}
+			head.retired = true
+			pq.entries[0] = nil
+			pq.entries = pq.entries[1:]
+			if len(pq.entries) == 0 {
+				pq.entries = nil
+			}
+			progressed = true
+		}
+		// Issue in order: only the oldest unissued entry may issue.
+		if e := pq.oldestUnissued(); e != nil && pq.tryIssue(e) {
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+		pq.changed()
+	}
+}
+
+func (pq *PersistQueue) oldestUnissued() *Entry {
+	for _, e := range pq.entries {
+		if e.kind == entryJS {
+			// JoinStrand blocks further issue until it retires; nothing
+			// younger can exist anyway because the front-end stalls.
+			return nil
+		}
+		if !e.hasIssued {
+			return e
+		}
+	}
+	return nil
+}
+
+func (pq *PersistQueue) tryIssue(e *Entry) bool {
+	switch e.kind {
+	case entryCLWB:
+		// Persist-barrier rule: stores elder than the governing barrier
+		// must have drained ("orders issue of prior stores before
+		// subsequent CLWBs").
+		if e.barrierSeq != 0 && pq.tracker.HasPendingStoreBefore(e.barrierSeq) {
+			return false
+		}
+		// Same-line rule: the store-queue lookup performed on CLWB
+		// insertion; the CLWB may not pass an elder store to its line.
+		if pq.tracker.HasPendingStoreToLine(e.line, e.seq) {
+			return false
+		}
+		ok := pq.sbu.TryAppendCLWB(e.line, nil, func() {
+			e.completed = true
+			pq.Pump()
+		})
+		if !ok {
+			return false
+		}
+		e.hasIssued = true
+		return true
+	case entryPB:
+		ok := pq.sbu.TryAppendPB(func() {
+			e.completed = true
+			pq.Pump()
+		})
+		if !ok {
+			return false
+		}
+		e.hasIssued = true
+		return true
+	case entryNS:
+		e.hasIssued = true
+		pq.sbu.NewStrand(func() {
+			e.completed = true
+			pq.Pump()
+		})
+		return true
+	}
+	return false
+}

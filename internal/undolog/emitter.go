@@ -1,0 +1,88 @@
+package undolog
+
+import (
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+)
+
+// The ordering emitters map the three logging-order requirements of
+// Figure 5 onto each hardware design's primitives:
+//
+//   - BeginPair: start an independent log/update pair (NewStrand under
+//     strand designs; nothing elsewhere — epochs have no equivalent).
+//   - LogToUpdate: order the log persist before the in-place update
+//     (persist barrier / SFENCE / ofence; nothing under NonAtomic, which
+//     is exactly the ordering the non-atomic upper bound removes).
+//   - Durable: make all prior persists durable before proceeding
+//     (JoinStrand / SFENCE / dfence; nothing under NonAtomic).
+
+// BeginPair starts a new log/update pair on its own strand.
+func BeginPair(c *cpu.Core) {
+	switch c.Design() {
+	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
+		c.NewStrand()
+	}
+}
+
+// LogToUpdate orders the just-written log entry's persist before the
+// upcoming in-place update's persist.
+func LogToUpdate(c *cpu.Core) {
+	switch c.Design() {
+	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
+		c.PersistBarrier()
+	case hwdesign.IntelX86:
+		c.SFence()
+	case hwdesign.HOPS:
+		c.OFence()
+	case hwdesign.NonAtomic:
+		// The removed ordering: logs and updates race to PM.
+	}
+}
+
+// CommitOrder orders the commit sequence's phases (marker →
+// invalidations → head advance). Under strand designs this must be
+// JoinStrand: a persist barrier cannot order across the fresh strands
+// that the invalidations ride. Intel's SFENCE and HOPS's ofence order
+// everything program-prior, so they suffice (and for HOPS the ordering
+// stays delegated — the core does not stall).
+func CommitOrder(c *cpu.Core) {
+	switch c.Design() {
+	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
+		c.JoinStrand()
+	case hwdesign.IntelX86:
+		c.SFence()
+	case hwdesign.HOPS:
+		c.OFence()
+	case hwdesign.NonAtomic:
+	}
+}
+
+// RegionEnd is issued when a failure-atomic region closes, before its
+// locks release. Strand designs need nothing here: inter-thread persist
+// order is enforced in hardware by strong persist atomicity (snoop
+// gating), and log commits are deferred with dependency ordering. HOPS,
+// however, delegates ordering to per-core persist buffers with no
+// cross-core tracking, so persist responsibility must be handed off
+// durably at synchronization boundaries — the paper: "dfence to flush
+// the updates to PM ... at the end of each failure-atomic region".
+// Intel's ordering is already durability-based (SFENCE per update), so
+// nothing extra is required.
+func RegionEnd(c *cpu.Core) {
+	if c.Design() == hwdesign.HOPS {
+		c.DFence()
+	}
+}
+
+// Durable stalls (or on HOPS, drains) until every prior persist is
+// durable.
+func Durable(c *cpu.Core) {
+	switch c.Design() {
+	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
+		c.JoinStrand()
+	case hwdesign.IntelX86:
+		c.SFence()
+	case hwdesign.HOPS:
+		c.DFence()
+	case hwdesign.NonAtomic:
+	}
+}

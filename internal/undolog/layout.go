@@ -1,0 +1,101 @@
+// Package undolog implements the paper's logging design (Section V):
+// per-thread circular buffers of 64-byte cache-line-aligned undo-log
+// entries in PM, with a persistent head pointer, a volatile tail
+// pointer, commit markers, design-specific persist ordering between each
+// log entry and its in-place update (Figure 5), and the recovery process
+// of Figure 6.
+package undolog
+
+import "strandweaver/internal/mem"
+
+// PM layout conventions shared by the runtime and recovery. All regions
+// live at fixed offsets from mem.PMBase so that a recovery process can
+// find them in a crash image with no volatile state.
+const (
+	// RootOffset is the 4 KiB root page where workloads publish the
+	// addresses of their recoverable structures.
+	RootOffset = 0
+	// RootSize is the root page size.
+	RootSize = 4096
+	// DescOffset is the start of the per-thread log descriptors (64 B
+	// each). Region bases are deliberately offset by a few cache lines
+	// from power-of-two boundaries so that the hot line of each region
+	// does not alias to the same L1 set (the set period is 16 KiB).
+	DescOffset = 1<<16 + 13*64
+	// BufOffset is the start of the per-thread log buffers.
+	BufOffset = 1<<20 + 38*64
+	// HeapOffset is the start of the general persistent heap; workloads
+	// allocate structures beyond this point.
+	HeapOffset = 1<<24 + 85*64
+)
+
+// RootAddr returns the address of 8-byte root slot i.
+func RootAddr(slot int) mem.Addr {
+	return mem.PMBase + RootOffset + mem.Addr(slot)*8
+}
+
+// Descriptor field offsets (one 64-byte descriptor per thread).
+const (
+	descMagic   = 0  // magic value marking an initialised log
+	descBufBase = 8  // first byte of the entry buffer
+	descEntries = 16 // number of entry slots
+	descHead    = 24 // persistent head: monotone entry index
+)
+
+// Magic marks an initialised descriptor.
+const Magic = 0x5354_5244_4C4F_4721 // "STRDLOG!"
+
+// DescAddr returns thread tid's descriptor address.
+func DescAddr(tid int) mem.Addr {
+	return mem.PMBase + DescOffset + mem.Addr(tid)*mem.LineSize
+}
+
+// Entry field offsets within a 64-byte log entry.
+const (
+	entType  = 0  // EntryType
+	entAddr  = 8  // target address (store entries)
+	entOld   = 16 // prior value (store entries) or sync metadata
+	entSize  = 24 // access size in bytes
+	entSeq   = 32 // global creation ticket (happens-before metadata)
+	entFlags = 40 // bit 0: valid, bit 1: commit marker
+	entMeta  = 48 // lock address for sync entries
+)
+
+// EntryType discriminates log entries (paper: [Store, Acquire, Release]
+// for ATLAS/SFR, [Store, TX_BEGIN, TX_END] for transactions).
+type EntryType uint64
+
+// Entry types.
+const (
+	EntryInvalid EntryType = iota
+	EntryStore
+	EntryTxBegin
+	EntryTxEnd
+	EntryAcquire
+	EntryRelease
+)
+
+// Entry flags.
+const (
+	FlagValid        = 1 << 0
+	FlagCommitMarker = 1 << 1
+)
+
+// String names the entry type.
+func (t EntryType) String() string {
+	switch t {
+	case EntryInvalid:
+		return "invalid"
+	case EntryStore:
+		return "store"
+	case EntryTxBegin:
+		return "tx-begin"
+	case EntryTxEnd:
+		return "tx-end"
+	case EntryAcquire:
+		return "acquire"
+	case EntryRelease:
+		return "release"
+	}
+	return "unknown"
+}

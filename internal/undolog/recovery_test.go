@@ -1,0 +1,177 @@
+package undolog
+
+import (
+	"testing"
+
+	"strandweaver/internal/mem"
+)
+
+// These tests hand-craft crash images to exercise the recovery state
+// machine on exact scenarios from Figure 6(b), independent of the
+// simulator's timing.
+
+// imageWithLog formats a one-thread log area directly in an image.
+func imageWithLog(entries uint64) (*mem.Image, mem.Addr) {
+	img := mem.NewImage()
+	desc := DescAddr(0)
+	bufBase := mem.PMBase + BufOffset
+	img.Write64(desc+descMagic, Magic)
+	img.Write64(desc+descBufBase, uint64(bufBase))
+	img.Write64(desc+descEntries, entries)
+	img.Write64(desc+descHead, 0)
+	return img, bufBase
+}
+
+// writeEntry fills slot s with a store entry.
+func writeEntry(img *mem.Image, bufBase mem.Addr, s uint64, target mem.Addr, old, ticket, flags uint64) {
+	e := bufBase + mem.Addr(s*mem.LineSize)
+	img.Write64(e+entType, uint64(EntryStore))
+	img.Write64(e+entAddr, uint64(target))
+	img.Write64(e+entOld, old)
+	img.Write64(e+entSize, 8)
+	img.Write64(e+entSeq, ticket)
+	img.Write64(e+entFlags, flags)
+}
+
+var target1 = mem.PMBase + HeapOffset + 0x1000
+var target2 = mem.PMBase + HeapOffset + 0x2000
+
+// TestRecoveryFigure6InterruptedCommit: a commit marker is set on entry
+// 4 and entries 1-2 are already invalidated; recovery must finish the
+// commit (invalidate 3-4, no rollback) exactly as Figure 6(b) steps 1-2.
+func TestRecoveryFigure6InterruptedCommit(t *testing.T) {
+	img, buf := imageWithLog(16)
+	img.Write64(target1, 999) // committed new value, must survive
+	// Entries 1,2 invalidated already (flags 0); 3,4 valid; 4 carries
+	// the commit marker.
+	writeEntry(img, buf, 1, target1, 111, 1, 0)
+	writeEntry(img, buf, 2, target1, 222, 2, 0)
+	writeEntry(img, buf, 3, target1, 333, 3, FlagValid)
+	writeEntry(img, buf, 4, target1, 444, 4, FlagValid|FlagCommitMarker)
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommitsFinished != 1 {
+		t.Errorf("CommitsFinished = %d, want 1", rep.CommitsFinished)
+	}
+	if rep.EntriesInvalidated != 2 {
+		t.Errorf("EntriesInvalidated = %d, want 2", rep.EntriesInvalidated)
+	}
+	if len(rep.RolledBack) != 0 {
+		t.Errorf("rolled back %d entries of a committed region", len(rep.RolledBack))
+	}
+	if got := img.Read64(target1); got != 999 {
+		t.Errorf("committed value rolled back: %d", got)
+	}
+}
+
+// TestRecoveryRollsBackAfterMarker: entries with tickets beyond the
+// newest marker belong to a later, uncommitted region and roll back in
+// reverse creation order.
+func TestRecoveryRollsBackAfterMarker(t *testing.T) {
+	img, buf := imageWithLog(16)
+	img.Write64(target1, 50) // current (uncommitted) value
+	img.Write64(target2, 60)
+	writeEntry(img, buf, 0, target1, 10, 1, FlagValid|FlagCommitMarker) // committed region end
+	// Uncommitted region: two updates to target1 then one to target2.
+	writeEntry(img, buf, 1, target1, 20, 2, FlagValid)
+	writeEntry(img, buf, 2, target1, 30, 3, FlagValid)
+	writeEntry(img, buf, 3, target2, 40, 4, FlagValid)
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RolledBack) != 3 {
+		t.Fatalf("rolled back %d, want 3", len(rep.RolledBack))
+	}
+	// Reverse creation order: ticket 4, then 3, then 2.
+	if rep.RolledBack[0].Ticket != 4 || rep.RolledBack[2].Ticket != 2 {
+		t.Errorf("rollback order wrong: %+v", rep.RolledBack)
+	}
+	// target1 must hold the OLDEST uncommitted old-value (ticket 2's
+	// old = 20), not ticket 3's.
+	if got := img.Read64(target1); got != 20 {
+		t.Errorf("target1 = %d, want 20 (reverse-order rollback)", got)
+	}
+	if got := img.Read64(target2); got != 40 {
+		t.Errorf("target2 = %d, want 40", got)
+	}
+}
+
+// TestRecoveryHoleInLog: strand concurrency can persist a later entry
+// while an earlier one is lost; recovery must still find and roll back
+// the later one (whole-buffer scan, not stop-at-first-invalid).
+func TestRecoveryHoleInLog(t *testing.T) {
+	img, buf := imageWithLog(16)
+	img.Write64(target2, 77)
+	// Slot 1 lost (never persisted: type 0/flags 0); slot 2 valid.
+	writeEntry(img, buf, 2, target2, 7, 9, FlagValid)
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RolledBack) != 1 {
+		t.Fatalf("rolled back %d, want 1 (hole skipped the scan?)", len(rep.RolledBack))
+	}
+	if got := img.Read64(target2); got != 7 {
+		t.Errorf("target2 = %d, want 7", got)
+	}
+}
+
+// TestRecoveryCrossThreadOrder: uncommitted entries from two threads
+// roll back in reverse GLOBAL ticket order, restoring the consistent
+// cut when both threads touched the same location under a lock.
+func TestRecoveryCrossThreadOrder(t *testing.T) {
+	img, buf0 := imageWithLog(16)
+	// Thread 1's log.
+	desc1 := DescAddr(1)
+	buf1 := mem.PMBase + BufOffset + mem.Addr(16*mem.LineSize)
+	img.Write64(desc1+descMagic, Magic)
+	img.Write64(desc1+descBufBase, uint64(buf1))
+	img.Write64(desc1+descEntries, 16)
+	img.Write64(desc1+descHead, 0)
+
+	img.Write64(target1, 3) // final uncommitted value
+	// T0 wrote first (old 1, ticket 5), T1 wrote after (old 2, ticket 9).
+	writeEntry(img, buf0, 0, target1, 1, 5, FlagValid)
+	writeEntry(img, buf1, 0, target1, 2, 9, FlagValid)
+	rep, err := Recover(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RolledBack) != 2 {
+		t.Fatalf("rolled back %d, want 2", len(rep.RolledBack))
+	}
+	// Correct cut: undo T1's (ticket 9, old 2) then T0's (ticket 5,
+	// old 1) => final value 1.
+	if got := img.Read64(target1); got != 1 {
+		t.Errorf("target1 = %d, want 1 (global reverse-ticket order)", got)
+	}
+}
+
+// TestRecoveryBadDescriptor: an implausible descriptor is an error, not
+// a silent scan of garbage.
+func TestRecoveryBadDescriptor(t *testing.T) {
+	img := mem.NewImage()
+	desc := DescAddr(0)
+	img.Write64(desc+descMagic, Magic)
+	img.Write64(desc+descEntries, 1<<40)
+	if _, err := Recover(img, 1); err == nil {
+		t.Error("implausible descriptor accepted")
+	}
+}
+
+// TestRecoveryIgnoresUninitialisedThreads: threads without the magic are
+// skipped.
+func TestRecoveryIgnoresUninitialisedThreads(t *testing.T) {
+	img, buf := imageWithLog(16)
+	writeEntry(img, buf, 0, target1, 5, 1, FlagValid)
+	rep, err := Recover(img, 4) // threads 1-3 uninitialised
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThreadsScanned != 1 {
+		t.Errorf("ThreadsScanned = %d, want 1", rep.ThreadsScanned)
+	}
+}

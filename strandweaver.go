@@ -1,0 +1,313 @@
+// Package strandweaver is a simulation-based reproduction of "Relaxed
+// Persist Ordering Using Strand Persistency" (Gogte et al., ISCA 2020).
+//
+// It provides:
+//
+//   - a deterministic discrete-event simulator of a multi-core machine
+//     with write-back caches, MESI-style coherence, and an ADR
+//     persistent-memory controller (Table I configuration);
+//   - the StrandWeaver hardware: the persist queue and the strand
+//     buffer unit implementing the PersistBarrier / NewStrand /
+//     JoinStrand ISA primitives (paper Section IV), plus the Intel x86,
+//     HOPS, no-persist-queue and non-atomic comparison designs;
+//   - a formal executable model of strand persistency (Equations 1-4)
+//     with exhaustive crash-state enumeration, cross-validated against
+//     the simulated hardware on the paper's Figure 2 litmus shapes;
+//   - the undo-logging runtime of Section V with the TXN / ATLAS / SFR
+//     language-level persistency models, recovery, and crash-injection
+//     testing;
+//   - the benchmark suite of Table II and a harness that regenerates
+//     every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	sys := strandweaver.NewSystem(strandweaver.DefaultConfig(), strandweaver.StrandWeaver)
+//	rt := strandweaver.NewRuntime(sys, strandweaver.SFR, 2, strandweaver.DefaultRuntimeOptions())
+//	// ... build structures, run workers; see examples/quickstart.
+package strandweaver
+
+import (
+	"io"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/harness"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/litmus"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/palloc"
+	"strandweaver/internal/pds"
+	"strandweaver/internal/pmo"
+	"strandweaver/internal/sim"
+	"strandweaver/internal/trace"
+	"strandweaver/internal/undolog"
+	"strandweaver/internal/workloads"
+)
+
+// Addr is a simulated physical address.
+type Addr = mem.Addr
+
+// Address-space landmarks.
+const (
+	// PMBase is the first persistent address.
+	PMBase = mem.PMBase
+	// DRAMBase is the first volatile address.
+	DRAMBase = mem.DRAMBase
+	// HeapOffset is where the persistent heap begins (past root page,
+	// log descriptors and log buffers).
+	HeapOffset = undolog.HeapOffset
+	// LineSize is the cache-line / persist granularity.
+	LineSize = mem.LineSize
+)
+
+// Config is the simulated machine configuration (Table I defaults via
+// DefaultConfig).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table I configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// Design selects the persist-ordering hardware.
+type Design = hwdesign.Design
+
+// The five evaluated hardware designs.
+const (
+	IntelX86       = hwdesign.IntelX86
+	HOPS           = hwdesign.HOPS
+	NoPersistQueue = hwdesign.NoPersistQueue
+	StrandWeaver   = hwdesign.StrandWeaver
+	NonAtomic      = hwdesign.NonAtomic
+)
+
+// AllDesigns lists the designs in evaluation order.
+var AllDesigns = hwdesign.All
+
+// ParseDesign resolves a design by its evaluation label.
+func ParseDesign(s string) (Design, error) { return hwdesign.Parse(s) }
+
+// Model selects the language-level persistency model.
+type Model = langmodel.Model
+
+// The three language-level persistency models.
+const (
+	TXN   = langmodel.TXN
+	ATLAS = langmodel.ATLAS
+	SFR   = langmodel.SFR
+)
+
+// AllModels lists the models in evaluation order.
+var AllModels = langmodel.All
+
+// ParseModel resolves a model by name ("txn", "atlas", "sfr").
+func ParseModel(s string) (Model, error) { return langmodel.ParseModel(s) }
+
+// System is one simulated machine (cores, caches, PM controller,
+// functional memory images).
+type System = machine.System
+
+// Core is one simulated core; its methods (Load64, Store64, CLWB,
+// PersistBarrier, NewStrand, JoinStrand, ...) are the ISA surface.
+type Core = cpu.Core
+
+// Worker is a simulated-thread body.
+type Worker = machine.Worker
+
+// NewSystem builds a machine for the given configuration and design.
+func NewSystem(cfg Config, d Design) *System { return machine.MustNew(cfg, d) }
+
+// Runtime is the language-level persistency runtime (undo logging,
+// failure-atomic regions, deferred commits).
+type Runtime = langmodel.Runtime
+
+// Tx is the mutation interface inside a failure-atomic region.
+type Tx = langmodel.Tx
+
+// RuntimeOptions tunes the language runtime.
+type RuntimeOptions = langmodel.Options
+
+// DefaultRuntimeOptions returns production defaults.
+func DefaultRuntimeOptions() RuntimeOptions { return langmodel.DefaultOptions() }
+
+// NewRuntime binds a language-level model to a system.
+func NewRuntime(sys *System, m Model, threads int, opts RuntimeOptions) *Runtime {
+	return langmodel.New(sys, m, threads, opts)
+}
+
+// Arena is a simple allocator over simulated memory.
+type Arena = palloc.Arena
+
+// NewPMArena returns an arena over the persistent heap.
+func NewPMArena(offset, size uint64) *Arena { return palloc.NewPM(offset, size) }
+
+// NewDRAMArena returns an arena over volatile memory.
+func NewDRAMArena(offset, size uint64) *Arena { return palloc.NewDRAM(offset, size) }
+
+// Host performs host-side (unmeasured) setup writes.
+type Host = pds.Host
+
+// Persistent data structures from the paper's benchmarks.
+type (
+	// Queue is a bounded persistent FIFO.
+	Queue = pds.Queue
+	// Hashmap is a persistent chained hash table.
+	Hashmap = pds.Hashmap
+	// Array is a persistent swap array.
+	Array = pds.Array
+	// RBTree is a persistent red-black tree.
+	RBTree = pds.RBTree
+)
+
+// Structure constructors and verifiers.
+var (
+	NewQueue      = pds.NewQueue
+	NewHashmap    = pds.NewHashmap
+	NewArray      = pds.NewArray
+	NewRBTree     = pds.NewRBTree
+	VerifyQueue   = pds.VerifyQueue
+	VerifyHashmap = pds.VerifyHashmap
+	VerifyArray   = pds.VerifyArray
+	VerifyRBTree  = pds.VerifyRBTree
+)
+
+// Image is a functional memory image (the persistent image doubles as
+// the crash image recovery runs against).
+type Image = mem.Image
+
+// RecoveryReport summarises one recovery pass.
+type RecoveryReport = undolog.Report
+
+// Recover runs undo-log recovery over a crash image for the first
+// threads logs, rolling back uncommitted failure-atomic regions.
+func Recover(img *Image, threads int) (*RecoveryReport, error) {
+	return undolog.Recover(img, threads)
+}
+
+// Cycle is simulated time in CPU cycles (2 GHz).
+type Cycle = sim.Cycle
+
+// TraceRecorder records per-core operation timelines; obtain one with
+// (*System).EnableTracing and inspect or Dump it after a run.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded operation instance.
+type TraceEvent = trace.Event
+
+// --- Experiment harness ---
+
+// Spec configures one measured benchmark run.
+type Spec = harness.Spec
+
+// Result is one run's measurements.
+type Result = harness.Result
+
+// Run executes one benchmark spec.
+func Run(spec Spec) (*Result, error) { return harness.Run(spec) }
+
+// RunWithCrash crashes the run at the given cycle, recovers, and
+// verifies workload invariants.
+func RunWithCrash(spec Spec, crashAt Cycle) (*RecoveryReport, error) {
+	return harness.RunWithCrash(spec, crashAt)
+}
+
+// ExpOptions scales the experiment grids.
+type ExpOptions = harness.ExpOptions
+
+// Grid is the full benchmark x model x design evaluation grid.
+type Grid = harness.Grid
+
+// Experiment drivers and printers for every table and figure of the
+// paper's evaluation, plus the design-choice ablations.
+var (
+	RunGrid                   = harness.RunGrid
+	Table2                    = harness.Table2
+	Fig9                      = harness.Fig9
+	Fig10                     = harness.Fig10
+	ComputeClaims             = harness.ComputeClaims
+	LoggingAblation           = harness.LoggingAblation
+	PersistQueueDepthAblation = harness.PersistQueueDepthAblation
+	HOPSBufferAblation        = harness.HOPSBufferAblation
+	FlushInstructionAblation  = harness.FlushInstructionAblation
+)
+
+// PrintLoggingAblation renders the undo-vs-redo engine comparison.
+func PrintLoggingAblation(w io.Writer, pts []harness.LoggingAblationPoint) {
+	harness.PrintLoggingAblation(w, pts)
+}
+
+// PrintQueueDepthAblation renders the persist-queue depth sweep.
+func PrintQueueDepthAblation(w io.Writer, pts []harness.QueueDepthPoint) {
+	harness.PrintQueueDepthAblation(w, pts)
+}
+
+// PrintHOPSBufferAblation renders the HOPS buffer capacity sweep.
+func PrintHOPSBufferAblation(w io.Writer, pts []harness.HOPSBufferPoint) {
+	harness.PrintHOPSBufferAblation(w, pts)
+}
+
+// PrintFlushInstructionAblation renders the CLWB-vs-CLFLUSHOPT
+// comparison.
+func PrintFlushInstructionAblation(w io.Writer, pts []harness.FlushInstrPoint) {
+	harness.PrintFlushInstructionAblation(w, pts)
+}
+
+// PrintFig7 renders the Figure 7 speedup grid.
+func PrintFig7(w io.Writer, g *Grid) { harness.PrintFig7(w, g) }
+
+// PrintFig8 renders the Figure 8 stall comparison.
+func PrintFig8(w io.Writer, g *Grid) { harness.PrintFig8(w, g) }
+
+// PrintTable2 renders Table II.
+func PrintTable2(w io.Writer, rows []harness.Table2Row) { harness.PrintTable2(w, rows) }
+
+// PrintFig9 renders the strand-buffer sensitivity sweep.
+func PrintFig9(w io.Writer, pts []harness.Fig9Point) { harness.PrintFig9(w, pts) }
+
+// PrintFig10 renders the ops-per-SFR sweep.
+func PrintFig10(w io.Writer, pts []harness.Fig10Point) { harness.PrintFig10(w, pts) }
+
+// PrintClaims renders the paper-vs-measured headline comparison.
+func PrintClaims(w io.Writer, cl harness.Claims) { harness.PrintClaims(w, cl) }
+
+// BenchmarkNames lists the Table II benchmark registry.
+func BenchmarkNames() []string { return workloads.Names() }
+
+// --- Formal model and litmus testing ---
+
+// LitmusProgram is an abstract persistency litmus program.
+type LitmusProgram = pmo.Program
+
+// LitmusState is a post-crash PM state.
+type LitmusState = pmo.State
+
+// Litmus op constructors.
+var (
+	// LSt is an abstract persist (store) to a location.
+	LSt = pmo.St
+	// LLd is an abstract load.
+	LLd = pmo.Ld
+	// LPB is a persist barrier.
+	LPB = pmo.PB
+	// LNS is a NewStrand.
+	LNS = pmo.NS
+	// LJS is a JoinStrand.
+	LJS = pmo.JS
+)
+
+// AllowedStates enumerates every crash state the strand persistency
+// model (Equations 1-4) allows for the program.
+func AllowedStates(p LitmusProgram) map[string]LitmusState { return pmo.AllowedStates(p) }
+
+// StateAllowed reports whether the model allows the state.
+func StateAllowed(p LitmusProgram, s LitmusState) bool { return pmo.Allowed(p, s) }
+
+// LitmusCheckResult summarises a hardware-vs-model cross-validation.
+type LitmusCheckResult = litmus.Result
+
+// CheckLitmus runs the program on the simulated StrandWeaver hardware
+// with dense crash injection and validates every observed PM state
+// against the formal model.
+func CheckLitmus(p LitmusProgram, stride uint64) (*LitmusCheckResult, error) {
+	return litmus.Check(p, stride)
+}
