@@ -1,13 +1,14 @@
 // Command strandweaver regenerates the paper's evaluation artifacts
 // (Table II, Figures 7-10), runs the Figure 2 litmus cross-validation,
-// and exercises crash-recovery, on the simulated machine.
+// exercises crash-recovery, and runs the fault-injection torture
+// harness, on the simulated machine.
 //
 // Usage:
 //
 //	strandweaver <experiment> [flags]
 //
 // Experiments: table2, fig7 (includes the headline-claims summary),
-// fig8, fig9, fig10, litmus, crash, all.
+// fig8, fig9, fig10, litmus, crash, torture, ablation, all.
 package main
 
 import (
@@ -20,29 +21,115 @@ import (
 	sw "strandweaver"
 )
 
+// options is the parsed, unvalidated flag set for one invocation.
+type options struct {
+	cmd          string
+	threads      int
+	ops          int
+	seed         int64
+	benchmarks   []string
+	crashes      int
+	intensity    float64
+	maxBudgets   int
+	tearAccepted bool
+	skipLitmus   bool
+	stride       uint64
+}
+
+var commands = []string{
+	"table2", "fig7", "fig8", "fig9", "fig10",
+	"litmus", "crash", "torture", "ablation", "all",
+}
+
+// parseArgs parses a command line (without the program name) into
+// options. Flag defaults are per-command: the torture sweep defaults to
+// its own smaller per-run scale since it runs hundreds of combos.
+func parseArgs(args []string, errw *os.File) (options, error) {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return options{}, fmt.Errorf("missing experiment name (one of: %s)", strings.Join(commands, ", "))
+	}
+	o := options{cmd: args[0]}
+	defThreads, defOps, defCrashes := 8, 250, 20
+	if o.cmd == "torture" {
+		defThreads, defOps, defCrashes = 2, 10, 12
+	}
+	fs := flag.NewFlagSet(o.cmd, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.IntVar(&o.threads, "threads", defThreads, "worker threads (simulated cores)")
+	fs.IntVar(&o.ops, "ops", defOps, "operations per thread")
+	fs.Int64Var(&o.seed, "seed", 1, "workload and fault RNG seed")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table II; torture: queue,hashmap,rbtree)")
+	fs.IntVar(&o.crashes, "crashes", defCrashes, "crash points to inject (crash/torture experiments)")
+	fs.Float64Var(&o.intensity, "intensity", 1.0, "fault-plan intensity multiplier (torture)")
+	fs.IntVar(&o.maxBudgets, "budgets", 96, "max crash-during-recovery budget points per sweep (torture)")
+	fs.BoolVar(&o.tearAccepted, "tear-accepted", false, "add the beyond-ADR plan that tears accepted writes (torture)")
+	fs.BoolVar(&o.skipLitmus, "skip-litmus", false, "skip the litmus phase (torture)")
+	fs.Uint64Var(&o.stride, "stride", 64, "litmus crash-sweep stride in cycles (torture)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return o, err
+	}
+	if *benchList != "" {
+		o.benchmarks = strings.Split(*benchList, ",")
+	}
+	return o, nil
+}
+
+// validate rejects out-of-range flags and unknown names before any
+// simulation starts, so a typo fails fast with a non-zero exit.
+func validate(o options) error {
+	known := false
+	for _, c := range commands {
+		known = known || o.cmd == c
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", o.cmd, strings.Join(commands, ", "))
+	}
+	if o.threads <= 0 {
+		return fmt.Errorf("-threads must be positive (got %d)", o.threads)
+	}
+	if o.ops <= 0 {
+		return fmt.Errorf("-ops must be positive (got %d)", o.ops)
+	}
+	if o.crashes <= 0 {
+		return fmt.Errorf("-crashes must be positive (got %d)", o.crashes)
+	}
+	if o.seed < 0 {
+		return fmt.Errorf("-seed must be non-negative (got %d)", o.seed)
+	}
+	if o.intensity <= 0 {
+		return fmt.Errorf("-intensity must be positive (got %g)", o.intensity)
+	}
+	if o.maxBudgets < 0 {
+		return fmt.Errorf("-budgets must be non-negative (got %d)", o.maxBudgets)
+	}
+	valid := sw.BenchmarkNames()
+	for _, b := range o.benchmarks {
+		ok := false
+		for _, v := range valid {
+			ok = ok || b == v
+		}
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (valid: %s)", b, strings.Join(valid, ", "))
+		}
+	}
+	return nil
+}
+
 func main() {
-	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	threads := fs.Int("threads", 8, "worker threads (simulated cores)")
-	ops := fs.Int("ops", 250, "operations per thread")
-	seed := fs.Int64("seed", 1, "workload RNG seed")
-	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table II)")
-	crashes := fs.Int("crashes", 20, "crash points to inject (crash experiment)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	if err := validate(o); err != nil {
+		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		os.Exit(2)
 	}
-	opt := sw.ExpOptions{Threads: *threads, OpsPerThread: *ops, Seed: *seed}
-	if *benchList != "" {
-		opt.Benchmarks = strings.Split(*benchList, ",")
-	}
+	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks}
 
 	start := time.Now()
-	var err error
-	switch cmd {
+	switch o.cmd {
 	case "table2":
 		err = runTable2(opt)
 	case "fig7":
@@ -56,7 +143,9 @@ func main() {
 	case "litmus":
 		err = runLitmus()
 	case "crash":
-		err = runCrash(opt, *crashes)
+		err = runCrash(opt, o.crashes)
+	case "torture":
+		err = runTorture(o)
 	case "ablation":
 		err = runAblation(opt)
 	case "all":
@@ -67,7 +156,7 @@ func main() {
 			func() error { return runFig9(opt) },
 			func() error { return runFig10(opt) },
 			runLitmus,
-			func() error { return runCrash(opt, *crashes) },
+			func() error { return runCrash(opt, o.crashes) },
 			func() error { return runAblation(opt) },
 		} {
 			if err = f(); err != nil {
@@ -75,15 +164,12 @@ func main() {
 			}
 			fmt.Println()
 		}
-	default:
-		usage()
-		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", o.cmd, time.Since(start).Round(time.Millisecond))
 }
 
 func usage() {
@@ -98,12 +184,39 @@ experiments:
   fig10    speedup vs operations per synchronization-free region
   litmus   Figure 2 litmus shapes: hardware vs formal model
   crash    crash-injection + recovery + invariant verification sweep
+  torture  fault-injection torture harness: torn persists, PM media
+           faults, crash-during-recovery convergence
   ablation design-choice ablations: undo vs redo logging, persist queue
            depth, HOPS buffer capacity, CLWB vs CLFLUSHOPT
   all      everything above
 
 flags (see -h per experiment): -threads -ops -seed -benchmarks -crashes
+torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
 `)
+}
+
+func runTorture(o options) error {
+	to := sw.TortureOptions{
+		Seed:         uint64(o.seed),
+		Intensity:    o.intensity,
+		Benchmarks:   o.benchmarks,
+		Threads:      o.threads,
+		OpsPerThread: o.ops,
+		Crashes:      o.crashes,
+		MaxBudgets:   o.maxBudgets,
+		TearAccepted: o.tearAccepted,
+		SkipLitmus:   o.skipLitmus,
+		LitmusStride: o.stride,
+	}
+	rep, err := sw.Torture(to)
+	if err != nil {
+		return err
+	}
+	sw.PrintTorture(os.Stdout, to, rep)
+	if len(rep.Violations) > 0 {
+		return fmt.Errorf("torture: %d invariant violations", len(rep.Violations))
+	}
+	return nil
 }
 
 func runTable2(opt sw.ExpOptions) error {

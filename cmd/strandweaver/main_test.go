@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) options {
+	t.Helper()
+	o, err := parseArgs(args, os.Stderr)
+	if err != nil {
+		t.Fatalf("parseArgs(%v): %v", args, err)
+	}
+	return o
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, cmd := range commands {
+		if err := validate(parse(t, cmd)); err != nil {
+			t.Errorf("%s with default flags rejected: %v", cmd, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonPositiveCounts(t *testing.T) {
+	cases := [][]string{
+		{"torture", "-threads", "0"},
+		{"torture", "-threads", "-3"},
+		{"crash", "-ops", "0"},
+		{"torture", "-ops", "-1"},
+		{"crash", "-crashes", "0"},
+		{"torture", "-crashes", "-5"},
+		{"torture", "-seed", "-1"},
+		{"torture", "-intensity", "0"},
+		{"torture", "-intensity", "-0.5"},
+		{"torture", "-budgets", "-1"},
+	}
+	for _, args := range cases {
+		if err := validate(parse(t, args...)); err == nil {
+			t.Errorf("validate accepted %v", args)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownBenchmark(t *testing.T) {
+	err := validate(parse(t, "torture", "-benchmarks", "queue,nosuch"))
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// The error must name the offender and list the valid set.
+	if !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("error does not name the unknown benchmark: %v", err)
+	}
+	if !strings.Contains(err.Error(), "queue") || !strings.Contains(err.Error(), "hashmap") {
+		t.Errorf("error does not list valid benchmarks: %v", err)
+	}
+	// And the known subset passes.
+	if err := validate(parse(t, "torture", "-benchmarks", "queue,hashmap")); err != nil {
+		t.Errorf("valid subset rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownCommand(t *testing.T) {
+	if err := validate(options{cmd: "fig11", threads: 1, ops: 1, crashes: 1, intensity: 1}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestParseArgsRequiresCommand(t *testing.T) {
+	if _, err := parseArgs(nil, os.Stderr); err == nil {
+		t.Error("empty command line accepted")
+	}
+	if _, err := parseArgs([]string{"-threads", "4"}, os.Stderr); err == nil {
+		t.Error("flag before experiment name accepted")
+	}
+}
+
+func TestTortureDefaultsAreScaledDown(t *testing.T) {
+	o := parse(t, "torture")
+	if o.threads != 2 || o.ops != 10 || o.crashes != 12 {
+		t.Errorf("torture defaults = threads %d, ops %d, crashes %d; want 2, 10, 12",
+			o.threads, o.ops, o.crashes)
+	}
+	e := parse(t, "crash")
+	if e.threads != 8 || e.ops != 250 || e.crashes != 20 {
+		t.Errorf("crash defaults = threads %d, ops %d, crashes %d; want 8, 250, 20",
+			e.threads, e.ops, e.crashes)
+	}
+}

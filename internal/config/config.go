@@ -68,6 +68,13 @@ type Config struct {
 	// PMAckCycles is the on-chip latency for the controller's acceptance
 	// acknowledgement to reach the flushing core.
 	PMAckCycles uint64
+	// PMMediaMaxRetries bounds retries of a media write after injected
+	// transient failures (fault injection only; no effect without a
+	// fault hook). When the bound is exhausted the write is forced
+	// through and counted in Stats.MediaRetriesExhausted.
+	PMMediaMaxRetries int
+	// PMMediaRetryBackoffCycles is the wait between media write retries.
+	PMMediaRetryBackoffCycles uint64
 	// DRAMReadCycles is the DRAM access latency for L2 misses to the
 	// volatile region.
 	DRAMReadCycles uint64
@@ -109,6 +116,8 @@ func Default() Config {
 		PMReadQueueEntries:        32,
 		PMBanks:                   64,
 		PMAckCycles:               60,
+		PMMediaMaxRetries:         8,
+		PMMediaRetryBackoffCycles: 250,
 		DRAMReadCycles:            100,
 		IssueWidth:                2,
 	}
@@ -137,6 +146,10 @@ func (c Config) Validate() error {
 		return errf("L2 geometry must be positive, got %dx%d", c.L2Sets, c.L2Ways)
 	case c.IssueWidth <= 0:
 		return errf("IssueWidth must be positive, got %d", c.IssueWidth)
+	case c.PMMediaMaxRetries < 0:
+		return errf("PMMediaMaxRetries must be non-negative, got %d", c.PMMediaMaxRetries)
+	case c.PMMediaMaxRetries > 0 && c.PMMediaRetryBackoffCycles == 0:
+		return errf("PMMediaRetryBackoffCycles must be positive when retries are enabled")
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"strandweaver/internal/mem"
+)
+
+// Crash-during-recovery torture: recovery itself mutates PM through the
+// same 8-byte-atomic writes as any other software, so power can fail in
+// the middle of it. RunToPowerCut executes a recovery step under a
+// write budget; CheckConvergence sweeps budgets and asserts the
+// interrupted-then-rerun image converges to the uninterrupted one.
+
+// RunToPowerCut runs fn with img's write budget armed at n mutations.
+// If the budget is exhausted mid-run the power cut unwinds fn and
+// RunToPowerCut reports cut=true; err is fn's error otherwise. The
+// budget is disarmed on return either way.
+func RunToPowerCut(img *mem.Image, n int, fn func() error) (cut bool, err error) {
+	defer func() {
+		img.DisarmWriteBudget()
+		if r := recover(); r != nil {
+			if _, ok := r.(mem.PowerCut); !ok {
+				panic(r)
+			}
+			cut = true
+		}
+	}()
+	img.ArmWriteBudget(n)
+	return false, fn()
+}
+
+// Recoverer is one recovery pass over a crash image (e.g. a closure
+// over undolog.Recover or redolog.Recover).
+type Recoverer func(img *mem.Image) error
+
+// Convergence summarises one CheckConvergence sweep.
+type Convergence struct {
+	// BudgetsTried is the number of budget points exercised (0, 1, ...
+	// up to the uninterrupted pass's own mutation count).
+	BudgetsTried int
+	// CutsObserved counts budgets at which the power cut actually fired.
+	CutsObserved int
+}
+
+// CheckConvergence asserts recovery is restartable at every possible
+// power-cut point: for each budget n = 0, 1, 2, ... it clones crash,
+// runs recover until the budget cuts power, re-runs recover to
+// completion, and requires the result to be byte-identical to an
+// uninterrupted recovery of the same image. The sweep ends at the first
+// budget that covers the whole pass. maxBudgets caps the sweep (0 = no
+// cap) for schedules where a full sweep is too slow; the cap samples
+// the earliest cut points, which are the adversarial ones.
+func CheckConvergence(crash *mem.Image, rec Recoverer, maxBudgets int) (Convergence, error) {
+	var cv Convergence
+	golden := crash.Clone()
+	if err := rec(golden); err != nil {
+		return cv, fmt.Errorf("faultinject: uninterrupted recovery failed: %w", err)
+	}
+	for n := 0; maxBudgets == 0 || n < maxBudgets; n++ {
+		img := crash.Clone()
+		cut, err := RunToPowerCut(img, n, func() error { return rec(img) })
+		if err != nil {
+			return cv, fmt.Errorf("faultinject: recovery under budget %d failed: %w", n, err)
+		}
+		cv.BudgetsTried++
+		if cut {
+			cv.CutsObserved++
+			if err := rec(img); err != nil {
+				return cv, fmt.Errorf("faultinject: re-run after cut at budget %d failed: %w", n, err)
+			}
+		}
+		if !img.Equal(golden) {
+			return cv, fmt.Errorf("faultinject: budget %d: interrupted-then-rerun image diverges from uninterrupted recovery", n)
+		}
+		if !cut {
+			break
+		}
+	}
+	return cv, nil
+}

@@ -1,0 +1,232 @@
+// Package faultinject is the deterministic fault-injection subsystem:
+// torn persists at the persistence boundary, transient PM media faults
+// and latency spikes at bank drain, and write-budgeted power cuts for
+// crash-during-recovery torture. Every fault decision is drawn from a
+// seeded generator in simulator event order, so a (seed, workload,
+// crash cycle) triple reproduces byte-identical crash images.
+//
+// Fault model. The controller's acceptance is the persistence point
+// (ADR): accepted writes are durable. A power failure therefore
+// partitions in-flight writes in two:
+//
+//   - submitted-but-unaccepted writes (on-chip transit plus the
+//     controller's overflow queue) race the failure. They travel to the
+//     controller in a FIFO stream and are accepted in submission order,
+//     so the power cut truncates that stream at one point: writes
+//     before the cut reach acceptance and land fully, the single write
+//     mid-transfer at the cut tears at mem.PersistAtomicBytes (8-byte)
+//     granularity — each of its words independently lands or is lost —
+//     and writes after the cut never arrive. Without TornPersists the
+//     cut is at the stream's head (all dropped, the line-atomic
+//     baseline). The FIFO property is load-bearing: un-barriered
+//     traffic such as cache-eviction write-backs is ordered only by
+//     submission, and recovery soundness (a torn log entry implies its
+//     in-place update never persisted) relies on a later submission
+//     never landing when an earlier one is lost.
+//   - accepted-but-undrained writes are inside the ADR domain and
+//     survive. The TearAccepted torture mode deliberately breaks this
+//     guarantee (modelling a failed ADR flush) by reverting a random
+//     subset of each such line's words to their pre-write contents; it
+//     is off by default and exists to probe recovery beyond the
+//     hardware contract.
+package faultinject
+
+import (
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+)
+
+// Plan parameterises one fault-injection configuration.
+type Plan struct {
+	// Seed initialises the deterministic generator.
+	Seed uint64
+
+	// TornPersists enables the submission-stream power cut in crash
+	// images: a random prefix of the unaccepted writes lands, the write
+	// at the cut tears word-by-word, the rest drop. When false, every
+	// unaccepted write drops wholly.
+	TornPersists bool
+	// DropProb is the per-word probability that a word of the
+	// mid-transfer write at the cut is lost (TornPersists only).
+	DropProb float64
+	// TearAccepted additionally tears accepted-but-undrained writes,
+	// violating the ADR guarantee (torture mode; off by default).
+	TearAccepted bool
+
+	// MediaFaultProb is the per-attempt probability that a
+	// controller-to-media write fails transiently (bounded retries with
+	// backoff; see config.PMMediaMaxRetries).
+	MediaFaultProb float64
+	// MediaDelayProb is the per-attempt probability of a latency spike.
+	MediaDelayProb float64
+	// MediaDelayCycles is the spike magnitude.
+	MediaDelayCycles uint64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	// MediaFaults counts injected transient media write failures.
+	MediaFaults uint64
+	// MediaDelays counts injected latency spikes.
+	MediaDelays uint64
+	// TornLines counts crash-image boundary writes that tore (some
+	// words kept, some dropped); at most one per crash image.
+	TornLines uint64
+	// LandedLines counts unaccepted writes before the power-cut point
+	// that landed fully.
+	LandedLines uint64
+	// DroppedLines counts unaccepted line writes dropped wholly.
+	DroppedLines uint64
+	// WordsKept and WordsDropped count per-word outcomes across
+	// boundary writes.
+	WordsKept    uint64
+	WordsDropped uint64
+	// AcceptedTorn counts accepted writes torn under TearAccepted.
+	AcceptedTorn uint64
+}
+
+// Injector draws fault decisions from a seeded generator. It implements
+// pmem.FaultHook; install it with Arm.
+type Injector struct {
+	plan  Plan
+	state uint64
+	stats Stats
+}
+
+// New returns an injector for the plan.
+func New(p Plan) *Injector {
+	// splitmix64 of the seed avoids weak low-entropy initial states
+	// (seed 0 or small integers).
+	return &Injector{plan: p, state: p.Seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a copy of the fault counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Arm installs the injector as the system's media fault hook.
+func (in *Injector) Arm(sys *machine.System) { sys.Ctrl.SetFaultHook(in) }
+
+// next is splitmix64: deterministic, full-period, seed-robust.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chance draws a Bernoulli with probability p.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	// 53-bit mantissa draw: exact IEEE, platform-independent.
+	return float64(in.next()>>11)/(1<<53) < p
+}
+
+// MediaWrite implements pmem.FaultHook: consulted once per media write
+// attempt, in deterministic event order.
+func (in *Injector) MediaWrite(line mem.Addr, attempt int) pmem.MediaVerdict {
+	var v pmem.MediaVerdict
+	if in.chance(in.plan.MediaDelayProb) {
+		v.ExtraCycles = sim.Cycle(in.plan.MediaDelayCycles)
+		in.stats.MediaDelays++
+	}
+	if in.chance(in.plan.MediaFaultProb) {
+		v.Fail = true
+		in.stats.MediaFaults++
+	}
+	return v
+}
+
+// CrashImage builds the post-power-failure PM image for the system's
+// current state: the durable (accepted) contents, plus whatever subset
+// of the unaccepted in-flight writes the fault plan lets land. Call it
+// at the crash point (after Abandon). Each call consumes generator
+// state: with the same injector, successive calls model distinct
+// failure instants.
+func (in *Injector) CrashImage(sys *machine.System) *mem.Image {
+	img := sys.Mem.CrashImage()
+	ws := sys.Ctrl.UnacceptedWrites()
+	if !in.plan.TornPersists {
+		in.stats.DroppedLines += uint64(len(ws))
+	} else if len(ws) > 0 {
+		// Power-cut point in the FIFO submission stream: k writes reach
+		// acceptance, write k is mid-transfer and tears per-word, the
+		// rest never arrive. The prefix must land in submission order —
+		// later same-line writes overwrite earlier ones, as acceptance
+		// would have.
+		k := int(in.next() % uint64(len(ws)+1))
+		for i := 0; i < k; i++ {
+			w := ws[i]
+			img.StoreLine(w.Line, &w.Data)
+		}
+		in.stats.LandedLines += uint64(k)
+		if k < len(ws) {
+			keep := uint8(0)
+			for bit := 0; bit < mem.LineWords; bit++ {
+				if !in.chance(in.plan.DropProb) {
+					keep |= 1 << bit
+					in.stats.WordsKept++
+				} else {
+					in.stats.WordsDropped++
+				}
+			}
+			w := ws[k]
+			switch keep {
+			case 0:
+				in.stats.DroppedLines++
+			case (1 << mem.LineWords) - 1:
+				in.stats.LandedLines++
+				img.StoreLine(w.Line, &w.Data)
+			default:
+				in.stats.TornLines++
+				img.StoreLineMasked(w.Line, &w.Data, keep)
+			}
+			in.stats.DroppedLines += uint64(len(ws) - k - 1)
+		}
+	}
+	if in.plan.TearAccepted {
+		// Beyond-ADR torture: revert a random subset of each accepted
+		// undrained line's words to their pre-write contents, newest
+		// acceptance first so layered writes unwind in order.
+		acc := sys.Ctrl.AcceptedInFlight()
+		for i := len(acc) - 1; i >= 0; i-- {
+			w := acc[i]
+			revert := uint8(0)
+			for bit := 0; bit < mem.LineWords; bit++ {
+				if in.chance(in.plan.DropProb) {
+					revert |= 1 << bit
+				}
+			}
+			if revert == 0 {
+				continue
+			}
+			in.stats.AcceptedTorn++
+			img.StoreLineMasked(w.Line, &w.Old, revert)
+		}
+	}
+	return img
+}
+
+// Presets returns the torture sweep's standard fault plans at the given
+// seed, mild to hostile: line-atomic drops, torn persists, and torn
+// persists with media faults and latency spikes.
+func Presets(seed uint64) []Plan {
+	return []Plan{
+		{Seed: seed},
+		{Seed: seed + 1, TornPersists: true, DropProb: 0.5},
+		{
+			Seed: seed + 2, TornPersists: true, DropProb: 0.35,
+			MediaFaultProb: 0.02, MediaDelayProb: 0.05, MediaDelayCycles: 400,
+		},
+	}
+}

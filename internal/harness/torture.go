@@ -1,0 +1,509 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/faultinject"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/litmus"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/redolog"
+	"strandweaver/internal/sim"
+	"strandweaver/internal/undolog"
+	"strandweaver/internal/workloads"
+)
+
+// Torture is the crash-recovery torture harness: it sweeps crash cycles
+// x fault plans (line-atomic drops, torn persists, media faults) across
+// litmus programs, undo-logged persistent data structures, and the redo
+// log, recovering every crash image and checking structural invariants;
+// a subset of combos additionally sweeps crash-during-recovery write
+// budgets and asserts recovery converges when interrupted and re-run.
+// Everything is seeded: the same options reproduce byte-identical crash
+// images (see ImageDigest) and an identical report.
+
+// TortureOptions configures a torture sweep.
+type TortureOptions struct {
+	// Seed drives every fault decision. Same options, same report.
+	Seed uint64
+	// Intensity scales the preset plans' tear and media-fault
+	// probabilities (1.0 = presets as-is). Clamped to keep
+	// probabilities in [0, 1].
+	Intensity float64
+	// Benchmarks are the pds workloads to torture (default: queue,
+	// hashmap, rbtree).
+	Benchmarks []string
+	// Threads and OpsPerThread size each workload run (defaults 2, 10).
+	Threads      int
+	OpsPerThread int
+	// Crashes is the number of crash cycles per (benchmark, plan)
+	// combination (default 12), evenly spaced over the crash-free run.
+	Crashes int
+	// ConvergeEvery runs the crash-during-recovery budget sweep on
+	// every Nth combo (default 3; 1 = every combo).
+	ConvergeEvery int
+	// MaxBudgets caps each budget sweep's points (0 means the default
+	// of 96). A sweep that hits the cap is reported, not hidden.
+	MaxBudgets int
+	// TearAccepted adds a beyond-ADR plan that tears accepted writes.
+	// Such combos violate the hardware contract by construction, so
+	// their invariant failures are counted separately, not as
+	// violations.
+	TearAccepted bool
+	// SkipLitmus drops the litmus phase (for quick runs).
+	SkipLitmus bool
+	// LitmusStride is the litmus crash-sweep stride (default 64).
+	LitmusStride uint64
+}
+
+func (o TortureOptions) withDefaults() TortureOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Intensity == 0 {
+		o.Intensity = 1
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = []string{"queue", "hashmap", "rbtree"}
+	}
+	if o.Threads == 0 {
+		o.Threads = 2
+	}
+	if o.OpsPerThread == 0 {
+		o.OpsPerThread = 10
+	}
+	if o.Crashes == 0 {
+		o.Crashes = 12
+	}
+	if o.ConvergeEvery == 0 {
+		o.ConvergeEvery = 3
+	}
+	if o.MaxBudgets == 0 {
+		o.MaxBudgets = 96
+	}
+	if o.LitmusStride == 0 {
+		o.LitmusStride = 64
+	}
+	return o
+}
+
+// plans derives the sweep's fault plans from the options.
+func (o TortureOptions) plans() []faultinject.Plan {
+	ps := faultinject.Presets(o.Seed)
+	clamp := func(p float64) float64 {
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	for i := range ps {
+		ps[i].DropProb = clamp(ps[i].DropProb * o.Intensity)
+		ps[i].MediaFaultProb = clamp(ps[i].MediaFaultProb * o.Intensity)
+		ps[i].MediaDelayProb = clamp(ps[i].MediaDelayProb * o.Intensity)
+	}
+	if o.TearAccepted {
+		ps = append(ps, faultinject.Plan{
+			Seed: o.Seed + 3, TornPersists: true, DropProb: clamp(0.5 * o.Intensity),
+			TearAccepted: true,
+		})
+	}
+	return ps
+}
+
+// TortureReport summarises a sweep.
+type TortureReport struct {
+	Seed  uint64
+	Plans int
+
+	// Combos counts (crash cycle x fault plan) runs across the workload
+	// and redolog phases.
+	Combos int
+	// Violations lists invariant or recovery failures (empty on a
+	// healthy model).
+	Violations []string
+
+	// TornImages counts crash images with at least one torn line;
+	// TornRepaired counts those that recovery repaired (verified OK).
+	TornImages   int
+	TornRepaired int
+	// TornLogEntries totals log entries discarded by recovery checksum
+	// scrubbing (undo + redo).
+	TornLogEntries int
+	// RolledBack and Replayed total recovery actions across combos.
+	RolledBack int
+	Replayed   int
+
+	// Injected fault totals.
+	TornLines, DroppedLines  uint64
+	MediaFaults, MediaDelays uint64
+	// BeyondADR counts TearAccepted combos whose invariants broke —
+	// expected, the mode violates the hardware contract.
+	BeyondADR int
+
+	// Convergence sweeps: budget points tried and power cuts observed,
+	// per recovery engine.
+	UndoBudgets, UndoCuts int
+	RedoBudgets, RedoCuts int
+	// BudgetSweepsCapped counts sweeps that hit MaxBudgets before the
+	// budget covered a whole recovery pass.
+	BudgetSweepsCapped int
+
+	// Controller overflow/fault stats observed across combos.
+	MaxPendingArrivals    int
+	PendingStallCycles    uint64
+	MediaRetriesExhausted uint64
+
+	// Litmus phase.
+	LitmusPrograms    int
+	LitmusCrashPoints int
+
+	// ImageDigest folds every crash image's fingerprint in sweep order;
+	// equal digests mean byte-identical images.
+	ImageDigest uint64
+}
+
+func (r *TortureReport) foldImage(img *mem.Image) {
+	r.ImageDigest = r.ImageDigest*1099511628211 ^ img.Fingerprint()
+}
+
+// perRunSeed decorrelates a plan's generator across crash points.
+func perRunSeed(p faultinject.Plan, crashCycle uint64) faultinject.Plan {
+	p.Seed += crashCycle * 0x9e3779b97f4a7c15
+	return p
+}
+
+// Torture runs the full sweep.
+func Torture(o TortureOptions) (*TortureReport, error) {
+	o = o.withDefaults()
+	plans := o.plans()
+	rep := &TortureReport{Seed: o.Seed, Plans: len(plans)}
+	if !o.SkipLitmus {
+		if err := tortureLitmus(o, plans, rep); err != nil {
+			return rep, err
+		}
+	}
+	for _, b := range o.Benchmarks {
+		if err := tortureWorkload(o, b, plans, rep); err != nil {
+			return rep, err
+		}
+	}
+	if err := tortureRedolog(o, plans, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// tortureLitmus cross-validates fault-laden crash states against the
+// formal model for every standard litmus shape.
+func tortureLitmus(o TortureOptions, plans []faultinject.Plan, rep *TortureReport) error {
+	progs := litmus.StandardPrograms()
+	names := make([]string, 0, len(progs))
+	for n := range progs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := progs[name]
+		for pi, plan := range plans {
+			if plan.TearAccepted {
+				// Litmus states have no redundancy to repair a broken
+				// ADR promise; the beyond-ADR mode is exercised against
+				// the recoverable structures instead.
+				continue
+			}
+			plan := plan
+			res, err := litmus.CheckWithFaults(p, o.LitmusStride, func(at uint64) litmus.FaultInjector {
+				return faultinject.New(perRunSeed(plan, at))
+			})
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("litmus %s plan %d: %v", name, pi, err))
+				continue
+			}
+			rep.LitmusCrashPoints += res.CrashPoints
+		}
+		rep.LitmusPrograms++
+	}
+	return nil
+}
+
+// buildWorkload assembles a system + runtime + instance for one torture
+// run.
+func buildWorkload(o TortureOptions, bench string) (*machine.System, workloads.Instance, []machine.Worker, error) {
+	cfg := config.Default()
+	cfg.Cores = o.Threads
+	sys, err := machine.New(cfg, hwdesign.StrandWeaver)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rt := langmodel.New(sys, langmodel.TXN, o.Threads, langmodel.DefaultOptions())
+	f, err := workloads.Find(bench)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inst := f.New(workloads.Params{Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: int64(o.Seed)})
+	inst.Setup(sys, rt)
+	ws := make([]machine.Worker, o.Threads)
+	for i := range ws {
+		ws[i] = inst.Worker(i)
+	}
+	return sys, inst, ws, nil
+}
+
+// tortureWorkload sweeps crash cycles x plans over one pds benchmark.
+func tortureWorkload(o TortureOptions, bench string, plans []faultinject.Plan, rep *TortureReport) error {
+	for pi, plan := range plans {
+		// Crash-free run under this plan's media faults to find the
+		// schedule length the crash points subdivide.
+		sys, _, ws, err := buildWorkload(o, bench)
+		if err != nil {
+			return err
+		}
+		faultinject.New(plan).Arm(sys)
+		end, err := sys.Run(ws, 2_000_000_000)
+		if err != nil {
+			return fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
+		}
+		for ci := 1; ci <= o.Crashes; ci++ {
+			crashAt := sim.Cycle(uint64(end) * uint64(ci) / uint64(o.Crashes+1))
+			if crashAt == 0 {
+				crashAt = 1
+			}
+			sys, inst, ws, err := buildWorkload(o, bench)
+			if err != nil {
+				return err
+			}
+			fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
+			fi.Arm(sys)
+			sys.RunAt(crashAt, sys.Abandon)
+			_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
+			crash := fi.CrashImage(sys)
+			rep.Combos++
+			rep.foldImage(crash)
+			accounting(rep, fi, sys)
+
+			img := crash.Clone()
+			rrep, rerr := undolog.Recover(img, o.Threads)
+			verr := rerr
+			if verr == nil {
+				verr = inst.Verify(img)
+			}
+			torn := fi.Stats().TornLines > 0
+			if torn {
+				rep.TornImages++
+			}
+			if verr != nil {
+				if plan.TearAccepted {
+					rep.BeyondADR++
+				} else {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("%s plan %d crash@%d: %v", bench, pi, crashAt, verr))
+				}
+				continue
+			}
+			if torn {
+				rep.TornRepaired++
+			}
+			rep.TornLogEntries += rrep.TornDiscarded
+			rep.RolledBack += len(rrep.RolledBack)
+
+			if rep.Combos%o.ConvergeEvery == 0 {
+				cv, err := faultinject.CheckConvergence(crash, func(im *mem.Image) error {
+					_, err := undolog.Recover(im, o.Threads)
+					return err
+				}, o.MaxBudgets)
+				rep.UndoBudgets += cv.BudgetsTried
+				rep.UndoCuts += cv.CutsObserved
+				if err != nil {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("%s plan %d crash@%d convergence: %v", bench, pi, crashAt, err))
+				} else if cv.BudgetsTried == o.MaxBudgets && o.MaxBudgets > 0 {
+					rep.BudgetSweepsCapped++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// accounting folds one run's injector and controller stats into the
+// report.
+func accounting(rep *TortureReport, fi *faultinject.Injector, sys *machine.System) {
+	fs := fi.Stats()
+	rep.TornLines += fs.TornLines
+	rep.DroppedLines += fs.DroppedLines
+	rep.MediaFaults += fs.MediaFaults
+	rep.MediaDelays += fs.MediaDelays
+	cs := sys.Ctrl.Stats()
+	if cs.MaxPendingArrivals > rep.MaxPendingArrivals {
+		rep.MaxPendingArrivals = cs.MaxPendingArrivals
+	}
+	rep.PendingStallCycles += cs.PendingStallCycles
+	rep.MediaRetriesExhausted += cs.MediaRetriesExhausted
+}
+
+// Redolog torture workload: one thread advances a 4-cell record through
+// generations, each generation one redo transaction. The invariant is
+// all-or-nothing per generation: after recovery every cell must carry
+// the same generation.
+const redoCells = 4
+
+func redoCellAddr(i int) mem.Addr {
+	return mem.PMBase + undolog.HeapOffset + mem.Addr(i)*mem.LineSize
+}
+
+func redoGenVal(g, i int) uint64 { return uint64(g)*100 + uint64(i) + 1 }
+
+func redoVerify(img *mem.Image, gens int) error {
+	for g := 0; g <= gens; g++ {
+		ok := true
+		for i := 0; i < redoCells; i++ {
+			if img.Read64(redoCellAddr(i)) != redoGenVal(g, i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+	}
+	vals := make([]uint64, redoCells)
+	for i := range vals {
+		vals[i] = img.Read64(redoCellAddr(i))
+	}
+	return fmt.Errorf("redolog cells torn across generations: %v", vals)
+}
+
+// tortureRedolog sweeps crash cycles x plans over the redo-log engine.
+func tortureRedolog(o TortureOptions, plans []faultinject.Plan, rep *TortureReport) error {
+	const gens = 4
+	build := func() (*machine.System, *redolog.Logs) {
+		cfg := config.Default()
+		cfg.Cores = 1
+		sys := machine.MustNew(cfg, hwdesign.StrandWeaver)
+		for i := 0; i < redoCells; i++ {
+			a := redoCellAddr(i)
+			sys.Mem.Volatile.Write64(a, redoGenVal(0, i))
+			sys.Mem.Persistent.Write64(a, redoGenVal(0, i))
+			sys.Hier.Preload(mem.LineAddr(a))
+		}
+		return sys, redolog.Init(sys, 1, 64)
+	}
+	worker := func(l *redolog.Log) machine.Worker {
+		return func(c *cpu.Core) {
+			for g := 1; g <= gens; g++ {
+				tx := l.Begin(c)
+				for i := 0; i < redoCells; i++ {
+					tx.Store(redoCellAddr(i), redoGenVal(g, i))
+				}
+				tx.Commit()
+				if g == gens/2 {
+					l.GroupCommit(c)
+				}
+			}
+			c.DrainAll()
+		}
+	}
+	for pi, plan := range plans {
+		sys, logs := build()
+		faultinject.New(plan).Arm(sys)
+		end, err := sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
+		if err != nil {
+			return fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
+		}
+		for ci := 1; ci <= o.Crashes; ci++ {
+			crashAt := sim.Cycle(uint64(end) * uint64(ci) / uint64(o.Crashes+1))
+			if crashAt == 0 {
+				crashAt = 1
+			}
+			sys, logs := build()
+			fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
+			fi.Arm(sys)
+			sys.RunAt(crashAt, sys.Abandon)
+			_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
+			crash := fi.CrashImage(sys)
+			rep.Combos++
+			rep.foldImage(crash)
+			accounting(rep, fi, sys)
+
+			img := crash.Clone()
+			rrep, rerr := redolog.Recover(img, 1)
+			verr := rerr
+			if verr == nil {
+				verr = redoVerify(img, gens)
+			}
+			torn := fi.Stats().TornLines > 0
+			if torn {
+				rep.TornImages++
+			}
+			if verr != nil {
+				if plan.TearAccepted {
+					rep.BeyondADR++
+				} else {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("redolog plan %d crash@%d: %v", pi, crashAt, verr))
+				}
+				continue
+			}
+			if torn {
+				rep.TornRepaired++
+			}
+			rep.TornLogEntries += rrep.TornDiscarded
+			rep.Replayed += len(rrep.Replayed)
+
+			if rep.Combos%o.ConvergeEvery == 0 {
+				cv, err := faultinject.CheckConvergence(crash, func(im *mem.Image) error {
+					_, err := redolog.Recover(im, 1)
+					return err
+				}, o.MaxBudgets)
+				rep.RedoBudgets += cv.BudgetsTried
+				rep.RedoCuts += cv.CutsObserved
+				if err != nil {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("redolog plan %d crash@%d convergence: %v", pi, crashAt, err))
+				} else if cv.BudgetsTried == o.MaxBudgets && o.MaxBudgets > 0 {
+					rep.BudgetSweepsCapped++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PrintTorture renders a torture report.
+func PrintTorture(w io.Writer, o TortureOptions, rep *TortureReport) {
+	o = o.withDefaults()
+	fmt.Fprintf(w, "Torture sweep: seed %d, %d fault plans, %d crash/plan, benchmarks %v\n",
+		rep.Seed, rep.Plans, o.Crashes, o.Benchmarks)
+	fmt.Fprintf(w, "  combos run:            %d (crash cycle x fault plan)\n", rep.Combos)
+	fmt.Fprintf(w, "  litmus:                %d programs, %d fault-laden crash points\n",
+		rep.LitmusPrograms, rep.LitmusCrashPoints)
+	fmt.Fprintf(w, "  torn crash images:     %d (%d repaired by recovery)\n", rep.TornImages, rep.TornRepaired)
+	fmt.Fprintf(w, "  torn lines/dropped:    %d/%d (8-byte word granularity)\n", rep.TornLines, rep.DroppedLines)
+	fmt.Fprintf(w, "  torn log entries:      %d discarded by checksum scrub\n", rep.TornLogEntries)
+	fmt.Fprintf(w, "  recovery actions:      %d rolled back (undo), %d replayed (redo)\n", rep.RolledBack, rep.Replayed)
+	fmt.Fprintf(w, "  media faults/delays:   %d/%d (retries exhausted: %d)\n",
+		rep.MediaFaults, rep.MediaDelays, rep.MediaRetriesExhausted)
+	fmt.Fprintf(w, "  overflow queue:        max depth %d, %d stall cycles\n",
+		rep.MaxPendingArrivals, rep.PendingStallCycles)
+	fmt.Fprintf(w, "  crash-during-recovery: undo %d budgets/%d cuts, redo %d budgets/%d cuts (capped sweeps: %d)\n",
+		rep.UndoBudgets, rep.UndoCuts, rep.RedoBudgets, rep.RedoCuts, rep.BudgetSweepsCapped)
+	if rep.BeyondADR > 0 {
+		fmt.Fprintf(w, "  beyond-ADR breakage:   %d combos (TearAccepted violates the hardware contract)\n", rep.BeyondADR)
+	}
+	fmt.Fprintf(w, "  image digest:          %016x\n", rep.ImageDigest)
+	if len(rep.Violations) == 0 {
+		fmt.Fprintf(w, "  violations:            none\n")
+		return
+	}
+	fmt.Fprintf(w, "  VIOLATIONS (%d):\n", len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Fprintf(w, "    %s\n", v)
+	}
+}

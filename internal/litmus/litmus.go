@@ -23,6 +23,37 @@ func LocAddr(loc int) mem.Addr {
 	return mem.PMBase + mem.Addr(loc)*mem.LineSize
 }
 
+// FaultInjector is the slice of package faultinject's Injector that
+// litmus needs: arm media-fault hooks on a system and materialise the
+// post-crash PM image (possibly with torn persists). Declared here so
+// litmus does not depend on the injector's implementation.
+type FaultInjector interface {
+	Arm(sys *machine.System)
+	CrashImage(sys *machine.System) *mem.Image
+}
+
+// StandardPrograms returns the litmus shapes of the paper's Figure 2
+// plus extra barrier/strand compositions, keyed by name. The map is
+// freshly built per call; callers may mutate it.
+func StandardPrograms() map[string]pmo.Program {
+	const locA, locB, locC = 0, 1, 2
+	return map[string]pmo.Program{
+		"fig2ab-pb-ns": {{pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.NS(), pmo.St(locC, 1)}},
+		"fig2cd-join":  {{pmo.St(locA, 1), pmo.NS(), pmo.St(locB, 1), pmo.JS(), pmo.St(locC, 1)}},
+		"fig2ef-spa":   {{pmo.St(locA, 1), pmo.NS(), pmo.St(locA, 2), pmo.PB(), pmo.St(locB, 1)}},
+		"fig2gh-load":  {{pmo.St(locA, 1), pmo.NS(), pmo.Ld(locA), pmo.PB(), pmo.St(locB, 1)}},
+		"fig2ij-interthread": {
+			{pmo.St(locA, 1), pmo.NS(), pmo.St(locB, 1)},
+			{pmo.St(locB, 2), pmo.PB(), pmo.St(locC, 1)},
+		},
+		"chained-barriers": {{pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.PB(), pmo.St(locC, 1)}},
+		"ns-clears-pb":     {{pmo.St(locA, 1), pmo.PB(), pmo.NS(), pmo.St(locB, 1), pmo.JS(), pmo.St(locC, 1)}},
+		"two-strands-join": {
+			{pmo.NS(), pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.NS(), pmo.St(locC, 1), pmo.JS()},
+		},
+	}
+}
+
 // workers translates the abstract program into simulator workers: each
 // store is a Store64 + CLWB on the current strand, barriers map to the
 // StrandWeaver primitives.
@@ -92,13 +123,37 @@ type Result struct {
 // post-crash state against the formal model. It returns an error naming
 // the first forbidden state observed, if any.
 func Check(p pmo.Program, stride uint64) (*Result, error) {
+	return CheckWithFaults(p, stride, nil)
+}
+
+// CheckWithFaults is Check with fault injection: mk (when non-nil) is
+// called once per run with the crash cycle (0 for the crash-free run)
+// and must return a fresh injector, which is armed on the system and
+// asked for the post-crash image.
+//
+// Torn persists keep every litmus invariant intact, and this function
+// asserts it: the injector's power cut truncates the FIFO submission
+// stream, landing a prefix of the unaccepted writes, tearing only the
+// single write mid-transfer at the cut, and dropping the rest. The
+// landed prefix is exactly what a slightly later crash would have made
+// durable, and each litmus location occupies one 8-byte word of its own
+// line, so the boundary write partially landing is observationally
+// "landed" or "not" — both states the model already allows. A forbidden
+// state under fault injection is therefore a real ordering bug, not
+// noise.
+func CheckWithFaults(p pmo.Program, stride uint64, mk func(crashCycle uint64) FaultInjector) (*Result, error) {
 	if stride == 0 {
 		stride = 64
 	}
 	allowed := pmo.AllowedStates(p)
 
-	// Crash-free run (also validates the final state).
+	// Crash-free run (also validates the final state). Media faults and
+	// latency spikes apply here too, so the crash sweep below covers the
+	// fault-stretched schedule.
 	s := newSystem(p)
+	if mk != nil {
+		mk(0).Arm(s)
+	}
 	end, err := s.Run(workers(p), 10_000_000)
 	if err != nil {
 		return nil, fmt.Errorf("litmus: crash-free run: %w", err)
@@ -112,10 +167,21 @@ func Check(p pmo.Program, stride uint64) (*Result, error) {
 
 	for at := uint64(1); at <= uint64(end)+1; at += stride {
 		sc := newSystem(p)
+		var fi FaultInjector
+		if mk != nil {
+			fi = mk(at)
+			fi.Arm(sc)
+		}
 		crashAt := sim.Cycle(at)
 		sc.RunAt(crashAt, sc.Abandon)
 		_, _ = sc.Run(workers(p), 10_000_000) // error expected: stopped engine
-		st := observedState(sc.Mem.Persistent, p)
+		var img *mem.Image
+		if fi != nil {
+			img = fi.CrashImage(sc)
+		} else {
+			img = sc.Mem.Persistent
+		}
+		st := observedState(img, p)
 		res.CrashPoints++
 		if _, ok := allowed[st.Key()]; !ok {
 			return res, fmt.Errorf("litmus: crash at cycle %d observed forbidden state %q", at, st.Key())

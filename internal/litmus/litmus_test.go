@@ -1,34 +1,10 @@
 package litmus
 
-import (
-	"testing"
-
-	"strandweaver/internal/pmo"
-)
-
-const (
-	locA = iota
-	locB
-	locC
-)
+import "testing"
 
 // figure2Programs are the litmus shapes of the paper's Figure 2 plus
-// extra barrier/strand compositions.
-var figure2Programs = map[string]pmo.Program{
-	"fig2ab-pb-ns": {{pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.NS(), pmo.St(locC, 1)}},
-	"fig2cd-join":  {{pmo.St(locA, 1), pmo.NS(), pmo.St(locB, 1), pmo.JS(), pmo.St(locC, 1)}},
-	"fig2ef-spa":   {{pmo.St(locA, 1), pmo.NS(), pmo.St(locA, 2), pmo.PB(), pmo.St(locB, 1)}},
-	"fig2gh-load":  {{pmo.St(locA, 1), pmo.NS(), pmo.Ld(locA), pmo.PB(), pmo.St(locB, 1)}},
-	"fig2ij-interthread": {
-		{pmo.St(locA, 1), pmo.NS(), pmo.St(locB, 1)},
-		{pmo.St(locB, 2), pmo.PB(), pmo.St(locC, 1)},
-	},
-	"chained-barriers": {{pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.PB(), pmo.St(locC, 1)}},
-	"ns-clears-pb":     {{pmo.St(locA, 1), pmo.PB(), pmo.NS(), pmo.St(locB, 1), pmo.JS(), pmo.St(locC, 1)}},
-	"two-strands-join": {
-		{pmo.NS(), pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.NS(), pmo.St(locC, 1), pmo.JS()},
-	},
-}
+// extra barrier/strand compositions (see StandardPrograms).
+var figure2Programs = StandardPrograms()
 
 // TestLitmusFigure2CrossValidation runs every Figure 2 shape on the
 // StrandWeaver timing simulator with dense crash injection and checks

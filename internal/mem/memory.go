@@ -9,6 +9,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // LineSize is the cache-line (and persist) granularity in bytes.
@@ -16,6 +17,15 @@ const LineSize = 64
 
 // LineShift is log2(LineSize).
 const LineShift = 6
+
+// PersistAtomicBytes is the media's atomic write unit. x86 guarantees
+// only 8-byte atomicity for stores within a line, so a line-sized write
+// that is interrupted by power failure may land as an arbitrary subset
+// of its 8-byte words.
+const PersistAtomicBytes = 8
+
+// LineWords is the number of atomic persist units per cache line.
+const LineWords = LineSize / PersistAtomicBytes
 
 // Addr is a simulated physical address.
 type Addr uint64
@@ -34,6 +44,53 @@ const pageSize = 1 << 16 // 64 KiB sparse pages
 // Image is a sparse byte-addressable memory image.
 type Image struct {
 	pages map[Addr]*[pageSize]byte
+
+	// writes counts mutating calls (each at most 8-byte-atomic from the
+	// point of view of recovery tooling; see ArmWriteBudget).
+	writes uint64
+	// budget, when armed, is decremented once per mutating call; a call
+	// that finds it exhausted panics with PowerCut, modelling a power
+	// failure in the middle of (recovery) software mutating the image.
+	budget      int
+	budgetArmed bool
+}
+
+// PowerCut is the panic value raised by a mutating call on an image
+// whose write budget is exhausted. It models power failing while
+// software (typically recovery) is mutating PM: the mutation sequence
+// stops at an arbitrary 8-byte-atomic boundary.
+type PowerCut struct{}
+
+func (PowerCut) String() string {
+	return "mem: write budget exhausted (simulated power cut)"
+}
+
+// ArmWriteBudget allows n further mutating calls on the image; the
+// n+1th panics with PowerCut. Each public mutating call (SetByte,
+// Write, Write64, ...) charges one unit regardless of length, matching
+// the 8-byte-atomic mutations recovery code performs.
+func (im *Image) ArmWriteBudget(n int) {
+	im.budget = n
+	im.budgetArmed = true
+}
+
+// DisarmWriteBudget removes the budget; mutations are unlimited again.
+func (im *Image) DisarmWriteBudget() { im.budgetArmed = false }
+
+// MutationCount reports the total number of mutating calls the image
+// has served. The delta across a recovery run enumerates the budget
+// points a crash-during-recovery sweep must cover.
+func (im *Image) MutationCount() uint64 { return im.writes }
+
+// charge accounts one mutating call against the budget.
+func (im *Image) charge() {
+	im.writes++
+	if im.budgetArmed {
+		if im.budget == 0 {
+			panic(PowerCut{})
+		}
+		im.budget--
+	}
 }
 
 // NewImage returns an empty image; all bytes read as zero.
@@ -63,6 +120,11 @@ func (im *Image) ByteAt(a Addr) byte {
 
 // SetByte sets the byte at a.
 func (im *Image) SetByte(a Addr, v byte) {
+	im.charge()
+	im.setByte(a, v)
+}
+
+func (im *Image) setByte(a Addr, v byte) {
 	p, off := im.page(a, true)
 	p[off] = v
 }
@@ -76,8 +138,9 @@ func (im *Image) Read(a Addr, dst []byte) {
 
 // Write copies src into the image starting at a.
 func (im *Image) Write(a Addr, src []byte) {
+	im.charge()
 	for i, b := range src {
-		im.SetByte(a+Addr(i), b)
+		im.setByte(a+Addr(i), b)
 	}
 }
 
@@ -128,6 +191,25 @@ func (im *Image) StoreLine(line Addr, src *[LineSize]byte) {
 	im.Write(line, src[:])
 }
 
+// StoreLineMasked installs a subset of the 8-byte words of src at the
+// line-aligned address line: word i (bytes [8i, 8i+8)) is written iff
+// bit i of keep is set; the other words retain their prior image
+// contents. This is the sub-line capture a torn persist leaves behind —
+// a line write interrupted by power failure lands as an arbitrary
+// subset of its 8-byte-atomic units.
+func (im *Image) StoreLineMasked(line Addr, src *[LineSize]byte, keep uint8) {
+	if LineOffset(line) != 0 {
+		panic(fmt.Sprintf("mem: StoreLineMasked of unaligned address %#x", line))
+	}
+	for w := 0; w < LineWords; w++ {
+		if keep&(1<<w) == 0 {
+			continue
+		}
+		off := w * PersistAtomicBytes
+		im.Write(line+Addr(off), src[off:off+PersistAtomicBytes])
+	}
+}
+
 // Clone returns a deep copy of the image.
 func (im *Image) Clone() *Image {
 	c := NewImage()
@@ -141,3 +223,76 @@ func (im *Image) Clone() *Image {
 
 // PageCount reports how many sparse pages have been touched.
 func (im *Image) PageCount() int { return len(im.pages) }
+
+// zeroPage reports whether p holds only zero bytes.
+func zeroPage(p *[pageSize]byte) bool {
+	if p == nil {
+		return true
+	}
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two images hold identical contents. Pages
+// that were touched but hold only zeros compare equal to absent pages,
+// so Equal is content equality, not allocation-history equality.
+func (im *Image) Equal(other *Image) bool {
+	for base, p := range im.pages {
+		q := other.pages[base]
+		if q == nil {
+			if !zeroPage(p) {
+				return false
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	for base, q := range other.pages {
+		if im.pages[base] == nil && !zeroPage(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a deterministic 64-bit digest of the image's
+// contents (FNV-1a over pages in ascending address order, all-zero
+// pages skipped). Two images are Equal iff their contents match;
+// matching contents always produce matching fingerprints, so the
+// fingerprint is a cheap identity for determinism regression checks.
+func (im *Image) Fingerprint() uint64 {
+	bases := make([]Addr, 0, len(im.pages))
+	for base, p := range im.pages {
+		if !zeroPage(p) {
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, base := range bases {
+		mix(uint64(base))
+		p := im.pages[base]
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}

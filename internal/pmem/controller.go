@@ -6,6 +6,14 @@
 //
 // The DRAM side shares the controller front-end but writes to DRAM are
 // never durable; they simply complete.
+//
+// The controller is also the simulator's persistence boundary for fault
+// injection (package faultinject): it tracks every PM write from
+// submission to media drain, exposing (a) the submitted-but-unaccepted
+// writes whose 8-byte sub-words race the power failure (torn persists),
+// (b) the accepted-but-undrained writes inside the ADR domain, and (c) a
+// FaultHook consulted at each media write attempt to inject transient
+// media failures and latency spikes with bounded retry/backoff.
 package pmem
 
 import (
@@ -21,10 +29,58 @@ type WriteAck func()
 // ReadDone is invoked when a read request completes.
 type ReadDone func()
 
+// MediaVerdict is a FaultHook's decision for one media write attempt.
+type MediaVerdict struct {
+	// ExtraCycles is added to the media write latency (a latency spike).
+	ExtraCycles sim.Cycle
+	// Fail makes the attempt a transient write failure: the bank holds
+	// the line and retries after the configured backoff, up to the
+	// configured retry bound.
+	Fail bool
+}
+
+// FaultHook intercepts controller-to-media write attempts. attempt is
+// 0 for the first try and counts retries after transient failures.
+// Implementations must be deterministic given the engine's event order.
+type FaultHook interface {
+	MediaWrite(line mem.Addr, attempt int) MediaVerdict
+}
+
 type pendingWrite struct {
 	line mem.Addr
 	data [mem.LineSize]byte
 	ack  WriteAck
+	// seq is the submission order stamp (for deterministic snapshots).
+	seq uint64
+	// arrivedAt is the cycle the write reached the controller while the
+	// write queue was full (overflow-queue stall accounting).
+	arrivedAt sim.Cycle
+}
+
+// drainEntry is one accepted write on its way to media.
+type drainEntry struct {
+	line mem.Addr
+	// old is the persistent image's prior content of the line, captured
+	// at acceptance (the pre-state a torn drain would partially revert
+	// to under the beyond-ADR TearAccepted torture mode).
+	old [mem.LineSize]byte
+	// data is the accepted line contents.
+	data [mem.LineSize]byte
+	// attempts counts media write tries (retries after transient faults).
+	attempts int
+	// draining marks the entry as owned by a bank.
+	draining bool
+}
+
+// LineWrite is a snapshot of one tracked PM line write.
+type LineWrite struct {
+	// Line is the line-aligned PM address.
+	Line mem.Addr
+	// Old is the persistent image's content before this write (only
+	// populated for accepted writes).
+	Old [mem.LineSize]byte
+	// Data is the line contents the write carries.
+	Data [mem.LineSize]byte
 }
 
 // Controller is the shared DRAM+PM memory controller.
@@ -33,13 +89,27 @@ type Controller struct {
 	cfg     config.Config
 	machine *mem.Machine
 
-	// writeQOccupied counts accepted PM writes not yet drained to media.
-	writeQOccupied int
+	// submitSeq stamps submissions for deterministic ordering.
+	submitSeq uint64
+	// transit holds PM writes submitted but not yet arrived at the
+	// controller front-end (on-chip flight), in submission order.
+	transit []*pendingWrite
 	// pending holds PM writes that arrived while the write queue was
 	// full; they are accepted FIFO as entries free.
-	pending []pendingWrite
+	pending []*pendingWrite
+
+	// writeQOccupied counts accepted PM writes not yet drained to media.
+	writeQOccupied int
+	// drainq holds accepted writes not yet owned by a bank, FIFO.
+	drainq []*drainEntry
+	// inflight holds every accepted, undrained write in acceptance
+	// order (drainq entries plus those a bank is writing).
+	inflight []*drainEntry
 	// busyBanks counts banks currently writing to media.
 	busyBanks int
+
+	// faults, when non-nil, is consulted at each media write attempt.
+	faults FaultHook
 
 	// readsInFlight counts outstanding PM reads (bounded by the read
 	// queue).
@@ -66,6 +136,22 @@ type Stats struct {
 	WriteQueueFullEvents uint64
 	// MaxWriteQueueDepth tracks the high-water mark of the write queue.
 	MaxWriteQueueDepth int
+	// MaxPendingArrivals tracks the high-water mark of the overflow
+	// queue (arrivals waiting for a free write-queue entry).
+	MaxPendingArrivals int
+	// PendingStallCycles accumulates the cycles arrivals spent waiting
+	// in the overflow queue before acceptance.
+	PendingStallCycles uint64
+	// MediaWriteFaults counts transient media write failures injected at
+	// the bank-drain stage.
+	MediaWriteFaults uint64
+	// MediaRetriesExhausted counts lines whose retry budget ran out (the
+	// write is then forced through, modelling a media-scrub success, so
+	// the simulation cannot wedge).
+	MediaRetriesExhausted uint64
+	// MediaFaultDelayCycles accumulates injected media latency (spikes
+	// plus retry backoff).
+	MediaFaultDelayCycles uint64
 }
 
 // New returns a controller bound to the engine, configuration and
@@ -76,6 +162,9 @@ func New(eng *sim.Engine, cfg config.Config, machine *mem.Machine) *Controller {
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// SetFaultHook installs (or, with nil, removes) the media fault hook.
+func (c *Controller) SetFaultHook(h FaultHook) { c.faults = h }
 
 // SubmitPMWrite sends the given snapshot of a PM line toward the
 // controller. After the on-chip transit latency the write is accepted as
@@ -92,28 +181,49 @@ func (c *Controller) SubmitPMWrite(line mem.Addr, data [mem.LineSize]byte, ack W
 		})
 		return
 	}
+	c.submitSeq++
+	w := &pendingWrite{line: line, data: data, ack: ack, seq: c.submitSeq}
+	c.transit = append(c.transit, w)
 	c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles), func() {
-		c.arrive(pendingWrite{line: line, data: data, ack: ack})
+		c.removeTransit(w)
+		c.arrive(w)
 	})
 }
 
-func (c *Controller) arrive(w pendingWrite) {
+func (c *Controller) removeTransit(w *pendingWrite) {
+	for i, t := range c.transit {
+		if t == w {
+			c.transit = append(c.transit[:i], c.transit[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Controller) arrive(w *pendingWrite) {
 	if c.writeQOccupied >= c.cfg.PMWriteQueueEntries {
 		c.stats.WriteQueueFullEvents++
+		w.arrivedAt = c.eng.Now()
 		c.pending = append(c.pending, w)
+		if len(c.pending) > c.stats.MaxPendingArrivals {
+			c.stats.MaxPendingArrivals = len(c.pending)
+		}
 		return
 	}
 	c.accept(w)
 }
 
 // accept is the persistence point.
-func (c *Controller) accept(w pendingWrite) {
+func (c *Controller) accept(w *pendingWrite) {
 	c.writeQOccupied++
 	if c.writeQOccupied > c.stats.MaxWriteQueueDepth {
 		c.stats.MaxWriteQueueDepth = c.writeQOccupied
 	}
 	c.stats.PMWritesAccepted++
+	e := &drainEntry{line: w.line, data: w.data}
+	c.machine.Persistent.CopyLine(w.line, &e.old)
 	c.machine.PersistLineData(w.line, &w.data)
+	c.drainq = append(c.drainq, e)
+	c.inflight = append(c.inflight, e)
 	if w.ack != nil {
 		ack := w.ack
 		c.eng.Schedule(sim.Cycle(c.cfg.PMAckCycles), sim.Event(ack))
@@ -123,24 +233,107 @@ func (c *Controller) accept(w pendingWrite) {
 
 // tryDrain starts media writes on free banks.
 func (c *Controller) tryDrain() {
-	for c.busyBanks < c.cfg.PMBanks && c.writeQOccupied-c.busyBanks > 0 {
+	for c.busyBanks < c.cfg.PMBanks && len(c.drainq) > 0 {
+		e := c.drainq[0]
+		copy(c.drainq, c.drainq[1:])
+		c.drainq[len(c.drainq)-1] = nil
+		c.drainq = c.drainq[:len(c.drainq)-1]
+		e.draining = true
 		c.busyBanks++
-		c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToMediaCycles), c.mediaWriteDone)
+		c.startMediaWrite(e)
 	}
 }
 
-func (c *Controller) mediaWriteDone() {
+// startMediaWrite performs one media write attempt for e on its bank,
+// consulting the fault hook for injected failures and latency spikes.
+func (c *Controller) startMediaWrite(e *drainEntry) {
+	latency := sim.Cycle(c.cfg.PMWriteToMediaCycles)
+	fail := false
+	if c.faults != nil {
+		v := c.faults.MediaWrite(e.line, e.attempts)
+		latency += v.ExtraCycles
+		c.stats.MediaFaultDelayCycles += uint64(v.ExtraCycles)
+		fail = v.Fail
+	}
+	c.eng.Schedule(latency, func() { c.mediaWriteDone(e, fail) })
+}
+
+func (c *Controller) mediaWriteDone(e *drainEntry, failed bool) {
+	if failed {
+		c.stats.MediaWriteFaults++
+		e.attempts++
+		if e.attempts <= c.cfg.PMMediaMaxRetries {
+			// Transient failure: the bank holds the line and retries
+			// after the backoff.
+			backoff := sim.Cycle(c.cfg.PMMediaRetryBackoffCycles)
+			c.stats.MediaFaultDelayCycles += uint64(backoff)
+			c.eng.Schedule(backoff, func() { c.startMediaWrite(e) })
+			return
+		}
+		// Retry budget exhausted: force the write through (media scrub)
+		// rather than wedging the write queue forever.
+		c.stats.MediaRetriesExhausted++
+	}
 	c.busyBanks--
 	c.writeQOccupied--
 	c.stats.PMWritesDrained++
+	c.removeInflight(e)
 	// A queue entry freed: accept a waiting arrival, oldest first.
 	if len(c.pending) > 0 && c.writeQOccupied < c.cfg.PMWriteQueueEntries {
 		w := c.pending[0]
 		copy(c.pending, c.pending[1:])
+		c.pending[len(c.pending)-1] = nil
 		c.pending = c.pending[:len(c.pending)-1]
+		c.stats.PendingStallCycles += uint64(c.eng.Now() - w.arrivedAt)
 		c.accept(w)
 	}
 	c.tryDrain()
+}
+
+func (c *Controller) removeInflight(e *drainEntry) {
+	for i, x := range c.inflight {
+		if x == e {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// UnacceptedWrites snapshots the PM line writes that have been submitted
+// toward the controller but not accepted: on-chip transit plus the
+// overflow queue, in submission order. At a power failure these writes
+// are outside the ADR domain — each of their 8-byte sub-words
+// independently may or may not have reached the media (torn persists);
+// under the baseline line-atomic model they are dropped wholly.
+func (c *Controller) UnacceptedWrites() []LineWrite {
+	ws := make([]*pendingWrite, 0, len(c.transit)+len(c.pending))
+	ws = append(ws, c.transit...)
+	ws = append(ws, c.pending...)
+	// Submission order; transit and pending are each ordered already but
+	// interleave (a later submission can be in transit while an earlier
+	// one waits in the overflow queue).
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j-1].seq > ws[j].seq; j-- {
+			ws[j-1], ws[j] = ws[j], ws[j-1]
+		}
+	}
+	out := make([]LineWrite, len(ws))
+	for i, w := range ws {
+		out[i] = LineWrite{Line: w.line, Data: w.data}
+	}
+	return out
+}
+
+// AcceptedInFlight snapshots the accepted-but-undrained writes in
+// acceptance order, with the persistent image's pre-write contents.
+// Under ADR these are durable at a power failure; the TearAccepted
+// torture mode deliberately violates that guarantee.
+func (c *Controller) AcceptedInFlight() []LineWrite {
+	out := make([]LineWrite, len(c.inflight))
+	for i, e := range c.inflight {
+		out[i] = LineWrite{Line: e.line, Old: e.old, Data: e.data}
+	}
+	return out
 }
 
 // SubmitRead requests a line fill from memory. For PM addresses the

@@ -30,6 +30,10 @@ type Report struct {
 	// DiscardedTxs counts transactions whose entries were found without
 	// a commit record.
 	DiscardedTxs int
+	// TornDiscarded counts entries whose valid flag was set but whose
+	// payload checksum mismatched — a torn log-entry persist. Scrubbing
+	// them is sound; see entryChecksum.
+	TornDiscarded int
 	// Replayed lists re-applied writes in replay order.
 	Replayed []ReplayedWrite
 }
@@ -66,7 +70,7 @@ func Recover(img *mem.Image, threads int) (*Report, error) {
 			if img.Read64(e+entFlags)&flagValid == 0 {
 				continue
 			}
-			all = append(all, scanned{
+			s := scanned{
 				thread: t,
 				addr:   e,
 				typ:    img.Read64(e + entType),
@@ -74,7 +78,15 @@ func Recover(img *mem.Image, threads int) (*Report, error) {
 				val:    img.Read64(e + entNew),
 				txid:   img.Read64(e + entTxID),
 				seq:    img.Read64(e + entSeq),
-			})
+			}
+			// Torn entries are scrubbed before commit detection, so a
+			// torn commit record is never honoured.
+			if img.Read64(e+entCheck) != entryChecksum(s.typ, s.target, s.val, s.txid, s.seq) {
+				img.Write64(e+entFlags, 0)
+				rep.TornDiscarded++
+				continue
+			}
+			all = append(all, s)
 		}
 	}
 	// Which (thread, txid) pairs committed?

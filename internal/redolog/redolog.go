@@ -32,7 +32,28 @@ const (
 	entTxID  = 24
 	entSeq   = 32
 	entFlags = 40
+	entCheck = 48 // checksum over the payload words (torn-write defence)
 )
+
+// entryChecksum digests an entry's payload words, excluding the flags
+// word (rewritten independently by group-commit invalidation and 8-byte
+// atomic on its own). As with undolog.EntryChecksum, media atomicity is
+// 8 bytes: a line interrupted mid-persist can land as any subset of its
+// words, and recovery discards checksum-mismatched entries. Discarding
+// is sound: in-place updates are ordered behind the commit record on
+// the same strand, and the commit record behind all redo entries, so a
+// torn entry implies neither the commit record nor any in-place update
+// of its transaction reached PM. Commit records checksum with addr and
+// val zero (those fields are never written for them).
+func entryChecksum(typ uint64, addr mem.Addr, val, txid, seq uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range [...]uint64{typ, uint64(addr), val, txid, seq} {
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
 
 // Entry types.
 const (
@@ -178,6 +199,7 @@ func (tx *Tx) Store(addr mem.Addr, v uint64) {
 	c.Store64(e+entNew, v)
 	c.Store64(e+entTxID, tx.id)
 	c.Store64(e+entSeq, *l.ticket)
+	c.Store64(e+entCheck, entryChecksum(typeStore, addr, v, tx.id, *l.ticket))
 	c.Store64(e+entFlags, flagValid)
 	c.CLWB(e)
 	l.stats.Entries++
@@ -216,6 +238,7 @@ func (tx *Tx) Commit() {
 	c.Store64(e+entType, typeCommit)
 	c.Store64(e+entTxID, tx.id)
 	c.Store64(e+entSeq, *l.ticket)
+	c.Store64(e+entCheck, entryChecksum(typeCommit, 0, 0, tx.id, *l.ticket))
 	c.Store64(e+entFlags, flagValid)
 	c.CLWB(e)
 	// In-place updates ordered behind the commit record.

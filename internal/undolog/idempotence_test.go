@@ -1,0 +1,172 @@
+package undolog
+
+import (
+	"testing"
+
+	"strandweaver/internal/mem"
+)
+
+// These tests pin down recovery's fixed-point behaviour: re-running
+// Recover on an already-recovered image must change nothing, and a
+// recovery pass interrupted by power failure after ANY number of
+// mutations, then re-run to completion, must converge to the same image
+// as an uninterrupted pass.
+
+// recoverWithBudget runs Recover allowing at most n 8-byte mutations to
+// img, reporting whether the budget expired (a simulated mid-recovery
+// power cut).
+func recoverWithBudget(t *testing.T, img *mem.Image, threads, n int) (cut bool) {
+	t.Helper()
+	defer func() {
+		img.DisarmWriteBudget()
+		if r := recover(); r != nil {
+			if _, ok := r.(mem.PowerCut); !ok {
+				panic(r)
+			}
+			cut = true
+		}
+	}()
+	img.ArmWriteBudget(n)
+	if _, err := Recover(img, threads); err != nil {
+		t.Fatal(err)
+	}
+	return false
+}
+
+// wrappedCommitImage builds a crash image whose commit range wraps the
+// circular buffer: the covered entries sit at HIGHER slots than their
+// marker, so a scan-order invalidation would hit the marker first. This
+// is the shape that makes marker-before-entries invalidation unsafe
+// under crash-during-recovery.
+func wrappedCommitImage() *mem.Image {
+	img, buf := imageWithLog(8)
+	img.Write64(target1, 100) // committed value: must survive every replay
+	img.Write64(target2, 200) // uncommitted value: must roll back to 40
+	// Committed region, wrapped: entries at slots 5-7, marker at slot 1.
+	writeEntry(img, buf, 5, target1, 1, 7, FlagValid)
+	writeEntry(img, buf, 6, target1, 2, 8, FlagValid)
+	writeEntry(img, buf, 7, target1, 3, 9, FlagValid)
+	writeEntry(img, buf, 1, target1, 4, 10, FlagValid|FlagCommitMarker)
+	// Uncommitted region after the marker.
+	writeEntry(img, buf, 2, target2, 40, 11, FlagValid)
+	return img
+}
+
+// TestRecoveryFixedPoint: recovering an already-recovered image is a
+// no-op, byte for byte.
+func TestRecoveryFixedPoint(t *testing.T) {
+	img := wrappedCommitImage()
+	if _, err := Recover(img, 1); err != nil {
+		t.Fatal(err)
+	}
+	golden := img.Clone()
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommitsFinished != 0 || rep.EntriesInvalidated != 0 ||
+		rep.TornDiscarded != 0 || len(rep.RolledBack) != 0 {
+		t.Errorf("second recovery did work: %+v", rep)
+	}
+	if !img.Equal(golden) {
+		t.Error("second recovery changed the image")
+	}
+}
+
+// TestRecoveryConvergesAfterPowerCut sweeps every possible mid-recovery
+// power-cut point (budget of 0, 1, 2, ... mutations) and asserts that
+// an interrupted-then-rerun recovery produces an image identical to an
+// uninterrupted one. The wrapped commit range makes this bite: if the
+// marker's invalidation persisted before its covered entries', the
+// re-run would find committed entries with no marker and wrongly roll
+// them back.
+func TestRecoveryConvergesAfterPowerCut(t *testing.T) {
+	crash := wrappedCommitImage()
+	golden := crash.Clone()
+	if _, err := Recover(golden, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := golden.Read64(target1); got != 100 {
+		t.Fatalf("golden: target1 = %d, want 100 (committed value)", got)
+	}
+	if got := golden.Read64(target2); got != 40 {
+		t.Fatalf("golden: target2 = %d, want 40 (rolled back)", got)
+	}
+	sawCut := false
+	for n := 0; ; n++ {
+		img := crash.Clone()
+		cut := recoverWithBudget(t, img, 1, n)
+		if cut {
+			sawCut = true
+			if _, err := Recover(img, 1); err != nil {
+				t.Fatalf("budget %d: re-run failed: %v", n, err)
+			}
+		}
+		if !img.Equal(golden) {
+			t.Fatalf("budget %d: interrupted-then-rerun image diverges from golden "+
+				"(target1=%d target2=%d)", n, img.Read64(target1), img.Read64(target2))
+		}
+		if !cut {
+			break // budget covered the whole pass; nothing left to sweep
+		}
+	}
+	if !sawCut {
+		t.Fatal("budget sweep never interrupted recovery")
+	}
+}
+
+// TestRecoveryDiscardsTornEntry: an entry whose valid flag persisted but
+// whose payload words tore (checksum mismatch) is scrubbed, and its
+// stale old-value is NOT applied. The discard is sound because Figure
+// 5's ordering means the entry's in-place update never issued.
+func TestRecoveryDiscardsTornEntry(t *testing.T) {
+	img, buf := imageWithLog(16)
+	img.Write64(target1, 7)
+	writeEntry(img, buf, 0, target1, 999, 3, FlagValid)
+	// Tear the entry: the old-value word is lost (reverts to zero) while
+	// the flags word survived.
+	e := buf + mem.Addr(0*mem.LineSize)
+	img.Write64(e+entOld, 0)
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornDiscarded != 1 {
+		t.Errorf("TornDiscarded = %d, want 1", rep.TornDiscarded)
+	}
+	if len(rep.RolledBack) != 0 {
+		t.Errorf("rolled back a torn entry: %+v", rep.RolledBack)
+	}
+	if got := img.Read64(target1); got != 7 {
+		t.Errorf("target1 = %d, want 7 (torn entry must not be applied)", got)
+	}
+	if img.Read64(e+entFlags) != 0 {
+		t.Error("torn entry's flags not scrubbed")
+	}
+}
+
+// TestRecoveryTornMarkerNotHonoured: a commit marker whose payload tore
+// must not finish the commit — its covered entries roll back instead.
+func TestRecoveryTornMarkerNotHonoured(t *testing.T) {
+	img, buf := imageWithLog(16)
+	img.Write64(target1, 50)
+	writeEntry(img, buf, 0, target1, 10, 1, FlagValid)
+	writeEntry(img, buf, 1, target1, 20, 2, FlagValid|FlagCommitMarker)
+	// Tear the marker entry's ticket word.
+	e := buf + mem.Addr(1*mem.LineSize)
+	img.Write64(e+entSeq, 0)
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommitsFinished != 0 {
+		t.Error("torn marker finished a commit")
+	}
+	if rep.TornDiscarded != 1 {
+		t.Errorf("TornDiscarded = %d, want 1", rep.TornDiscarded)
+	}
+	// Entry ticket 1 is now uncommitted and rolls back.
+	if got := img.Read64(target1); got != 10 {
+		t.Errorf("target1 = %d, want 10 (rollback after torn marker)", got)
+	}
+}

@@ -59,7 +59,33 @@ const (
 	entSeq   = 32 // global creation ticket (happens-before metadata)
 	entFlags = 40 // bit 0: valid, bit 1: commit marker
 	entMeta  = 48 // lock address for sync entries
+	entCheck = 56 // checksum over the payload words (torn-write defence)
 )
+
+// EntryChecksum digests an entry's payload words (everything except the
+// flags word, which is rewritten independently by commit markers and
+// invalidations and is 8-byte-atomic on its own). Media atomicity is
+// only 8 bytes, so a log-entry line write interrupted by power failure
+// can land as an arbitrary subset of its words; recovery discards
+// entries whose checksum mismatches. Discarding is sound: the persist
+// ordering of Figure 5 issues an in-place update's flush only after the
+// log entry's flush was accepted, and even un-barriered paths to PM
+// (cache-eviction write-backs of the updated line) are submitted after
+// the entry's flush and accepted in FIFO submission order — so a torn
+// (hence unaccepted) entry implies no form of its update reached the
+// persistence domain.
+// The constant seed makes the all-zero payload checksum non-zero, so a
+// slot where only the flags word survived cannot masquerade as a valid
+// zero entry.
+func EntryChecksum(typ EntryType, addr mem.Addr, old, size, seq, meta uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range [...]uint64{uint64(typ), uint64(addr), old, size, seq, meta} {
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
 
 // EntryType discriminates log entries (paper: [Store, Acquire, Release]
 // for ATLAS/SFR, [Store, TX_BEGIN, TX_END] for transactions).

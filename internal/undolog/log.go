@@ -124,6 +124,7 @@ func (l *Log) appendEntry(c *cpu.Core, typ EntryType, addr mem.Addr, old, size, 
 	c.Store64(e+entSize, size)
 	c.Store64(e+entSeq, tk)
 	c.Store64(e+entMeta, meta)
+	c.Store64(e+entCheck, EntryChecksum(typ, addr, old, size, tk, meta))
 	c.Store64(e+entFlags, FlagValid)
 	l.tail++
 	// Volatile tail update (DRAM store: no persist ordering effects).

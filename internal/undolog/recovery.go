@@ -37,6 +37,12 @@ type Report struct {
 	// EntriesInvalidated counts committed entries invalidated while
 	// finishing commits.
 	EntriesInvalidated int
+	// TornDiscarded counts entries whose valid flag was set but whose
+	// payload checksum mismatched — a torn log-entry persist. They are
+	// scrubbed, which is sound: the runtime issues an in-place update
+	// only after its log entry's flush is accepted (durable), so a torn
+	// entry's update never reached PM.
+	TornDiscarded int
 	// RolledBack lists undone mutations, in the order applied (reverse
 	// creation order).
 	RolledBack []RecoveredEntry
@@ -72,7 +78,9 @@ func Recover(img *mem.Image, threads int) (*Report, error) {
 			return rep, fmt.Errorf("undolog: thread %d descriptor has implausible entry count %d", t, entries)
 		}
 		// Scan every slot for valid entries and the newest commit
-		// marker.
+		// marker. Entries whose payload checksum mismatches are torn
+		// log persists: scrub and discard them before marker detection,
+		// so a torn marker flag is never honoured.
 		var valid []scannedEntry
 		markerTicket := uint64(0)
 		markerSeen := false
@@ -92,6 +100,13 @@ func Recover(img *mem.Image, threads int) (*Report, error) {
 				ticket: img.Read64(e + entSeq),
 				flags:  flags,
 			}
+			size := img.Read64(e + entSize)
+			meta := img.Read64(e + entMeta)
+			if img.Read64(e+entCheck) != EntryChecksum(se.typ, se.target, se.old, size, se.ticket, meta) {
+				img.Write64(e+entFlags, 0)
+				rep.TornDiscarded++
+				continue
+			}
 			valid = append(valid, se)
 			if flags&FlagCommitMarker != 0 && (!markerSeen || se.ticket > markerTicket) {
 				markerSeen = true
@@ -100,17 +115,35 @@ func Recover(img *mem.Image, threads int) (*Report, error) {
 		}
 		// Finish an interrupted commit: everything up to (and
 		// including) the marker was committed; invalidate it rather
-		// than roll it back (Figure 6b step 2).
+		// than roll it back (Figure 6b step 2). Ordering matters for
+		// idempotence under crash-during-recovery: the markers must be
+		// invalidated only after every entry they cover, newest marker
+		// strictly last — otherwise a power cut between the marker's
+		// invalidation and its covered entries' would leave committed
+		// entries that a re-run, finding no marker, would wrongly roll
+		// back (reachable when the commit range wraps the circular
+		// buffer, putting covered entries at higher slots than the
+		// marker).
 		if markerSeen {
 			rep.CommitsFinished++
 		}
+		var markers []scannedEntry
 		for _, se := range valid {
 			if markerSeen && se.ticket <= markerTicket {
+				if se.flags&FlagCommitMarker != 0 {
+					markers = append(markers, se)
+					continue
+				}
 				img.Write64(se.addr+entFlags, 0)
 				rep.EntriesInvalidated++
 				continue
 			}
 			live = append(live, se)
+		}
+		sort.Slice(markers, func(i, j int) bool { return markers[i].ticket < markers[j].ticket })
+		for _, se := range markers {
+			img.Write64(se.addr+entFlags, 0)
+			rep.EntriesInvalidated++
 		}
 	}
 	// Roll back all uncommitted store mutations in reverse creation

@@ -30,6 +30,7 @@ func writeEntry(img *mem.Image, bufBase mem.Addr, s uint64, target mem.Addr, old
 	img.Write64(e+entOld, old)
 	img.Write64(e+entSize, 8)
 	img.Write64(e+entSeq, ticket)
+	img.Write64(e+entCheck, EntryChecksum(EntryStore, target, old, 8, ticket, 0))
 	img.Write64(e+entFlags, flags)
 }
 

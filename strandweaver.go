@@ -31,6 +31,7 @@ import (
 
 	"strandweaver/internal/config"
 	"strandweaver/internal/cpu"
+	"strandweaver/internal/faultinject"
 	"strandweaver/internal/harness"
 	"strandweaver/internal/hwdesign"
 	"strandweaver/internal/langmodel"
@@ -40,6 +41,7 @@ import (
 	"strandweaver/internal/palloc"
 	"strandweaver/internal/pds"
 	"strandweaver/internal/pmo"
+	"strandweaver/internal/redolog"
 	"strandweaver/internal/sim"
 	"strandweaver/internal/trace"
 	"strandweaver/internal/undolog"
@@ -310,4 +312,82 @@ type LitmusCheckResult = litmus.Result
 // against the formal model.
 func CheckLitmus(p LitmusProgram, stride uint64) (*LitmusCheckResult, error) {
 	return litmus.Check(p, stride)
+}
+
+// StandardLitmusPrograms returns the Figure 2 litmus shapes plus extra
+// barrier/strand compositions, keyed by name.
+func StandardLitmusPrograms() map[string]LitmusProgram { return litmus.StandardPrograms() }
+
+// CheckLitmusWithFaults is CheckLitmus under fault injection: mk is
+// called once per run with the crash cycle (0 for the crash-free run)
+// and must return a fresh injector for that run.
+func CheckLitmusWithFaults(p LitmusProgram, stride uint64, mk func(crashCycle uint64) *FaultInjector) (*LitmusCheckResult, error) {
+	if mk == nil {
+		return litmus.Check(p, stride)
+	}
+	return litmus.CheckWithFaults(p, stride, func(at uint64) litmus.FaultInjector { return mk(at) })
+}
+
+// --- Fault injection and torture testing ---
+
+// FaultPlan parameterises deterministic fault injection: torn persists
+// at the persistence boundary (8-byte word granularity), transient PM
+// media faults and latency spikes, and the beyond-ADR TearAccepted
+// torture mode.
+type FaultPlan = faultinject.Plan
+
+// FaultStats counts injected faults.
+type FaultStats = faultinject.Stats
+
+// FaultInjector draws every fault decision from a seeded generator in
+// simulator event order, so crash images are reproducible byte-for-byte.
+type FaultInjector = faultinject.Injector
+
+// NewFaultInjector returns an injector for the plan. Arm it on a system
+// before running; call CrashImage at the crash point for the
+// post-power-failure PM image.
+func NewFaultInjector(p FaultPlan) *FaultInjector { return faultinject.New(p) }
+
+// FaultPresets returns the torture sweep's standard plans at the given
+// seed, mild to hostile.
+func FaultPresets(seed uint64) []FaultPlan { return faultinject.Presets(seed) }
+
+// Recoverer is one recovery pass over a crash image.
+type Recoverer = faultinject.Recoverer
+
+// Convergence summarises one crash-during-recovery budget sweep.
+type Convergence = faultinject.Convergence
+
+// CheckConvergence asserts a recovery procedure is restartable: for
+// each write budget it interrupts recovery with a simulated power cut,
+// re-runs it, and requires byte-identical convergence with an
+// uninterrupted pass.
+func CheckConvergence(crash *Image, rec Recoverer, maxBudgets int) (Convergence, error) {
+	return faultinject.CheckConvergence(crash, rec, maxBudgets)
+}
+
+// RedoRecoveryReport summarises one redo-log recovery pass.
+type RedoRecoveryReport = redolog.Report
+
+// RecoverRedo runs redo-log recovery over a crash image for the first
+// threads logs, replaying committed transactions.
+func RecoverRedo(img *Image, threads int) (*RedoRecoveryReport, error) {
+	return redolog.Recover(img, threads)
+}
+
+// TortureOptions configures a torture sweep.
+type TortureOptions = harness.TortureOptions
+
+// TortureReport summarises a torture sweep.
+type TortureReport = harness.TortureReport
+
+// Torture runs the crash-recovery torture harness: crash cycles x fault
+// plans across litmus programs, undo-logged structures and the redo
+// log, with invariant checks and crash-during-recovery convergence
+// sweeps.
+func Torture(o TortureOptions) (*TortureReport, error) { return harness.Torture(o) }
+
+// PrintTorture renders a torture report.
+func PrintTorture(w io.Writer, o TortureOptions, rep *TortureReport) {
+	harness.PrintTorture(w, o, rep)
 }
