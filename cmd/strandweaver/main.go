@@ -8,13 +8,17 @@
 //	strandweaver <experiment> [flags]
 //
 // Experiments: table2, fig7 (includes the headline-claims summary),
-// fig8, fig9, fig10, litmus, crash, torture, ablation, all.
+// fig8, fig9, fig10, experiments (the grid once, as fig7+claims+fig8),
+// litmus, crash, torture, ablation, all. Sweep-backed commands accept
+// -parallel/-serial/-metrics-out; see docs/DETERMINISM.md for why the
+// results are byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"strings"
 	"time"
 
@@ -34,10 +38,23 @@ type options struct {
 	tearAccepted bool
 	skipLitmus   bool
 	stride       uint64
+	parallel     int
+	serial       bool
+	serialCheck  bool
+	metricsOut   string
+}
+
+// workers resolves the -parallel/-serial pair into a sweep worker
+// count: -serial forces 1; -parallel 0 means GOMAXPROCS.
+func (o options) workers() int {
+	if o.serial {
+		return 1
+	}
+	return o.parallel
 }
 
 var commands = []string{
-	"table2", "fig7", "fig8", "fig9", "fig10",
+	"table2", "fig7", "fig8", "fig9", "fig10", "experiments",
 	"litmus", "crash", "torture", "ablation", "all",
 }
 
@@ -65,6 +82,10 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.BoolVar(&o.tearAccepted, "tear-accepted", false, "add the beyond-ADR plan that tears accepted writes (torture)")
 	fs.BoolVar(&o.skipLitmus, "skip-litmus", false, "skip the litmus phase (torture)")
 	fs.Uint64Var(&o.stride, "stride", 64, "litmus crash-sweep stride in cycles (torture)")
+	fs.IntVar(&o.parallel, "parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	fs.BoolVar(&o.serial, "serial", false, "force serial sweeps (same as -parallel 1)")
+	fs.BoolVar(&o.serialCheck, "serial-check", false, "run experiments both parallel and serial and fail on any result mismatch")
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write per-cell sweep metrics (JSON array) to this file")
 	if err := fs.Parse(args[1:]); err != nil {
 		return o, err
 	}
@@ -102,6 +123,15 @@ func validate(o options) error {
 	if o.maxBudgets < 0 {
 		return fmt.Errorf("-budgets must be non-negative (got %d)", o.maxBudgets)
 	}
+	if o.parallel < 0 {
+		return fmt.Errorf("-parallel must be non-negative (got %d)", o.parallel)
+	}
+	if o.serial && o.parallel > 1 {
+		return fmt.Errorf("-serial conflicts with -parallel %d", o.parallel)
+	}
+	if o.serialCheck && o.cmd != "experiments" {
+		return fmt.Errorf("-serial-check only applies to the experiments command")
+	}
 	valid := sw.BenchmarkNames()
 	for _, b := range o.benchmarks {
 		ok := false
@@ -126,38 +156,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		os.Exit(2)
 	}
-	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks}
+	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks, Parallel: o.workers()}
+
+	// Each sweep-backed command appends a per-cell metrics report here;
+	// -metrics-out writes them as one JSON array after a clean run.
+	var metrics []*sw.SweepReport
+	collect := func(name string) *sw.SweepReport {
+		if o.metricsOut == "" {
+			return nil
+		}
+		rep := sw.NewSweepReport(name)
+		metrics = append(metrics, rep)
+		return rep
+	}
 
 	start := time.Now()
 	switch o.cmd {
 	case "table2":
+		opt.Metrics = collect("table2")
 		err = runTable2(opt)
 	case "fig7":
+		opt.Metrics = collect("fig7")
 		err = runFig7(opt, true)
 	case "fig8":
+		opt.Metrics = collect("fig8")
 		err = runFig8(opt)
 	case "fig9":
+		opt.Metrics = collect("fig9")
 		err = runFig9(opt)
 	case "fig10":
+		opt.Metrics = collect("fig10")
 		err = runFig10(opt)
+	case "experiments":
+		opt.Metrics = collect("experiments")
+		err = runExperiments(opt, o.serialCheck)
 	case "litmus":
 		err = runLitmus()
 	case "crash":
 		err = runCrash(opt, o.crashes)
 	case "torture":
-		err = runTorture(o)
+		err = runTorture(o, collect("torture"))
 	case "ablation":
+		opt.Metrics = collect("ablation")
 		err = runAblation(opt)
 	case "all":
 		for _, f := range []func() error{
-			func() error { return runTable2(opt) },
-			func() error { return runFig7(opt, true) },
-			func() error { return runFig8(opt) },
-			func() error { return runFig9(opt) },
-			func() error { return runFig10(opt) },
+			func() error { opt.Metrics = collect("table2"); return runTable2(opt) },
+			func() error { opt.Metrics = collect("experiments"); return runExperiments(opt, false) },
+			func() error { opt.Metrics = collect("fig9"); return runFig9(opt) },
+			func() error { opt.Metrics = collect("fig10"); return runFig10(opt) },
 			runLitmus,
 			func() error { return runCrash(opt, o.crashes) },
-			func() error { return runAblation(opt) },
+			func() error { opt.Metrics = collect("ablation"); return runAblation(opt) },
 		} {
 			if err = f(); err != nil {
 				break
@@ -169,7 +219,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		os.Exit(1)
 	}
+	if o.metricsOut != "" {
+		if werr := writeMetrics(o.metricsOut, metrics); werr != nil {
+			fmt.Fprintln(os.Stderr, "strandweaver:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[sweep metrics written to %s]\n", o.metricsOut)
+	}
 	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", o.cmd, time.Since(start).Round(time.Millisecond))
+}
+
+// writeMetrics dumps the collected sweep reports as a JSON array.
+func writeMetrics(path string, reps []*sw.SweepReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sw.WriteSweepReports(f, reps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runExperiments runs the speedup grid once and renders everything
+// derived from it: the Figure 7 grid, the headline-claims summary, and
+// the Figure 8 stall comparison. With serialCheck it runs the grid a
+// second time serially and fails unless the results are identical.
+func runExperiments(opt sw.ExpOptions, serialCheck bool) error {
+	g, err := sw.RunGrid(opt)
+	if err != nil {
+		return err
+	}
+	sw.PrintFig7(os.Stdout, g)
+	fmt.Println()
+	sw.PrintClaims(os.Stdout, sw.ComputeClaims(g))
+	fmt.Println()
+	sw.PrintFig8(os.Stdout, g)
+	if serialCheck {
+		serialOpt := opt
+		serialOpt.Parallel = 1
+		serialOpt.Metrics = nil
+		gs, err := sw.RunGrid(serialOpt)
+		if err != nil {
+			return fmt.Errorf("serial-check rerun: %w", err)
+		}
+		if !reflect.DeepEqual(g.Cells, gs.Cells) {
+			return fmt.Errorf("serial-check: parallel grid differs from serial run")
+		}
+		fmt.Println("\nserial-check: parallel and serial grids are identical")
+	}
+	return nil
 }
 
 func usage() {
@@ -182,6 +282,9 @@ experiments:
   fig8     CPU stalls enforcing persist order, relative to Intel x86
   fig9     sensitivity to strand-buffer-unit geometry
   fig10    speedup vs operations per synchronization-free region
+  experiments
+           the speedup grid once, rendered as Figure 7 + headline
+           claims + Figure 8 (one grid run instead of two)
   litmus   Figure 2 litmus shapes: hardware vs formal model
   crash    crash-injection + recovery + invariant verification sweep
   torture  fault-injection torture harness: torn persists, PM media
@@ -191,11 +294,13 @@ experiments:
   all      everything above
 
 flags (see -h per experiment): -threads -ops -seed -benchmarks -crashes
+sweep flags: -parallel N (0 = GOMAXPROCS) -serial -metrics-out FILE
+             -serial-check (experiments only)
 torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
 `)
 }
 
-func runTorture(o options) error {
+func runTorture(o options, metrics *sw.SweepReport) error {
 	to := sw.TortureOptions{
 		Seed:         uint64(o.seed),
 		Intensity:    o.intensity,
@@ -207,6 +312,8 @@ func runTorture(o options) error {
 		TearAccepted: o.tearAccepted,
 		SkipLitmus:   o.skipLitmus,
 		LitmusStride: o.stride,
+		Parallel:     o.workers(),
+		Metrics:      metrics,
 	}
 	rep, err := sw.Torture(to)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"strandweaver/internal/machine"
 	"strandweaver/internal/mem"
 	"strandweaver/internal/redolog"
+	"strandweaver/internal/sweep"
 	"strandweaver/internal/undolog"
 )
 
@@ -42,30 +43,44 @@ func LoggingAblation(o ExpOptions, sizes []int) ([]LoggingAblationPoint, error) 
 	if len(sizes) == 0 {
 		sizes = []int{2, 4, 8, 16}
 	}
-	var out []LoggingAblationPoint
+	var cells []sweep.Cell[uint64]
 	for _, n := range sizes {
-		undoCycles, err := runLoggingTx(o, n, false)
-		if err != nil {
-			return nil, err
+		for _, redo := range []bool{false, true} {
+			n, redo := n, redo
+			engine := "undo"
+			if redo {
+				engine = "redo"
+			}
+			cells = append(cells, sweep.Cell[uint64]{
+				Key: fmt.Sprintf("logging/%s/%d", engine, n),
+				Run: func(m *sweep.CellMetrics) (uint64, error) {
+					return runLoggingTx(o, n, redo, m)
+				},
+			})
 		}
-		redoCycles, err := runLoggingTx(o, n, true)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, LoggingAblationPoint{
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LoggingAblationPoint, len(sizes))
+	for i, n := range sizes {
+		undoCycles, redoCycles := results[2*i], results[2*i+1]
+		out[i] = LoggingAblationPoint{
 			StoresPerTx: n,
 			UndoCycles:  undoCycles,
 			RedoCycles:  redoCycles,
 			RedoSpeedup: float64(undoCycles) / float64(redoCycles),
-		})
+		}
 	}
 	return out, nil
 }
 
 // runLoggingTx runs a multi-threaded transaction kernel: each thread
 // repeatedly writes n cells of a private segment inside one
-// failure-atomic transaction.
-func runLoggingTx(o ExpOptions, storesPerTx int, redo bool) (uint64, error) {
+// failure-atomic transaction. met, when non-nil, receives the run's
+// metrics.
+func runLoggingTx(o ExpOptions, storesPerTx int, redo bool, met *sweep.CellMetrics) (uint64, error) {
 	cfg := config.Default()
 	if cfg.Cores < o.Threads {
 		cfg.Cores = o.Threads
@@ -126,6 +141,9 @@ func runLoggingTx(o ExpOptions, storesPerTx int, redo bool) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if met != nil {
+		met.AddRun(uint64(end), sys.Ctrl.Stats())
+	}
 	return uint64(end), nil
 }
 
@@ -153,21 +171,23 @@ func PersistQueueDepthAblation(o ExpOptions, depths []int) ([]QueueDepthPoint, e
 	if len(depths) == 0 {
 		depths = []int{4, 8, 16, 32}
 	}
-	var out []QueueDepthPoint
-	var base uint64
-	for i, d := range depths {
+	var cells []sweep.Cell[*Result]
+	for _, d := range depths {
 		cfg := config.Default()
 		cfg.PersistQueueEntries = d
-		r, err := Run(Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
-			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg})
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			base = r.Cycles
-		}
-		out = append(out, QueueDepthPoint{Entries: d, Cycles: r.Cycles,
-			SpeedupVs4: float64(base) / float64(r.Cycles)})
+		cells = append(cells, measuredCell(fmt.Sprintf("pqdepth/%d", d),
+			Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
+				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg}))
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].Cycles
+	out := make([]QueueDepthPoint, len(depths))
+	for i, d := range depths {
+		out[i] = QueueDepthPoint{Entries: d, Cycles: results[i].Cycles,
+			SpeedupVs4: float64(base) / float64(results[i].Cycles)}
 	}
 	return out, nil
 }
@@ -196,24 +216,29 @@ type FlushInstrPoint struct {
 // miss, which hurts most exactly where flushes are frequent.
 func FlushInstructionAblation(o ExpOptions) ([]FlushInstrPoint, error) {
 	o = o.withDefaults()
-	var out []FlushInstrPoint
-	for _, d := range []hwdesign.Design{hwdesign.IntelX86, hwdesign.StrandWeaver} {
-		clwb, err := Run(Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: d,
-			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
+	designs := []hwdesign.Design{hwdesign.IntelX86, hwdesign.StrandWeaver}
+	var cells []sweep.Cell[*Result]
+	for _, d := range designs {
+		cells = append(cells, measuredCell(fmt.Sprintf("flush/clwb/%s", d),
+			Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: d,
+				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}))
 		cfg := config.Default()
 		cfg.FlushInvalidates = true
-		inv, err := Run(Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: d,
-			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, FlushInstrPoint{
+		cells = append(cells, measuredCell(fmt.Sprintf("flush/clflushopt/%s", d),
+			Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: d,
+				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg}))
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FlushInstrPoint, len(designs))
+	for i, d := range designs {
+		clwb, inv := results[2*i], results[2*i+1]
+		out[i] = FlushInstrPoint{
 			Design: d, CLWBCycles: clwb.Cycles, CLFLUSHOPTCycles: inv.Cycles,
 			Penalty: float64(inv.Cycles) / float64(clwb.Cycles),
-		})
+		}
 	}
 	return out, nil
 }
@@ -240,16 +265,21 @@ func HOPSBufferAblation(o ExpOptions, sizes []int) ([]HOPSBufferPoint, error) {
 	if len(sizes) == 0 {
 		sizes = []int{8, 16, 32, 64}
 	}
-	var out []HOPSBufferPoint
+	var cells []sweep.Cell[*Result]
 	for _, n := range sizes {
 		cfg := config.Default()
 		cfg.HOPSPersistBufferEntries = n
-		r, err := Run(Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: hwdesign.HOPS,
-			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, HOPSBufferPoint{Entries: n, Cycles: r.Cycles})
+		cells = append(cells, measuredCell(fmt.Sprintf("hopsbuf/%d", n),
+			Spec{Benchmark: "nstore-wr", Model: langmodel.SFR, Design: hwdesign.HOPS,
+				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg}))
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HOPSBufferPoint, len(sizes))
+	for i, n := range sizes {
+		out[i] = HOPSBufferPoint{Entries: n, Cycles: results[i].Cycles}
 	}
 	return out, nil
 }

@@ -11,16 +11,38 @@ import (
 	"strandweaver/internal/hwdesign"
 	"strandweaver/internal/langmodel"
 	"strandweaver/internal/machine"
+	"strandweaver/internal/sweep"
 	"strandweaver/internal/workloads"
 )
 
-// ExpOptions scales the experiment grids.
+// ExpOptions scales the experiment grids and selects how their
+// independent cells are executed (serially or across worker
+// goroutines; see internal/sweep).
 type ExpOptions struct {
+	// Threads and OpsPerThread size each cell's simulated run
+	// (defaults 8 and 250, the paper's scale).
 	Threads      int
 	OpsPerThread int
-	Seed         int64
+	// Seed is the sweep's root workload seed. Grid cells deliberately
+	// share it: every design must replay the identical operation trace
+	// for speedup ratios to be paired comparisons (decorrelated
+	// per-cell seeds, via sweep.CellSeed, are for sweeps whose cells
+	// should be independent, like the torture combos).
+	Seed int64
 	// Benchmarks restricts the benchmark set (nil = all of Table II).
 	Benchmarks []string
+	// Parallel bounds the sweep's worker pool: 0 = GOMAXPROCS, 1 =
+	// serial. Results are byte-identical for every value.
+	Parallel int
+	// Metrics, when non-nil, receives per-cell wall-time and simulator
+	// metrics from every sweep these options drive. Observability only,
+	// never part of the deterministic results.
+	Metrics *sweep.Report
+}
+
+// sweepOptions adapts the experiment options for the sweep engine.
+func (o ExpOptions) sweepOptions() sweep.Options {
+	return sweep.Options{Parallel: o.Parallel, Report: o.Metrics}
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -60,22 +82,48 @@ type Table2Row struct {
 	CKC         float64
 }
 
+// measuredCell wraps one measured Run as a sweep cell under an explicit
+// key (keys must be unique within one sweep.Run call).
+func measuredCell(key string, spec Spec) sweep.Cell[*Result] {
+	return sweep.Cell[*Result]{
+		Key: key,
+		Run: func(m *sweep.CellMetrics) (*Result, error) {
+			r, err := Run(spec)
+			if err != nil {
+				return nil, err
+			}
+			m.AddRun(r.Cycles, r.Controller)
+			return r, nil
+		},
+	}
+}
+
+// specKey is the canonical cell key for a grid spec.
+func specKey(spec Spec) string {
+	return fmt.Sprintf("%s/%s/%s", spec.Benchmark, spec.Model, spec.Design)
+}
+
 // Table2 measures CLWBs per thousand cycles under the non-atomic design
 // (the paper's Table II write-intensity metric).
 func Table2(o ExpOptions) ([]Table2Row, error) {
 	o = o.withDefaults()
-	var rows []Table2Row
+	var cells []sweep.Cell[*Result]
 	for _, b := range o.Benchmarks {
-		f, err := workloads.Find(b)
-		if err != nil {
+		if _, err := workloads.Find(b); err != nil {
 			return nil, err
 		}
-		r, err := Run(Spec{Benchmark: b, Model: langmodel.TXN, Design: hwdesign.NonAtomic,
-			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row{Benchmark: b, Description: f.Description, CKC: r.CKC})
+		spec := Spec{Benchmark: b, Model: langmodel.TXN, Design: hwdesign.NonAtomic,
+			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}
+		cells = append(cells, measuredCell("table2/"+b, spec))
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(results))
+	for i, r := range results {
+		f, _ := workloads.Find(o.Benchmarks[i])
+		rows[i] = Table2Row{Benchmark: o.Benchmarks[i], Description: f.Description, CKC: r.CKC}
 	}
 	return rows, nil
 }
@@ -110,19 +158,34 @@ type Grid struct {
 	Cells   []*Cell
 }
 
-// RunGrid measures every benchmark x model x design combination.
+// RunGrid measures every benchmark x model x design combination. The
+// cells are independent simulations, so they run on the sweep engine
+// (o.Parallel workers); results are folded in grid order afterwards,
+// which keeps the grid byte-identical to a serial run.
 func RunGrid(o ExpOptions) (*Grid, error) {
 	o = o.withDefaults()
+	var cells []sweep.Cell[*Result]
+	for _, b := range o.Benchmarks {
+		for _, m := range langmodel.All {
+			for _, d := range hwdesign.All {
+				spec := Spec{Benchmark: b, Model: m, Design: d,
+					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}
+				cells = append(cells, measuredCell(specKey(spec), spec))
+			}
+		}
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
 	g := &Grid{Options: o}
+	i := 0
 	for _, b := range o.Benchmarks {
 		for _, m := range langmodel.All {
 			var intel *Result
 			for _, d := range hwdesign.All {
-				r, err := Run(Spec{Benchmark: b, Model: m, Design: d,
-					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed})
-				if err != nil {
-					return nil, err
-				}
+				r := results[i]
+				i++
 				c := &Cell{Benchmark: b, Model: m, Design: d, Result: r}
 				if d == hwdesign.IntelX86 {
 					intel = r
@@ -335,27 +398,39 @@ type Fig9Point struct {
 var Fig9Configs = [][2]int{{1, 1}, {2, 2}, {2, 4}, {4, 2}, {4, 4}, {8, 8}}
 
 // Fig9 sweeps strand-buffer-unit geometry under the SFR model (as the
-// paper does) and reports speedup over Intel x86.
+// paper does) and reports speedup over Intel x86. On the sweep engine
+// the Intel baseline runs once per benchmark and is shared across all
+// geometries (the serial driver used to re-measure it per geometry;
+// the measurement is deterministic, so sharing changes nothing).
 func Fig9(o ExpOptions) ([]Fig9Point, error) {
 	o = o.withDefaults()
-	var out []Fig9Point
+	var cells []sweep.Cell[*Result]
+	for _, b := range o.Benchmarks {
+		cells = append(cells, measuredCell("fig9/intel/"+b,
+			Spec{Benchmark: b, Model: langmodel.SFR, Design: hwdesign.IntelX86,
+				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}))
+	}
 	for _, bc := range Fig9Configs {
-		var sps []float64
 		for _, b := range o.Benchmarks {
-			intel, err := Run(Spec{Benchmark: b, Model: langmodel.SFR, Design: hwdesign.IntelX86,
-				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed})
-			if err != nil {
-				return nil, err
-			}
 			cfg := config.Default()
 			cfg.StrandBuffers = bc[0]
 			cfg.StrandBufferEntries = bc[1]
-			sw, err := Run(Spec{Benchmark: b, Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
-				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg})
-			if err != nil {
-				return nil, err
-			}
-			sps = append(sps, float64(intel.Cycles)/float64(sw.Cycles))
+			cells = append(cells, measuredCell(fmt.Sprintf("fig9/sw%dx%d/%s", bc[0], bc[1], b),
+				Spec{Benchmark: b, Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
+					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg}))
+		}
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	intel := results[:len(o.Benchmarks)]
+	var out []Fig9Point
+	for ci, bc := range Fig9Configs {
+		var sps []float64
+		for bi := range o.Benchmarks {
+			sw := results[len(o.Benchmarks)*(ci+1)+bi]
+			sps = append(sps, float64(intel[bi].Cycles)/float64(sw.Cycles))
 		}
 		out = append(out, Fig9Point{Buffers: bc[0], Entries: bc[1], GeoSpeedup: GeoMean(sps)})
 	}
@@ -381,30 +456,41 @@ type Fig10Point struct {
 
 // Fig10 varies the number of mutations per failure-atomic region using
 // the arrayswap microbenchmark family (swaps batched per region) and
-// reports StrandWeaver's speedup over Intel x86.
+// reports StrandWeaver's speedup over Intel x86. Each (design, region
+// size) pair is one sweep cell.
 func Fig10(o ExpOptions, sizes []int) ([]Fig10Point, error) {
 	o = o.withDefaults()
 	if len(sizes) == 0 {
 		sizes = []int{2, 4, 8, 16, 32}
 	}
-	var out []Fig10Point
+	var cells []sweep.Cell[uint64]
 	for _, n := range sizes {
-		intel, err := runBatched(o, hwdesign.IntelX86, n)
-		if err != nil {
-			return nil, err
+		for _, d := range []hwdesign.Design{hwdesign.IntelX86, hwdesign.StrandWeaver} {
+			n, d := n, d
+			cells = append(cells, sweep.Cell[uint64]{
+				Key: fmt.Sprintf("fig10/%s/%d", d, n),
+				Run: func(m *sweep.CellMetrics) (uint64, error) {
+					cycles, err := runBatched(o, d, n, m)
+					return cycles, err
+				},
+			})
 		}
-		sw, err := runBatched(o, hwdesign.StrandWeaver, n)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig10Point{OpsPerSFR: n, GeoSpeedup: float64(intel) / float64(sw)})
+	}
+	results, err := sweep.Run(o.sweepOptions(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig10Point, len(sizes))
+	for i, n := range sizes {
+		intel, sw := results[2*i], results[2*i+1]
+		out[i] = Fig10Point{OpsPerSFR: n, GeoSpeedup: float64(intel) / float64(sw)}
 	}
 	return out, nil
 }
 
 // runBatched measures the Figure 10 batched-swap workload and returns
-// total cycles.
-func runBatched(o ExpOptions, d hwdesign.Design, opsPerRegion int) (uint64, error) {
+// total cycles; met, when non-nil, receives the run's metrics.
+func runBatched(o ExpOptions, d hwdesign.Design, opsPerRegion int, met *sweep.CellMetrics) (uint64, error) {
 	cfg := config.Default()
 	if cfg.Cores < o.Threads {
 		cfg.Cores = o.Threads
@@ -423,6 +509,9 @@ func runBatched(o ExpOptions, d hwdesign.Design, opsPerRegion int) (uint64, erro
 	end, err := sys.Run(ws, 2_000_000_000)
 	if err != nil {
 		return 0, err
+	}
+	if met != nil {
+		met.AddRun(uint64(end), sys.Ctrl.Stats())
 	}
 	return uint64(end), nil
 }

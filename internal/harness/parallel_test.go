@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"strandweaver/internal/sweep"
+)
+
+// TestGridParallelMatchesSerial is the tentpole determinism contract:
+// the experiment grid's results must be byte-identical at any worker
+// count. Metrics are the only thing allowed to differ.
+func TestGridParallelMatchesSerial(t *testing.T) {
+	base := ExpOptions{Benchmarks: []string{"arrayswap", "queue"}, Threads: 2, OpsPerThread: 20, Seed: 7}
+
+	serial := base
+	serial.Parallel = 1
+	gs, err := RunGrid(serial)
+	if err != nil {
+		t.Fatalf("serial grid: %v", err)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		par := base
+		par.Parallel = workers
+		par.Metrics = sweep.NewReport("grid")
+		gp, err := RunGrid(par)
+		if err != nil {
+			t.Fatalf("parallel(%d) grid: %v", workers, err)
+		}
+		if !reflect.DeepEqual(gs.Cells, gp.Cells) {
+			t.Errorf("parallel(%d) grid cells differ from serial", workers)
+		}
+		if len(par.Metrics.Cells) == 0 {
+			t.Errorf("parallel(%d) grid recorded no cell metrics", workers)
+		}
+	}
+}
+
+// TestAblationParallelMatchesSerial covers the ablation drivers on the
+// same contract.
+func TestAblationParallelMatchesSerial(t *testing.T) {
+	base := ExpOptions{Threads: 2, OpsPerThread: 16, Seed: 11}
+
+	run := func(o ExpOptions) []interface{} {
+		t.Helper()
+		lg, err := LoggingAblation(o, []int{1, 4})
+		if err != nil {
+			t.Fatalf("logging ablation: %v", err)
+		}
+		qd, err := PersistQueueDepthAblation(o, []int{4, 16})
+		if err != nil {
+			t.Fatalf("queue-depth ablation: %v", err)
+		}
+		fl, err := FlushInstructionAblation(o)
+		if err != nil {
+			t.Fatalf("flush ablation: %v", err)
+		}
+		hb, err := HOPSBufferAblation(o, []int{8, 32})
+		if err != nil {
+			t.Fatalf("hops-buffer ablation: %v", err)
+		}
+		return []interface{}{lg, qd, fl, hb}
+	}
+
+	serial := base
+	serial.Parallel = 1
+	as := run(serial)
+
+	par := base
+	par.Parallel = 4
+	ap := run(par)
+	if !reflect.DeepEqual(as, ap) {
+		t.Error("parallel ablation differs from serial")
+	}
+}
+
+// TestTortureParallelMatchesSerial asserts the full torture report —
+// including the order-sensitive ImageDigest fold, the violation list,
+// and the every-Nth-combo convergence accounting — is identical at any
+// worker count.
+func TestTortureParallelMatchesSerial(t *testing.T) {
+	base := TortureOptions{Seed: 5, Benchmarks: []string{"queue"}, Crashes: 4,
+		ConvergeEvery: 2, MaxBudgets: 8, LitmusStride: 512, TearAccepted: true}
+
+	serial := base
+	serial.Parallel = 1
+	rs, err := Torture(serial)
+	if err != nil {
+		t.Fatalf("serial torture: %v", err)
+	}
+	if rs.Combos == 0 || rs.ImageDigest == 0 {
+		t.Fatalf("degenerate serial report: %+v", rs)
+	}
+
+	for _, workers := range []int{2, 4, 0} {
+		par := base
+		par.Parallel = workers
+		par.Metrics = sweep.NewReport("torture")
+		rp, err := Torture(par)
+		if err != nil {
+			t.Fatalf("parallel(%d) torture: %v", workers, err)
+		}
+		if !reflect.DeepEqual(rs, rp) {
+			t.Errorf("parallel(%d) torture report differs from serial:\nserial:   %+v\nparallel: %+v", workers, rs, rp)
+		}
+		if len(par.Metrics.Cells) == 0 {
+			t.Errorf("parallel(%d) torture recorded no cell metrics", workers)
+		}
+	}
+}

@@ -13,20 +13,31 @@ import (
 	"strandweaver/internal/litmus"
 	"strandweaver/internal/machine"
 	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
 	"strandweaver/internal/redolog"
 	"strandweaver/internal/sim"
+	"strandweaver/internal/sweep"
 	"strandweaver/internal/undolog"
 	"strandweaver/internal/workloads"
 )
 
-// Torture is the crash-recovery torture harness: it sweeps crash cycles
-// x fault plans (line-atomic drops, torn persists, media faults) across
-// litmus programs, undo-logged persistent data structures, and the redo
-// log, recovering every crash image and checking structural invariants;
-// a subset of combos additionally sweeps crash-during-recovery write
-// budgets and asserts recovery converges when interrupted and re-run.
-// Everything is seeded: the same options reproduce byte-identical crash
-// images (see ImageDigest) and an identical report.
+// The torture driver is the crash-recovery torture harness: it sweeps
+// crash cycles x fault plans (line-atomic drops, torn persists, media
+// faults) across litmus programs, undo-logged persistent data
+// structures, and the redo log, recovering every crash image and
+// checking structural invariants; a subset of combos additionally
+// sweeps crash-during-recovery write budgets and asserts recovery
+// converges when interrupted and re-run. Everything is seeded: the same
+// options reproduce byte-identical crash images (see ImageDigest) and
+// an identical report.
+//
+// The sweep's units of work are independent simulations, so Torture
+// runs them on the parallel sweep engine (internal/sweep): each cell
+// builds its own machines and derives its own fault seeds, results are
+// re-collected in enumeration order, and the report — including the
+// order-sensitive ImageDigest fold and the every-Nth-combo convergence
+// schedule, which is computed from each combo's global index rather
+// than from a shared counter — is byte-identical at any worker count.
 
 // TortureOptions configures a torture sweep.
 type TortureOptions struct {
@@ -60,6 +71,12 @@ type TortureOptions struct {
 	SkipLitmus bool
 	// LitmusStride is the litmus crash-sweep stride (default 64).
 	LitmusStride uint64
+	// Parallel bounds the sweep engine's worker pool (0 = GOMAXPROCS,
+	// 1 = serial). The report is byte-identical for every value.
+	Parallel int
+	// Metrics, when non-nil, receives per-cell wall-time and simulator
+	// metrics. Observability only, never part of the report.
+	Metrics *sweep.Report
 }
 
 func (o TortureOptions) withDefaults() TortureOptions {
@@ -118,6 +135,7 @@ func (o TortureOptions) plans() []faultinject.Plan {
 
 // TortureReport summarises a sweep.
 type TortureReport struct {
+	// Seed is the sweep's root seed; Plans the number of fault plans.
 	Seed  uint64
 	Plans int
 
@@ -139,27 +157,30 @@ type TortureReport struct {
 	RolledBack int
 	Replayed   int
 
-	// Injected fault totals.
+	// TornLines and DroppedLines total injected boundary-write faults;
+	// MediaFaults and MediaDelays total injected media faults.
 	TornLines, DroppedLines  uint64
 	MediaFaults, MediaDelays uint64
 	// BeyondADR counts TearAccepted combos whose invariants broke —
 	// expected, the mode violates the hardware contract.
 	BeyondADR int
 
-	// Convergence sweeps: budget points tried and power cuts observed,
-	// per recovery engine.
+	// UndoBudgets/UndoCuts and RedoBudgets/RedoCuts count the
+	// crash-during-recovery convergence sweeps' budget points tried and
+	// power cuts observed, per recovery engine.
 	UndoBudgets, UndoCuts int
 	RedoBudgets, RedoCuts int
 	// BudgetSweepsCapped counts sweeps that hit MaxBudgets before the
 	// budget covered a whole recovery pass.
 	BudgetSweepsCapped int
 
-	// Controller overflow/fault stats observed across combos.
+	// MaxPendingArrivals, PendingStallCycles and MediaRetriesExhausted
+	// fold the controller overflow/fault stats observed across combos.
 	MaxPendingArrivals    int
 	PendingStallCycles    uint64
 	MediaRetriesExhausted uint64
 
-	// Litmus phase.
+	// LitmusPrograms and LitmusCrashPoints summarise the litmus phase.
 	LitmusPrograms    int
 	LitmusCrashPoints int
 
@@ -168,14 +189,60 @@ type TortureReport struct {
 	ImageDigest uint64
 }
 
-func (r *TortureReport) foldImage(img *mem.Image) {
-	r.ImageDigest = r.ImageDigest*1099511628211 ^ img.Fingerprint()
-}
-
-// perRunSeed decorrelates a plan's generator across crash points.
+// perRunSeed decorrelates a plan's generator across crash points (the
+// torture sweep's hash-derived per-cell seeding; see sweep.CellSeed for
+// the string-keyed form used for new sweeps).
 func perRunSeed(p faultinject.Plan, crashCycle uint64) faultinject.Plan {
 	p.Seed += crashCycle * 0x9e3779b97f4a7c15
 	return p
+}
+
+// litmusOutcome is one litmus cell's result.
+type litmusOutcome struct {
+	crashPoints int
+	violation   string
+}
+
+// convOutcome is one combo's crash-during-recovery budget sweep.
+type convOutcome struct {
+	budgets, cuts int
+	violation     string
+	capped        bool
+}
+
+// comboOutcome is one (crash cycle x fault plan) run's contribution to
+// the report, produced inside a sweep cell and folded in sweep order.
+type comboOutcome struct {
+	fingerprint uint64
+	fault       faultinject.Stats
+	ctrl        pmem.Stats
+	torn        bool
+	// violation is empty when recovery and invariants passed; beyondADR
+	// attributes a failure to the contract-violating TearAccepted plan.
+	violation string
+	beyondADR bool
+	// tornDiscarded and actions summarise the recovery pass (log
+	// entries scrubbed; mutations rolled back or transactions replayed).
+	tornDiscarded int
+	actions       int
+	conv          *convOutcome
+}
+
+// tortureOutcome is the sum type a torture sweep cell returns: exactly
+// one of litmus (a litmus cell) or combos (a workload or redolog cell)
+// is set.
+type tortureOutcome struct {
+	litmus *litmusOutcome
+	combos []comboOutcome
+	redo   bool
+}
+
+// tortureCell pairs a sweep cell with the fold that merges its outcome
+// into the report. Cells run in any order; folds run in cell order, so
+// the report is independent of scheduling.
+type tortureCell struct {
+	cell sweep.Cell[*tortureOutcome]
+	fold func(rep *TortureReport, out *tortureOutcome)
 }
 
 // Torture runs the full sweep.
@@ -183,31 +250,53 @@ func Torture(o TortureOptions) (*TortureReport, error) {
 	o = o.withDefaults()
 	plans := o.plans()
 	rep := &TortureReport{Seed: o.Seed, Plans: len(plans)}
+
+	var tcells []tortureCell
 	if !o.SkipLitmus {
-		if err := tortureLitmus(o, plans, rep); err != nil {
-			return rep, err
+		tcells = append(tcells, litmusCells(o, plans, rep)...)
+	}
+	// Workload and redolog combos are numbered globally in enumeration
+	// order; the every-Nth-combo convergence schedule keys off that
+	// number, so each cell can decide its own convergence sweeps
+	// without a shared counter.
+	for bi, b := range o.Benchmarks {
+		for pi, plan := range plans {
+			base := (bi*len(plans) + pi) * o.Crashes
+			tcells = append(tcells, workloadCell(o, b, pi, plan, base))
 		}
 	}
-	for _, b := range o.Benchmarks {
-		if err := tortureWorkload(o, b, plans, rep); err != nil {
-			return rep, err
-		}
+	redoBase := len(o.Benchmarks) * len(plans) * o.Crashes
+	for pi, plan := range plans {
+		tcells = append(tcells, redologCell(o, pi, plan, redoBase+pi*o.Crashes))
 	}
-	if err := tortureRedolog(o, plans, rep); err != nil {
+
+	cells := make([]sweep.Cell[*tortureOutcome], len(tcells))
+	for i, tc := range tcells {
+		cells[i] = tc.cell
+	}
+	results, err := sweep.Run(sweep.Options{Parallel: o.Parallel, Report: o.Metrics}, cells)
+	if err != nil {
 		return rep, err
+	}
+	for i, out := range results {
+		tcells[i].fold(rep, out)
 	}
 	return rep, nil
 }
 
-// tortureLitmus cross-validates fault-laden crash states against the
-// formal model for every standard litmus shape.
-func tortureLitmus(o TortureOptions, plans []faultinject.Plan, rep *TortureReport) error {
+// litmusCells cross-validates fault-laden crash states against the
+// formal model for every standard litmus shape, one cell per
+// (program, plan) pair. Litmus programs are counted up front (the
+// count does not depend on outcomes).
+func litmusCells(o TortureOptions, plans []faultinject.Plan, rep *TortureReport) []tortureCell {
 	progs := litmus.StandardPrograms()
 	names := make([]string, 0, len(progs))
 	for n := range progs {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	rep.LitmusPrograms = len(names)
+	var tcells []tortureCell
 	for _, name := range names {
 		p := progs[name]
 		for pi, plan := range plans {
@@ -217,20 +306,34 @@ func tortureLitmus(o TortureOptions, plans []faultinject.Plan, rep *TortureRepor
 				// the recoverable structures instead.
 				continue
 			}
-			plan := plan
-			res, err := litmus.CheckWithFaults(p, o.LitmusStride, func(at uint64) litmus.FaultInjector {
-				return faultinject.New(perRunSeed(plan, at))
+			name, p, pi, plan := name, p, pi, plan
+			tcells = append(tcells, tortureCell{
+				cell: sweep.Cell[*tortureOutcome]{
+					Key: fmt.Sprintf("litmus/%s/plan%d", name, pi),
+					Run: func(m *sweep.CellMetrics) (*tortureOutcome, error) {
+						lo := &litmusOutcome{}
+						res, err := litmus.CheckWithFaults(p, o.LitmusStride, func(at uint64) litmus.FaultInjector {
+							return faultinject.New(perRunSeed(plan, at))
+						})
+						if err != nil {
+							lo.violation = fmt.Sprintf("litmus %s plan %d: %v", name, pi, err)
+						} else {
+							lo.crashPoints = res.CrashPoints
+						}
+						return &tortureOutcome{litmus: lo}, nil
+					},
+				},
+				fold: func(rep *TortureReport, out *tortureOutcome) {
+					if out.litmus.violation != "" {
+						rep.Violations = append(rep.Violations, out.litmus.violation)
+						return
+					}
+					rep.LitmusCrashPoints += out.litmus.crashPoints
+				},
 			})
-			if err != nil {
-				rep.Violations = append(rep.Violations,
-					fmt.Sprintf("litmus %s plan %d: %v", name, pi, err))
-				continue
-			}
-			rep.LitmusCrashPoints += res.CrashPoints
 		}
-		rep.LitmusPrograms++
 	}
-	return nil
+	return tcells
 }
 
 // buildWorkload assembles a system + runtime + instance for one torture
@@ -256,96 +359,143 @@ func buildWorkload(o TortureOptions, bench string) (*machine.System, workloads.I
 	return sys, inst, ws, nil
 }
 
-// tortureWorkload sweeps crash cycles x plans over one pds benchmark.
-func tortureWorkload(o TortureOptions, bench string, plans []faultinject.Plan, rep *TortureReport) error {
-	for pi, plan := range plans {
-		// Crash-free run under this plan's media faults to find the
-		// schedule length the crash points subdivide.
-		sys, _, ws, err := buildWorkload(o, bench)
-		if err != nil {
-			return err
-		}
-		faultinject.New(plan).Arm(sys)
-		end, err := sys.Run(ws, 2_000_000_000)
-		if err != nil {
-			return fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
-		}
-		for ci := 1; ci <= o.Crashes; ci++ {
-			crashAt := sim.Cycle(uint64(end) * uint64(ci) / uint64(o.Crashes+1))
-			if crashAt == 0 {
-				crashAt = 1
-			}
-			sys, inst, ws, err := buildWorkload(o, bench)
-			if err != nil {
-				return err
-			}
-			fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
-			fi.Arm(sys)
-			sys.RunAt(crashAt, sys.Abandon)
-			_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
-			crash := fi.CrashImage(sys)
-			rep.Combos++
-			rep.foldImage(crash)
-			accounting(rep, fi, sys)
-
-			img := crash.Clone()
-			rrep, rerr := undolog.Recover(img, o.Threads)
-			verr := rerr
-			if verr == nil {
-				verr = inst.Verify(img)
-			}
-			torn := fi.Stats().TornLines > 0
-			if torn {
-				rep.TornImages++
-			}
-			if verr != nil {
-				if plan.TearAccepted {
-					rep.BeyondADR++
-				} else {
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("%s plan %d crash@%d: %v", bench, pi, crashAt, verr))
-				}
-				continue
-			}
-			if torn {
-				rep.TornRepaired++
-			}
-			rep.TornLogEntries += rrep.TornDiscarded
-			rep.RolledBack += len(rrep.RolledBack)
-
-			if rep.Combos%o.ConvergeEvery == 0 {
-				cv, err := faultinject.CheckConvergence(crash, func(im *mem.Image) error {
-					_, err := undolog.Recover(im, o.Threads)
-					return err
-				}, o.MaxBudgets)
-				rep.UndoBudgets += cv.BudgetsTried
-				rep.UndoCuts += cv.CutsObserved
-				if err != nil {
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("%s plan %d crash@%d convergence: %v", bench, pi, crashAt, err))
-				} else if cv.BudgetsTried == o.MaxBudgets && o.MaxBudgets > 0 {
-					rep.BudgetSweepsCapped++
-				}
-			}
-		}
+// crashCycles spaces o.Crashes crash points evenly over a crash-free
+// run of end cycles.
+func crashCycles(o TortureOptions, end sim.Cycle, ci int) sim.Cycle {
+	crashAt := sim.Cycle(uint64(end) * uint64(ci) / uint64(o.Crashes+1))
+	if crashAt == 0 {
+		crashAt = 1
 	}
-	return nil
+	return crashAt
 }
 
-// accounting folds one run's injector and controller stats into the
-// report.
-func accounting(rep *TortureReport, fi *faultinject.Injector, sys *machine.System) {
-	fs := fi.Stats()
-	rep.TornLines += fs.TornLines
-	rep.DroppedLines += fs.DroppedLines
-	rep.MediaFaults += fs.MediaFaults
-	rep.MediaDelays += fs.MediaDelays
-	cs := sys.Ctrl.Stats()
-	if cs.MaxPendingArrivals > rep.MaxPendingArrivals {
-		rep.MaxPendingArrivals = cs.MaxPendingArrivals
+// workloadCell sweeps crash cycles over one (pds benchmark, fault plan)
+// pair: a crash-free run to find the schedule length, then one crashed
+// run + recovery + invariant check per crash point.
+func workloadCell(o TortureOptions, bench string, pi int, plan faultinject.Plan, comboBase int) tortureCell {
+	return tortureCell{
+		cell: sweep.Cell[*tortureOutcome]{
+			Key: fmt.Sprintf("workload/%s/plan%d", bench, pi),
+			Run: func(m *sweep.CellMetrics) (*tortureOutcome, error) {
+				sys, _, ws, err := buildWorkload(o, bench)
+				if err != nil {
+					return nil, err
+				}
+				faultinject.New(plan).Arm(sys)
+				end, err := sys.Run(ws, 2_000_000_000)
+				if err != nil {
+					return nil, fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
+				}
+				m.AddRun(uint64(end), sys.Ctrl.Stats())
+				combos := make([]comboOutcome, 0, o.Crashes)
+				for ci := 1; ci <= o.Crashes; ci++ {
+					crashAt := crashCycles(o, end, ci)
+					sys, inst, ws, err := buildWorkload(o, bench)
+					if err != nil {
+						return nil, err
+					}
+					fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
+					fi.Arm(sys)
+					sys.RunAt(crashAt, sys.Abandon)
+					_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
+					crash := fi.CrashImage(sys)
+					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+
+					co := comboOutcome{
+						fingerprint: crash.Fingerprint(),
+						fault:       fi.Stats(),
+						ctrl:        sys.Ctrl.Stats(),
+					}
+					co.torn = co.fault.TornLines > 0
+					img := crash.Clone()
+					rrep, rerr := undolog.Recover(img, o.Threads)
+					verr := rerr
+					if verr == nil {
+						verr = inst.Verify(img)
+					}
+					if verr != nil {
+						if plan.TearAccepted {
+							co.beyondADR = true
+						} else {
+							co.violation = fmt.Sprintf("%s plan %d crash@%d: %v", bench, pi, crashAt, verr)
+						}
+						combos = append(combos, co)
+						continue
+					}
+					co.tornDiscarded = rrep.TornDiscarded
+					co.actions = len(rrep.RolledBack)
+					if (comboBase+ci)%o.ConvergeEvery == 0 {
+						cv, err := faultinject.CheckConvergence(crash, func(im *mem.Image) error {
+							_, err := undolog.Recover(im, o.Threads)
+							return err
+						}, o.MaxBudgets)
+						conv := &convOutcome{budgets: cv.BudgetsTried, cuts: cv.CutsObserved}
+						if err != nil {
+							conv.violation = fmt.Sprintf("%s plan %d crash@%d convergence: %v", bench, pi, crashAt, err)
+						} else if cv.BudgetsTried == o.MaxBudgets && o.MaxBudgets > 0 {
+							conv.capped = true
+						}
+						co.conv = conv
+					}
+					combos = append(combos, co)
+				}
+				return &tortureOutcome{combos: combos}, nil
+			},
+		},
+		fold: foldCombos,
 	}
-	rep.PendingStallCycles += cs.PendingStallCycles
-	rep.MediaRetriesExhausted += cs.MediaRetriesExhausted
+}
+
+// foldCombos merges a workload or redolog cell's combo outcomes into
+// the report, in combo order.
+func foldCombos(rep *TortureReport, out *tortureOutcome) {
+	for _, co := range out.combos {
+		rep.Combos++
+		rep.ImageDigest = rep.ImageDigest*1099511628211 ^ co.fingerprint
+		rep.TornLines += co.fault.TornLines
+		rep.DroppedLines += co.fault.DroppedLines
+		rep.MediaFaults += co.fault.MediaFaults
+		rep.MediaDelays += co.fault.MediaDelays
+		if co.ctrl.MaxPendingArrivals > rep.MaxPendingArrivals {
+			rep.MaxPendingArrivals = co.ctrl.MaxPendingArrivals
+		}
+		rep.PendingStallCycles += co.ctrl.PendingStallCycles
+		rep.MediaRetriesExhausted += co.ctrl.MediaRetriesExhausted
+		if co.torn {
+			rep.TornImages++
+		}
+		if co.violation != "" {
+			rep.Violations = append(rep.Violations, co.violation)
+			continue
+		}
+		if co.beyondADR {
+			rep.BeyondADR++
+			continue
+		}
+		if co.torn {
+			rep.TornRepaired++
+		}
+		rep.TornLogEntries += co.tornDiscarded
+		if out.redo {
+			rep.Replayed += co.actions
+		} else {
+			rep.RolledBack += co.actions
+		}
+		if co.conv != nil {
+			if out.redo {
+				rep.RedoBudgets += co.conv.budgets
+				rep.RedoCuts += co.conv.cuts
+			} else {
+				rep.UndoBudgets += co.conv.budgets
+				rep.UndoCuts += co.conv.cuts
+			}
+			if co.conv.violation != "" {
+				rep.Violations = append(rep.Violations, co.conv.violation)
+			} else if co.conv.capped {
+				rep.BudgetSweepsCapped++
+			}
+		}
+	}
 }
 
 // Redolog torture workload: one thread advances a 4-cell record through
@@ -380,8 +530,9 @@ func redoVerify(img *mem.Image, gens int) error {
 	return fmt.Errorf("redolog cells torn across generations: %v", vals)
 }
 
-// tortureRedolog sweeps crash cycles x plans over the redo-log engine.
-func tortureRedolog(o TortureOptions, plans []faultinject.Plan, rep *TortureReport) error {
+// redologCell sweeps crash cycles over the redo-log engine under one
+// fault plan.
+func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int) tortureCell {
 	const gens = 4
 	build := func() (*machine.System, *redolog.Logs) {
 		cfg := config.Default()
@@ -410,70 +561,71 @@ func tortureRedolog(o TortureOptions, plans []faultinject.Plan, rep *TortureRepo
 			c.DrainAll()
 		}
 	}
-	for pi, plan := range plans {
-		sys, logs := build()
-		faultinject.New(plan).Arm(sys)
-		end, err := sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
-		if err != nil {
-			return fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
-		}
-		for ci := 1; ci <= o.Crashes; ci++ {
-			crashAt := sim.Cycle(uint64(end) * uint64(ci) / uint64(o.Crashes+1))
-			if crashAt == 0 {
-				crashAt = 1
-			}
-			sys, logs := build()
-			fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
-			fi.Arm(sys)
-			sys.RunAt(crashAt, sys.Abandon)
-			_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
-			crash := fi.CrashImage(sys)
-			rep.Combos++
-			rep.foldImage(crash)
-			accounting(rep, fi, sys)
-
-			img := crash.Clone()
-			rrep, rerr := redolog.Recover(img, 1)
-			verr := rerr
-			if verr == nil {
-				verr = redoVerify(img, gens)
-			}
-			torn := fi.Stats().TornLines > 0
-			if torn {
-				rep.TornImages++
-			}
-			if verr != nil {
-				if plan.TearAccepted {
-					rep.BeyondADR++
-				} else {
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("redolog plan %d crash@%d: %v", pi, crashAt, verr))
-				}
-				continue
-			}
-			if torn {
-				rep.TornRepaired++
-			}
-			rep.TornLogEntries += rrep.TornDiscarded
-			rep.Replayed += len(rrep.Replayed)
-
-			if rep.Combos%o.ConvergeEvery == 0 {
-				cv, err := faultinject.CheckConvergence(crash, func(im *mem.Image) error {
-					_, err := redolog.Recover(im, 1)
-					return err
-				}, o.MaxBudgets)
-				rep.RedoBudgets += cv.BudgetsTried
-				rep.RedoCuts += cv.CutsObserved
+	return tortureCell{
+		cell: sweep.Cell[*tortureOutcome]{
+			Key: fmt.Sprintf("redolog/plan%d", pi),
+			Run: func(m *sweep.CellMetrics) (*tortureOutcome, error) {
+				sys, logs := build()
+				faultinject.New(plan).Arm(sys)
+				end, err := sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
 				if err != nil {
-					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("redolog plan %d crash@%d convergence: %v", pi, crashAt, err))
-				} else if cv.BudgetsTried == o.MaxBudgets && o.MaxBudgets > 0 {
-					rep.BudgetSweepsCapped++
+					return nil, fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
 				}
-			}
-		}
+				m.AddRun(uint64(end), sys.Ctrl.Stats())
+				combos := make([]comboOutcome, 0, o.Crashes)
+				for ci := 1; ci <= o.Crashes; ci++ {
+					crashAt := crashCycles(o, end, ci)
+					sys, logs := build()
+					fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
+					fi.Arm(sys)
+					sys.RunAt(crashAt, sys.Abandon)
+					_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
+					crash := fi.CrashImage(sys)
+					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+
+					co := comboOutcome{
+						fingerprint: crash.Fingerprint(),
+						fault:       fi.Stats(),
+						ctrl:        sys.Ctrl.Stats(),
+					}
+					co.torn = co.fault.TornLines > 0
+					img := crash.Clone()
+					rrep, rerr := redolog.Recover(img, 1)
+					verr := rerr
+					if verr == nil {
+						verr = redoVerify(img, gens)
+					}
+					if verr != nil {
+						if plan.TearAccepted {
+							co.beyondADR = true
+						} else {
+							co.violation = fmt.Sprintf("redolog plan %d crash@%d: %v", pi, crashAt, verr)
+						}
+						combos = append(combos, co)
+						continue
+					}
+					co.tornDiscarded = rrep.TornDiscarded
+					co.actions = len(rrep.Replayed)
+					if (comboBase+ci)%o.ConvergeEvery == 0 {
+						cv, err := faultinject.CheckConvergence(crash, func(im *mem.Image) error {
+							_, err := redolog.Recover(im, 1)
+							return err
+						}, o.MaxBudgets)
+						conv := &convOutcome{budgets: cv.BudgetsTried, cuts: cv.CutsObserved}
+						if err != nil {
+							conv.violation = fmt.Sprintf("redolog plan %d crash@%d convergence: %v", pi, crashAt, err)
+						} else if cv.BudgetsTried == o.MaxBudgets && o.MaxBudgets > 0 {
+							conv.capped = true
+						}
+						co.conv = conv
+					}
+					combos = append(combos, co)
+				}
+				return &tortureOutcome{combos: combos, redo: true}, nil
+			},
+		},
+		fold: foldCombos,
 	}
-	return nil
 }
 
 // PrintTorture renders a torture report.

@@ -139,6 +139,11 @@ type Stats struct {
 	// MaxPendingArrivals tracks the high-water mark of the overflow
 	// queue (arrivals waiting for a free write-queue entry).
 	MaxPendingArrivals int
+	// OverflowHighWater samples each new overflow-queue high-water mark
+	// as it is set, in time order (bounded to overflowSampleCap). Depths
+	// are strictly increasing, so the last sample equals
+	// MaxPendingArrivals unless the cap was hit.
+	OverflowHighWater []OverflowSample
 	// PendingStallCycles accumulates the cycles arrivals spent waiting
 	// in the overflow queue before acceptance.
 	PendingStallCycles uint64
@@ -154,14 +159,34 @@ type Stats struct {
 	MediaFaultDelayCycles uint64
 }
 
+// OverflowSample records one overflow-queue high-water event: at Cycle
+// the overflow queue first reached Depth waiting arrivals.
+type OverflowSample struct {
+	Cycle sim.Cycle `json:"cycle"`
+	Depth int       `json:"depth"`
+}
+
+// overflowSampleCap bounds the high-water samples kept per controller.
+// Depths are strictly increasing, so the cap is only reachable when the
+// overflow queue grows past overflowSampleCap entries deep.
+const overflowSampleCap = 64
+
 // New returns a controller bound to the engine, configuration and
 // functional machine images.
 func New(eng *sim.Engine, cfg config.Config, machine *mem.Machine) *Controller {
 	return &Controller{eng: eng, cfg: cfg, machine: machine}
 }
 
-// Stats returns a copy of the accumulated statistics.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the accumulated statistics. The snapshot
+// is deep: its OverflowHighWater slice is a private copy, so holding or
+// mutating a snapshot never aliases the live controller — results that
+// embed one can safely cross goroutines (the parallel sweep engine
+// reads per-cell snapshots from collector goroutines).
+func (c *Controller) Stats() Stats {
+	st := c.stats
+	st.OverflowHighWater = append([]OverflowSample(nil), c.stats.OverflowHighWater...)
+	return st
+}
 
 // SetFaultHook installs (or, with nil, removes) the media fault hook.
 func (c *Controller) SetFaultHook(h FaultHook) { c.faults = h }
@@ -206,6 +231,10 @@ func (c *Controller) arrive(w *pendingWrite) {
 		c.pending = append(c.pending, w)
 		if len(c.pending) > c.stats.MaxPendingArrivals {
 			c.stats.MaxPendingArrivals = len(c.pending)
+			if len(c.stats.OverflowHighWater) < overflowSampleCap {
+				c.stats.OverflowHighWater = append(c.stats.OverflowHighWater,
+					OverflowSample{Cycle: c.eng.Now(), Depth: len(c.pending)})
+			}
 		}
 		return
 	}

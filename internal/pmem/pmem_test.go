@@ -144,6 +144,75 @@ func TestDRAMReadLatency(t *testing.T) {
 	}
 }
 
+// overflowCtrl drives a tiny-queue, single-bank controller hard enough
+// that arrivals pile up in the overflow queue.
+func overflowCtrl(n int) (*sim.Engine, *Controller) {
+	eng := sim.NewEngine()
+	cfg := config.Default()
+	cfg.PMWriteQueueEntries = 2
+	cfg.PMBanks = 1
+	c := New(eng, cfg, mem.NewMachine())
+	for i := 0; i < n; i++ {
+		c.SubmitPMWrite(mem.PMBase+mem.Addr(i*mem.LineSize), lineData(byte(i)), nil)
+	}
+	return eng, c
+}
+
+func TestOverflowHighWaterSampled(t *testing.T) {
+	eng, c := overflowCtrl(12)
+	eng.Run(0)
+	st := c.Stats()
+	if st.MaxPendingArrivals == 0 {
+		t.Fatal("no overflow observed; test setup too gentle")
+	}
+	if len(st.OverflowHighWater) == 0 {
+		t.Fatal("no high-water samples recorded")
+	}
+	prev := 0
+	for _, s := range st.OverflowHighWater {
+		if s.Depth <= prev {
+			t.Errorf("samples not strictly increasing: %+v", st.OverflowHighWater)
+			break
+		}
+		prev = s.Depth
+	}
+	if last := st.OverflowHighWater[len(st.OverflowHighWater)-1]; last.Depth != st.MaxPendingArrivals {
+		t.Errorf("last sample depth %d != MaxPendingArrivals %d", last.Depth, st.MaxPendingArrivals)
+	}
+}
+
+// TestStatsSnapshotIsDeep: a Stats snapshot must never alias the live
+// controller — mutating the snapshot's slice or growing the live one
+// must not show through. Parallel sweep cells rely on this when their
+// results (which embed snapshots) are read from other goroutines.
+func TestStatsSnapshotIsDeep(t *testing.T) {
+	eng, c := overflowCtrl(8)
+	// Capture a snapshot mid-run, while the controller is still
+	// appending samples.
+	var mid Stats
+	eng.Schedule(sim.Cycle(1), func() { mid = c.Stats() })
+	eng.Run(0)
+	final := c.Stats()
+	if len(final.OverflowHighWater) <= len(mid.OverflowHighWater) {
+		t.Skip("controller did not grow samples after the mid snapshot")
+	}
+	// The mid snapshot must not have grown with the controller.
+	if len(mid.OverflowHighWater) > 0 {
+		before := mid.OverflowHighWater[0]
+		mid.OverflowHighWater[0] = OverflowSample{Cycle: 1 << 40, Depth: -1}
+		if got := c.Stats().OverflowHighWater[0]; got != before {
+			t.Errorf("snapshot mutation reached the controller: %+v", got)
+		}
+	}
+	s1, s2 := c.Stats(), c.Stats()
+	if len(s1.OverflowHighWater) > 0 {
+		s1.OverflowHighWater[0].Depth = -7
+		if s2.OverflowHighWater[0].Depth == -7 {
+			t.Error("two snapshots share a backing array")
+		}
+	}
+}
+
 func TestSameLineWritesLastWins(t *testing.T) {
 	eng, c, m, _ := newCtrl()
 	line := mem.PMBase

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+
+	"strandweaver/internal/pmem"
+)
+
+// CellMetrics is one cell's observability record: how long the cell
+// took on the wall clock, how much simulated time it covered, and what
+// its PM controllers observed. The engine fills Key, Index, Worker,
+// WallNS and Err; the cell body folds simulator outcomes in with
+// AddRun. Everything except Key, Index, SimCycles, Runs and the
+// controller counters varies run-to-run — metrics are a side channel,
+// never part of a sweep's deterministic results.
+type CellMetrics struct {
+	// Key is the cell's identity within the sweep.
+	Key string `json:"key"`
+	// Index is the cell's position in sweep order.
+	Index int `json:"index"`
+	// Worker is the pool slot that executed the cell (0 when serial).
+	// Not deterministic across runs.
+	Worker int `json:"worker"`
+	// WallNS is the cell's host wall-clock time in nanoseconds. Not
+	// deterministic across runs.
+	WallNS int64 `json:"wall_ns"`
+	// Runs counts the simulator runs folded into this record (a grid
+	// cell runs one machine; a torture cell runs one per crash point).
+	Runs int `json:"runs,omitempty"`
+	// SimCycles totals the simulated cycles across the cell's runs.
+	SimCycles uint64 `json:"sim_cycles,omitempty"`
+	// Controller folds the cell's PM-controller statistics: counters
+	// sum across runs, high-water marks take the maximum.
+	Controller *pmem.Stats `json:"controller,omitempty"`
+	// OverflowHigh is the deepest overflow queue (arrivals waiting for
+	// a free PM write-queue entry) any of the cell's runs observed.
+	OverflowHigh int `json:"overflow_high,omitempty"`
+	// MediaRetries counts transient media write faults (each forces a
+	// bank retry); MediaRetriesExhausted counts lines whose retry
+	// budget ran out.
+	MediaRetries          uint64 `json:"media_retries,omitempty"`
+	MediaRetriesExhausted uint64 `json:"media_retries_exhausted,omitempty"`
+	// Err records the cell's failure, if any.
+	Err string `json:"error,omitempty"`
+}
+
+// AddRun folds one simulator run's outcome into the record: the run's
+// final cycle count and its PM controller snapshot.
+func (m *CellMetrics) AddRun(cycles uint64, st pmem.Stats) {
+	m.Runs++
+	m.SimCycles += cycles
+	if m.Controller == nil {
+		m.Controller = &pmem.Stats{}
+	}
+	foldStats(m.Controller, st)
+	if st.MaxPendingArrivals > m.OverflowHigh {
+		m.OverflowHigh = st.MaxPendingArrivals
+	}
+	m.MediaRetries += st.MediaWriteFaults
+	m.MediaRetriesExhausted += st.MediaRetriesExhausted
+}
+
+// foldStats accumulates one controller snapshot into dst: counters
+// sum, high-water marks take the maximum, and the overflow high-water
+// samples follow whichever run reached the deepest overflow queue.
+func foldStats(dst *pmem.Stats, st pmem.Stats) {
+	dst.PMWritesAccepted += st.PMWritesAccepted
+	dst.PMWritesDrained += st.PMWritesDrained
+	dst.PMReads += st.PMReads
+	dst.DRAMReads += st.DRAMReads
+	dst.DRAMWrites += st.DRAMWrites
+	dst.WriteQueueFullEvents += st.WriteQueueFullEvents
+	if st.MaxWriteQueueDepth > dst.MaxWriteQueueDepth {
+		dst.MaxWriteQueueDepth = st.MaxWriteQueueDepth
+	}
+	if st.MaxPendingArrivals > dst.MaxPendingArrivals {
+		dst.MaxPendingArrivals = st.MaxPendingArrivals
+		dst.OverflowHighWater = st.OverflowHighWater
+	}
+	dst.PendingStallCycles += st.PendingStallCycles
+	dst.MediaWriteFaults += st.MediaWriteFaults
+	dst.MediaRetriesExhausted += st.MediaRetriesExhausted
+	dst.MediaFaultDelayCycles += st.MediaFaultDelayCycles
+}
+
+// Report collects the per-cell metrics of one or more sweeps run under
+// the same Options (sweeps append in execution order, cells within a
+// sweep in cell order). The CLI emits it as JSON via -metrics-out.
+type Report struct {
+	// Name labels the sweep (the CLI uses the experiment name).
+	Name string `json:"name"`
+	// Parallel is the requested worker count (0 = GOMAXPROCS); Workers
+	// is the resolved pool size of the last sweep appended.
+	Parallel int `json:"parallel"`
+	Workers  int `json:"workers"`
+	// WallNS totals the sweeps' wall-clock time; CellWallNS totals the
+	// per-cell wall times (CellWallNS/WallNS approximates pool
+	// utilisation). Neither is deterministic.
+	WallNS     int64 `json:"wall_ns"`
+	CellWallNS int64 `json:"cell_wall_ns"`
+	// SimCycles totals simulated cycles across all cells.
+	SimCycles uint64 `json:"sim_cycles"`
+	// Cells holds one record per executed cell.
+	Cells []CellMetrics `json:"cells"`
+}
+
+// NewReport returns an empty report with the given label.
+func NewReport(name string) *Report { return &Report{Name: name} }
+
+// add appends one cell record and updates the aggregates.
+func (r *Report) add(m CellMetrics) {
+	r.Cells = append(r.Cells, m)
+	r.CellWallNS += m.WallNS
+	r.SimCycles += m.SimCycles
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteReportsJSON writes several reports as one indented JSON array
+// (the CLI's -metrics-out format when a command runs multiple sweeps).
+func WriteReportsJSON(w io.Writer, reports []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

@@ -1,0 +1,195 @@
+// Package sweep is the shared parallel sweep engine: it fans a list of
+// independent, deterministic simulation cells out over a bounded pool
+// of worker goroutines and re-collects their results in cell order.
+//
+// The engine's contract is that parallelism is invisible in the
+// results: a sweep run with any worker count produces byte-identical
+// output to a serial run. That holds because cells are required to be
+// hermetic — each cell builds its own machine, derives its own seeds
+// (see CellSeed), and communicates only through its return value. The
+// engine contributes the other half of the contract: cells are claimed
+// in index order, results land at their cell's index, and the first
+// error reported is always the erroring cell with the lowest index, so
+// neither scheduling nor completion order can leak into what callers
+// see. Only the observability side channel (CellMetrics wall times and
+// worker assignments, collected into a Report) varies across runs.
+//
+// The experiment grid (internal/harness.RunGrid), the ablation sweeps,
+// and the crash-recovery torture driver all run on this engine; see
+// docs/DETERMINISM.md for the rules a new sweep must follow.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configures one sweep.
+type Options struct {
+	// Parallel is the worker pool size: 0 means runtime.GOMAXPROCS(0),
+	// 1 runs the cells serially on the calling goroutine, and larger
+	// values bound the pool. Results are identical for every value.
+	Parallel int
+	// Report, when non-nil, collects one CellMetrics per executed cell
+	// (appended in cell order). Observability only: wall times and
+	// worker assignments in the report are not deterministic.
+	Report *Report
+}
+
+// workers resolves the pool size.
+func (o Options) workers() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// Cell is one independent unit of a sweep: a keyed closure that builds
+// and runs its own isolated simulation. A cell must be hermetic — no
+// shared RNG, no shared machine, no writes to captured state — so that
+// cells can execute concurrently and in any order without changing
+// each other's results. Seeds inside a cell should be derived from the
+// sweep's root seed and the cell's key (CellSeed), never drawn from a
+// generator shared across cells.
+type Cell[T any] struct {
+	// Key identifies the cell: stable across runs, unique within the
+	// sweep. It names the cell in metrics and error messages and is the
+	// designated input for CellSeed derivation.
+	Key string
+	// Run executes the cell and returns its result. The CellMetrics
+	// argument is the cell's metrics record; fold simulator outcomes
+	// into it with AddRun. Run must not retain m past its return.
+	Run func(m *CellMetrics) (T, error)
+}
+
+// Run executes the cells on a bounded worker pool and returns their
+// results in cell order (results[i] belongs to cells[i]). Cells are
+// claimed strictly in index order; once any cell fails, no further
+// cells are started, and the returned error is the failure with the
+// lowest cell index — the same error a serial run would have stopped
+// at. Results of cells that completed successfully are returned even
+// alongside an error. A panicking cell is converted into an error
+// rather than taking down the process.
+func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
+	n := o.workers()
+	if n > len(cells) {
+		n = len(cells)
+	}
+	results := make([]T, len(cells))
+	errs := make([]error, len(cells))
+	metrics := make([]CellMetrics, len(cells))
+	ran := make([]bool, len(cells))
+	start := time.Now()
+
+	if n <= 1 {
+		for i := range cells {
+			runCell(cells, i, results, errs, metrics)
+			ran[i] = true
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var (
+			mu     sync.Mutex
+			next   int
+			failed bool
+			wg     sync.WaitGroup
+		)
+		claim := func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			if failed || next >= len(cells) {
+				return -1
+			}
+			i := next
+			next++
+			return i
+		}
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					i := claim()
+					if i < 0 {
+						return
+					}
+					runCell(cells, i, results, errs, metrics)
+					metrics[i].Worker = worker
+					ran[i] = true
+					if errs[i] != nil {
+						mu.Lock()
+						failed = true
+						mu.Unlock()
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if o.Report != nil {
+		o.Report.Parallel = o.Parallel
+		o.Report.Workers = n
+		o.Report.WallNS += time.Since(start).Nanoseconds()
+		for i := range metrics {
+			if ran[i] {
+				o.Report.add(metrics[i])
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// runCell executes one cell, recording its metrics and converting a
+// panic into an error. Each invocation touches only index i of the
+// shared slices, so concurrent invocations never race.
+func runCell[T any](cells []Cell[T], i int, results []T, errs []error, metrics []CellMetrics) {
+	m := &metrics[i]
+	m.Key = cells[i].Key
+	m.Index = i
+	t0 := time.Now()
+	defer func() {
+		m.WallNS = time.Since(t0).Nanoseconds()
+		if r := recover(); r != nil {
+			errs[i] = fmt.Errorf("sweep: cell %q panicked: %v", cells[i].Key, r)
+		}
+		if errs[i] != nil {
+			m.Err = errs[i].Error()
+		}
+	}()
+	results[i], errs[i] = cells[i].Run(m)
+}
+
+// CellSeed derives a cell-private RNG seed from a sweep's root seed and
+// the cell's key: FNV-1a over the key folded into the root, finalized
+// with a splitmix64 round. Distinct keys decorrelate even when the root
+// seed and key prefixes match; the same (root, key) pair always yields
+// the same seed, which is what keeps a parallel sweep's fault draws and
+// workload shuffles byte-identical to a serial run's. Never substitute
+// a generator shared across cells: its draw order would depend on cell
+// scheduling.
+func CellSeed(root uint64, key string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	z := root ^ h
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -43,6 +43,7 @@ import (
 	"strandweaver/internal/pmo"
 	"strandweaver/internal/redolog"
 	"strandweaver/internal/sim"
+	"strandweaver/internal/sweep"
 	"strandweaver/internal/trace"
 	"strandweaver/internal/undolog"
 	"strandweaver/internal/workloads"
@@ -274,6 +275,31 @@ func PrintClaims(w io.Writer, cl harness.Claims) { harness.PrintClaims(w, cl) }
 
 // BenchmarkNames lists the Table II benchmark registry.
 func BenchmarkNames() []string { return workloads.Names() }
+
+// --- Parallel sweep engine ---
+
+// SweepReport aggregates per-cell metrics for one sweep (see
+// ExpOptions.Metrics and TortureOptions.Metrics). Metrics are an
+// observability side channel: sweep results themselves are
+// byte-identical at any worker count.
+type SweepReport = sweep.Report
+
+// SweepCellMetrics is one cell's wall-time and simulator metrics.
+type SweepCellMetrics = sweep.CellMetrics
+
+// NewSweepReport returns an empty named report to pass as
+// ExpOptions.Metrics or TortureOptions.Metrics.
+func NewSweepReport(name string) *SweepReport { return sweep.NewReport(name) }
+
+// WriteSweepReports writes reports as a JSON array (the CLI's
+// -metrics-out format).
+func WriteSweepReports(w io.Writer, reps []*SweepReport) error {
+	return sweep.WriteReportsJSON(w, reps)
+}
+
+// SweepCellSeed derives a decorrelated per-cell seed from a root seed
+// and a cell key (see docs/DETERMINISM.md).
+func SweepCellSeed(root uint64, key string) uint64 { return sweep.CellSeed(root, key) }
 
 // --- Formal model and litmus testing ---
 
