@@ -32,6 +32,7 @@ type options struct {
 	ops          int
 	seed         int64
 	benchmarks   []string
+	designs      []sw.Design
 	crashes      int
 	intensity    float64
 	maxBudgets   int
@@ -76,6 +77,7 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.IntVar(&o.ops, "ops", defOps, "operations per thread")
 	fs.Int64Var(&o.seed, "seed", 1, "workload and fault RNG seed")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table II; torture: queue,hashmap,rbtree)")
+	designList := fs.String("design", "", "comma-separated hardware-design subset for grid experiments (default: "+strings.Join(sw.DesignNames(), ",")+")")
 	fs.IntVar(&o.crashes, "crashes", defCrashes, "crash points to inject (crash/torture experiments)")
 	fs.Float64Var(&o.intensity, "intensity", 1.0, "fault-plan intensity multiplier (torture)")
 	fs.IntVar(&o.maxBudgets, "budgets", 96, "max crash-during-recovery budget points per sweep (torture)")
@@ -91,6 +93,16 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	}
 	if *benchList != "" {
 		o.benchmarks = strings.Split(*benchList, ",")
+	}
+	for _, name := range strings.Split(*designList, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		d, err := sw.ParseDesign(name)
+		if err != nil {
+			return o, err
+		}
+		o.designs = append(o.designs, d)
 	}
 	return o, nil
 }
@@ -156,7 +168,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		os.Exit(2)
 	}
-	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks, Parallel: o.workers()}
+	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks, Designs: o.designs, Parallel: o.workers()}
 
 	// Each sweep-backed command appends a per-cell metrics report here;
 	// -metrics-out writes them as one JSON array after a clean run.
@@ -277,8 +289,9 @@ func usage() {
 
 experiments:
   table2   benchmark write intensity (CLWBs per 1000 cycles)
-  fig7     speedup grid: 5 designs x 3 language models x 8 benchmarks,
-           plus the paper's headline-claims summary
+  fig7     speedup grid: 6 designs x 3 language models x 8 benchmarks
+           (the paper's five plus an eADR upper bound), plus the
+           paper's headline-claims summary
   fig8     CPU stalls enforcing persist order, relative to Intel x86
   fig9     sensitivity to strand-buffer-unit geometry
   fig10    speedup vs operations per synchronization-free region
@@ -293,7 +306,8 @@ experiments:
            depth, HOPS buffer capacity, CLWB vs CLFLUSHOPT
   all      everything above
 
-flags (see -h per experiment): -threads -ops -seed -benchmarks -crashes
+flags (see -h per experiment): -threads -ops -seed -benchmarks -design
+                               -crashes
 sweep flags: -parallel N (0 = GOMAXPROCS) -serial -metrics-out FILE
              -serial-check (experiments only)
 torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride

@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	sw "strandweaver"
 )
 
 func parse(t *testing.T, args ...string) options {
@@ -58,6 +60,22 @@ func TestValidateRejectsUnknownBenchmark(t *testing.T) {
 	// And the known subset passes.
 	if err := validate(parse(t, "torture", "-benchmarks", "queue,hashmap")); err != nil {
 		t.Errorf("valid subset rejected: %v", err)
+	}
+}
+
+func TestDesignFlag(t *testing.T) {
+	o := parse(t, "experiments", "-design", "EADR, intel-x86")
+	if len(o.designs) != 2 || o.designs[0] != sw.EADR || o.designs[1] != sw.IntelX86 {
+		t.Errorf("parsed designs = %v", o.designs)
+	}
+	if _, err := parseArgs([]string{"experiments", "-design", "warp-drive"}, os.Stderr); err == nil {
+		t.Error("unknown design accepted")
+	} else if !strings.Contains(err.Error(), "eadr") {
+		t.Errorf("design error does not list the valid set: %v", err)
+	}
+	// Default: no restriction (harness falls back to all designs).
+	if o := parse(t, "experiments"); len(o.designs) != 0 {
+		t.Errorf("default designs = %v, want none", o.designs)
 	}
 }
 

@@ -1,0 +1,108 @@
+package backend
+
+import (
+	"strandweaver/internal/cache"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+)
+
+func init() {
+	register(hwdesign.EADR, newEADR)
+}
+
+// eadrBackend models an extended-ADR platform: battery-backed caches
+// sit inside the persistence domain (paper Section II's ADR discussion,
+// taken to its limit), so a store is persistent the moment it becomes
+// visible and TSO visibility order is the persist order. Consequences:
+//
+//   - CLWB is a zero-cost no-op: there is nothing to write back, so it
+//     occupies no store-queue entry and generates no PM-controller
+//     traffic (dirty-line evictions keep their normal timing but carry
+//     no durability action — the data is already persistent).
+//   - Every ordering barrier is accepted and completes in its issue
+//     cycle; the ordering each one requests already holds.
+//   - The logging plan is all-OpNone, like NonAtomic — but unlike
+//     NonAtomic the design is crash-consistent, because log writes
+//     become visible (hence persistent) before their in-place updates.
+//
+// This makes eADR the crash-consistent upper bound: the same
+// instruction stream as NonAtomic minus all CLWB occupancy and flush
+// traffic.
+//
+// The backend is also the template for adding a design: implement
+// Backend in one file, call register from init, and add the name to
+// hwdesign.
+type eadrBackend struct {
+	m *mem.Machine
+
+	clwbsElided    uint64
+	barriersElided uint64
+	wordsPersisted uint64
+}
+
+func newEADR(d Deps) Backend {
+	// Line write-backs snapshot their data when the cache submits them,
+	// which can be older than words persisted at visibility afterwards;
+	// with caches inside the persistence domain they carry no
+	// durability action at all, so tell the functional memory to ignore
+	// them.
+	d.Mem.SetPersistAtVisibility(true)
+	return &eadrBackend{m: d.Mem}
+}
+
+func (b *eadrBackend) Design() hwdesign.Design { return hwdesign.EADR }
+func (b *eadrBackend) Gate() cache.PersistGate { return nil }
+func (b *eadrBackend) StoreGate() func() bool  { return nil }
+
+func (b *eadrBackend) CLWB(h Host, line mem.Addr) {
+	b.clwbsElided++
+}
+
+func (b *eadrBackend) Barrier(h Host, k isa.OpKind) error {
+	if !k.IsPersistOrderOp() {
+		return unavailable(hwdesign.EADR, k)
+	}
+	h.NextSeq()
+	b.barriersElided++
+	return nil
+}
+
+// OnStoreVisible is the persistence point: the visible bytes land in
+// the persistent image immediately.
+func (b *eadrBackend) OnStoreVisible(addr mem.Addr, value uint64, size uint8) {
+	if !mem.IsPM(addr) {
+		return
+	}
+	switch size {
+	case 8:
+		b.m.Persistent.Write64(addr, value)
+	case 4:
+		b.m.Persistent.Write32(addr, uint32(value))
+	case 1:
+		b.m.Persistent.SetByte(addr, byte(value))
+	}
+	b.wordsPersisted++
+}
+
+func (b *eadrBackend) Pump() {}
+
+func (b *eadrBackend) Drained() bool { return true }
+
+func (b *eadrBackend) Plan() OrderingPlan {
+	return OrderingPlan{
+		BeginPair:   isa.OpNone,
+		LogToUpdate: isa.OpNone,
+		CommitOrder: isa.OpNone,
+		RegionEnd:   isa.OpNone,
+		Durable:     isa.OpNone,
+	}
+}
+
+func (b *eadrBackend) Stats() []Stat {
+	return []Stat{
+		{"clwbs_elided", b.clwbsElided},
+		{"barriers_elided", b.barriersElided},
+		{"words_persisted", b.wordsPersisted},
+	}
+}

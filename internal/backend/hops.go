@@ -1,0 +1,108 @@
+package backend
+
+import (
+	"strandweaver/internal/cache"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/strand"
+)
+
+func init() {
+	register(hwdesign.HOPS, newHOPS)
+}
+
+// hopsBackend implements the delegated-epoch persistency model: CLWBs
+// and ofences append to a single per-core persist buffer (a one-buffer
+// strand buffer unit — ofence has exactly persist-barrier mechanics
+// inside one buffer, so the comparison is storage-fair) without
+// stalling the core; dfence stalls until the buffer and the store queue
+// drain.
+type hopsBackend struct {
+	sbu  *strand.BufferUnit
+	kick func()
+
+	// pbAppend and drainedCond are the reusable ofence/dfence stall
+	// conditions (dfence's is built on first use, once the host queue is
+	// known).
+	pbAppend, drainedCond func() bool
+
+	ofences, dfences uint64
+}
+
+func newHOPS(d Deps) Backend {
+	b := &hopsBackend{kick: d.Kick}
+	b.sbu = strand.NewBufferUnit(d.Eng, d.L1, 1, d.Cfg.HOPSPersistBufferEntries)
+	b.sbu.OnChange(d.Kick)
+	b.pbAppend = func() bool { return b.sbu.TryAppendPB(b.kick) }
+	return b
+}
+
+func (b *hopsBackend) Design() hwdesign.Design { return hwdesign.HOPS }
+func (b *hopsBackend) Gate() cache.PersistGate { return b.sbu }
+func (b *hopsBackend) StoreGate() func() bool  { return nil }
+
+func (b *hopsBackend) OnStoreVisible(mem.Addr, uint64, uint8) {}
+
+// BufferUnit exposes the persist buffer for tests and walkthroughs.
+func (b *hopsBackend) BufferUnit() *strand.BufferUnit { return b.sbu }
+
+// CLWB delegates to the persist buffer, holding issue until the elder
+// same-line store (if any) drains so the flush captures its value.
+func (b *hopsBackend) CLWB(h Host, line mem.Addr) {
+	seq := h.NextSeq()
+	q := h.Queue()
+	ready := func() bool { return !q.HasPendingStoreToLine(line, seq) }
+	h.StallUntil(func() bool {
+		return b.sbu.TryAppendCLWB(line, ready, b.kick)
+	}, StallQueueFull)
+}
+
+func (b *hopsBackend) Barrier(h Host, k isa.OpKind) error {
+	switch k {
+	case isa.OpOFence:
+		// Lightweight epoch barrier: ordering is delegated to the
+		// persist buffer; the core stalls only if the buffer is full.
+		h.NextSeq()
+		h.StallUntil(b.pbAppend, StallQueueFull)
+		b.ofences++
+	case isa.OpDFence:
+		// Durability barrier: stall until prior stores have left the
+		// store queue and the persist buffer fully drains.
+		h.NextSeq()
+		if b.drainedCond == nil {
+			q := h.Queue()
+			b.drainedCond = func() bool { return q.Empty() && b.sbu.Drained() }
+		}
+		h.StallUntil(b.drainedCond, StallFence)
+		b.dfences++
+	default:
+		return unavailable(hwdesign.HOPS, k)
+	}
+	return nil
+}
+
+func (b *hopsBackend) Pump() { b.sbu.Kick() }
+
+func (b *hopsBackend) Drained() bool { return b.sbu.Drained() }
+
+func (b *hopsBackend) Plan() OrderingPlan {
+	return OrderingPlan{
+		BeginPair:   isa.OpNone,
+		LogToUpdate: isa.OpOFence,
+		CommitOrder: isa.OpOFence,
+		RegionEnd:   isa.OpDFence,
+		Durable:     isa.OpDFence,
+	}
+}
+
+func (b *hopsBackend) Stats() []Stat {
+	s := b.sbu.Stats()
+	return []Stat{
+		{"ofences", b.ofences},
+		{"dfences", b.dfences},
+		{"buffer_clwbs_accepted", s.CLWBsAccepted},
+		{"buffer_clwbs_issued", s.CLWBsIssued},
+		{"buffer_pbs_accepted", s.PBsAccepted},
+	}
+}

@@ -1,8 +1,10 @@
 // Package cpu models one simulated core per hardware thread: the
-// front-end that issues memory and persist operations, the store queue,
-// and the per-design persist hardware wiring (Intel x86 SFENCE, HOPS
-// persist buffer, StrandWeaver persist queue + strand buffer unit, the
-// no-persist-queue ablation, and the non-atomic upper bound).
+// front-end that issues memory and persist operations, the TSO store
+// queue, and the persist-ordering hardware behind them. The persist
+// hardware itself (Intel x86 SFENCE, HOPS persist buffer, StrandWeaver
+// persist queue + strand buffer unit, the no-persist-queue ablation,
+// the non-atomic and eADR bounds) lives behind the backend.Backend
+// interface; the core only routes through it.
 //
 // Timing philosophy: the front-end issues one operation per cycle until
 // a structural hazard (full store/persist queue) or an ordering
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"strandweaver/internal/backend"
 	"strandweaver/internal/cache"
 	"strandweaver/internal/config"
 	"strandweaver/internal/hwdesign"
@@ -59,28 +62,16 @@ type Core struct {
 	id      int
 	eng     *sim.Engine
 	cfg     config.Config
-	design  hwdesign.Design
 	machine *mem.Machine
 	l1      *cache.L1
 	ctrl    *pmem.Controller
 
-	sq  *storeQueue
-	pq  *strand.PersistQueue // StrandWeaver only
-	sbu *strand.BufferUnit   // StrandWeaver, NoPersistQueue, HOPS
-
-	// outstandingFlushes tracks direct (non-SBU) CLWBs in flight for the
-	// Intel and NonAtomic designs; SFENCE waits for it to reach zero.
-	outstandingFlushes int
+	sq *storeQueue
+	be backend.Backend
 
 	// seq is the core-wide program-order sequence counter; 0 is reserved
 	// as "none".
 	seq uint64
-	// lastPB is the youngest persist barrier inserted (StrandWeaver),
-	// used to gate younger stores until it has issued.
-	lastPB *strand.Entry
-	// lastPBSeq and lastNSSeq locate the youngest persist barrier and
-	// NewStrand in program order.
-	lastPBSeq, lastNSSeq uint64
 
 	co *sim.Coroutine
 
@@ -91,8 +82,14 @@ type Core struct {
 	// wake is broadcast whenever core state changes that could unblock
 	// the front-end.
 	wake *sim.Waiter
-	// kickQueued coalesces pump scheduling.
+	// kickQueued coalesces pump scheduling; kickFn is the scheduled
+	// callback, built once (kick is far too hot to allocate a closure
+	// per call).
 	kickQueued bool
+	kickFn     func()
+	// sqNotFull, sqEmpty and drainedFn are reusable stall conditions,
+	// built once.
+	sqNotFull, sqEmpty, drainedFn func() bool
 
 	rng *rand.Rand
 
@@ -101,13 +98,12 @@ type Core struct {
 
 // NewCore wires a core for the given design. The caller registers the
 // returned core's persist gate on the cache hierarchy when the design
-// has one.
-func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design, machine *mem.Machine, l1 *cache.L1, ctrl *pmem.Controller) *Core {
+// has one. It fails only when no backend implements the design.
+func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design, machine *mem.Machine, l1 *cache.L1, ctrl *pmem.Controller) (*Core, error) {
 	c := &Core{
 		id:      id,
 		eng:     eng,
 		cfg:     cfg,
-		design:  design,
 		machine: machine,
 		l1:      l1,
 		ctrl:    ctrl,
@@ -115,48 +111,64 @@ func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design,
 		rng:     rand.New(rand.NewSource(int64(id)*7919 + 12345)),
 	}
 	c.sq = newStoreQueue(c)
-	switch design {
-	case hwdesign.StrandWeaver:
-		c.sbu = strand.NewBufferUnit(eng, l1, cfg.StrandBuffers, cfg.StrandBufferEntries)
-		c.pq = strand.NewPersistQueue(eng, c.sbu, c.sq, cfg.PersistQueueEntries)
-		c.pq.SetOnChange(c.kick)
-		c.sbu.OnChange(c.kick)
-	case hwdesign.NoPersistQueue:
-		c.sbu = strand.NewBufferUnit(eng, l1, cfg.StrandBuffers, cfg.StrandBufferEntries)
-		c.sbu.OnChange(c.kick)
-	case hwdesign.HOPS:
-		// The HOPS persist buffer is a single strand buffer; ofence has
-		// persist-barrier mechanics within it.
-		c.sbu = strand.NewBufferUnit(eng, l1, 1, cfg.HOPSPersistBufferEntries)
-		c.sbu.OnChange(c.kick)
+	c.kickFn = func() {
+		c.kickQueued = false
+		c.pump()
 	}
-	return c
+	c.sqNotFull = func() bool { return !c.sq.Full() }
+	c.sqEmpty = c.sq.Empty
+	c.drainedFn = c.Drained
+	be, err := backend.New(design, backend.Deps{
+		Eng:     eng,
+		Cfg:     cfg,
+		L1:      l1,
+		Mem:     machine,
+		Tracker: c.sq,
+		Kick:    c.kick,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.be = be
+	return c, nil
 }
 
 // ID returns the core's index.
 func (c *Core) ID() int { return c.id }
 
 // Design returns the core's hardware design.
-func (c *Core) Design() hwdesign.Design { return c.design }
+func (c *Core) Design() hwdesign.Design { return c.be.Design() }
 
 // Stats returns a copy of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
-// PersistGate returns the core's cache persist gate (its strand buffer
-// unit), or nil for designs without write-back/snoop gating.
-func (c *Core) PersistGate() cache.PersistGate {
-	if c.sbu != nil {
-		return c.sbu
+// BackendStats returns the persist backend's design-specific counters.
+func (c *Core) BackendStats() []backend.Stat { return c.be.Stats() }
+
+// OrderingPlan returns the backend's logging-order plan (which
+// primitive discharges each Figure 5 requirement on this design).
+func (c *Core) OrderingPlan() backend.OrderingPlan { return c.be.Plan() }
+
+// PersistGate returns the backend's cache persist gate (the strand
+// buffer unit on designs that have one), or nil.
+func (c *Core) PersistGate() cache.PersistGate { return c.be.Gate() }
+
+// BufferUnit exposes the strand buffer unit (nil for designs without
+// one); used by tests and the Figure 4 walkthrough.
+func (c *Core) BufferUnit() *strand.BufferUnit {
+	if p, ok := c.be.(interface{ BufferUnit() *strand.BufferUnit }); ok {
+		return p.BufferUnit()
 	}
 	return nil
 }
 
-// BufferUnit exposes the strand buffer unit (nil for Intel/NonAtomic);
-// used by tests and the Figure 4 walkthrough.
-func (c *Core) BufferUnit() *strand.BufferUnit { return c.sbu }
-
 // PersistQueue exposes the persist queue (nil except StrandWeaver).
-func (c *Core) PersistQueue() *strand.PersistQueue { return c.pq }
+func (c *Core) PersistQueue() *strand.PersistQueue {
+	if p, ok := c.be.(interface{ PersistQueue() *strand.PersistQueue }); ok {
+		return p.PersistQueue()
+	}
+	return nil
+}
 
 // Attach binds the workload coroutine to this core. Every Core memory
 // API must be called from that coroutine.
@@ -179,44 +191,26 @@ func (c *Core) kick() {
 		return
 	}
 	c.kickQueued = true
-	c.eng.Schedule(0, func() {
-		c.kickQueued = false
-		c.pump()
-	})
+	c.eng.Schedule(0, c.kickFn)
 }
 
-// pump advances the store queue and persist machinery and wakes any
-// blocked front-end.
+// pump advances the store queue and the backend's persist machinery and
+// wakes any blocked front-end.
 func (c *Core) pump() {
 	c.sq.pump()
-	if c.pq != nil {
-		c.pq.Pump()
-	}
-	if c.sbu != nil {
-		c.sbu.Kick()
-	}
+	c.be.Pump()
 	c.wake.Broadcast()
 }
 
 // Drained reports whether all of the core's persist machinery is idle:
-// the store queue is empty, the persist queue (if any) is empty, the
-// strand buffers (if any) are drained, and no direct flushes are in
-// flight.
+// the store queue is empty and the backend (persist queue, strand
+// buffers, in-flight flushes) reports drained.
 func (c *Core) Drained() bool {
-	if !c.sq.empty() {
-		return false
-	}
-	if c.pq != nil && !c.pq.Empty() {
-		return false
-	}
-	if c.sbu != nil && !c.sbu.Drained() {
-		return false
-	}
-	return c.outstandingFlushes == 0
+	return c.sq.Empty() && c.be.Drained()
 }
 
 func (c *Core) String() string {
-	return fmt.Sprintf("core%d[%s]", c.id, c.design)
+	return fmt.Sprintf("core%d[%s]", c.id, c.be.Design())
 }
 
 // stallUntil parks the front-end until cond holds, charging the elapsed
@@ -232,27 +226,28 @@ func (c *Core) stallUntil(cond func() bool, counter *uint64) {
 	*counter += uint64(c.eng.Now() - start)
 }
 
-// nextSeq allocates the next program-order sequence number.
-func (c *Core) nextSeq() uint64 {
+// --- backend.Host implementation ---
+
+// Queue implements backend.Host.
+func (c *Core) Queue() backend.Queue { return c.sq }
+
+// NextSeq implements backend.Host: it allocates the next program-order
+// sequence number.
+func (c *Core) NextSeq() uint64 {
 	c.seq++
 	return c.seq
 }
 
-// barrierSeqForCLWB returns the sequence of the youngest elder persist
-// barrier not cleared by a later NewStrand (0 if none): the stores that
-// a CLWB must wait for under the persist-barrier rule.
-func (c *Core) barrierSeqForCLWB() uint64 {
-	if c.lastPBSeq > c.lastNSSeq {
-		return c.lastPBSeq
+// StallUntil implements backend.Host, mapping the stall reason onto the
+// matching Stats counter.
+func (c *Core) StallUntil(cond func() bool, why backend.StallReason) {
+	switch why {
+	case backend.StallFence:
+		c.stallUntil(cond, &c.stats.StallFenceCycles)
+	default:
+		c.stallUntil(cond, &c.stats.StallQueueFullCycles)
 	}
-	return 0
 }
 
-// storeGateEntry returns the persist-queue barrier entry a new store
-// must wait on (issued) under StrandWeaver, or nil.
-func (c *Core) storeGateEntry() *strand.Entry {
-	if c.design == hwdesign.StrandWeaver && c.lastPBSeq > c.lastNSSeq && c.lastPB != nil && !c.lastPB.HasIssued() {
-		return c.lastPB
-	}
-	return nil
-}
+// Kick implements backend.Host.
+func (c *Core) Kick() { c.kick() }

@@ -1,8 +1,10 @@
 package cpu
 
 import (
+	"errors"
 	"testing"
 
+	"strandweaver/internal/backend"
 	"strandweaver/internal/cache"
 	"strandweaver/internal/config"
 	"strandweaver/internal/hwdesign"
@@ -29,7 +31,10 @@ func newRig(t *testing.T, cfg config.Config, d hwdesign.Design, n int) *rig {
 	hier := cache.NewHierarchy(eng, cfg, m, ctrl)
 	r := &rig{eng: eng, m: m}
 	for i := 0; i < n; i++ {
-		c := NewCore(i, eng, cfg, d, m, hier.L1(i), ctrl)
+		c, err := NewCore(i, eng, cfg, d, m, hier.L1(i), ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
 		hier.SetGate(i, c.PersistGate())
 		r.cores = append(r.cores, c)
 	}
@@ -203,15 +208,25 @@ func TestJoinStrandDurability(t *testing.T) {
 	r.run(t)
 }
 
-func TestWrongDesignPrimitivePanics(t *testing.T) {
+func TestWrongDesignPrimitiveErrors(t *testing.T) {
 	r := newRig(t, config.Default(), hwdesign.IntelX86, 1)
 	r.spawn(0, func(c *Core) {
-		defer func() {
-			if recover() == nil {
-				t.Error("PersistBarrier on Intel design did not panic")
-			}
-		}()
-		c.PersistBarrier()
+		err := c.PersistBarrier()
+		var unavail *backend.ErrPrimitiveUnavailable
+		if !errors.As(err, &unavail) {
+			t.Errorf("PersistBarrier on Intel = %v, want ErrPrimitiveUnavailable", err)
+			return
+		}
+		if unavail.Design != hwdesign.IntelX86 {
+			t.Errorf("error names design %s", unavail.Design)
+		}
+		// The failed issue must have no side effects.
+		if c.Stats().Fences != 0 {
+			t.Error("unavailable primitive counted as a fence")
+		}
+		if err := c.SFence(); err != nil {
+			t.Errorf("SFence after failed PersistBarrier: %v", err)
+		}
 	})
 	r.run(t)
 }

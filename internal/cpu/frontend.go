@@ -1,7 +1,8 @@
 package cpu
 
 import (
-	"strandweaver/internal/hwdesign"
+	"fmt"
+
 	"strandweaver/internal/isa"
 	"strandweaver/internal/mem"
 	"strandweaver/internal/sim"
@@ -10,6 +11,10 @@ import (
 // The front-end API. Every method must be called from the coroutine
 // attached with Attach; methods may suspend the coroutine to model
 // latency and stalls.
+//
+// Ordering primitives return an error (a *backend.ErrPrimitiveUnavailable)
+// when the core's design does not implement them, with no side effects;
+// all other outcomes are nil.
 
 // issueCycle charges one front-end issue slot.
 func (c *Core) issueCycle() {
@@ -70,150 +75,83 @@ func (c *Core) Store32(addr mem.Addr, v uint32) { c.store(addr, uint64(v), 4) }
 func (c *Core) store(addr mem.Addr, v uint64, size uint8) {
 	c.stats.Stores++
 	start := c.eng.Now()
-	c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
-	e := &sqEntry{kind: sqStore, addr: addr, value: v, size: size, seq: c.nextSeq(), gate: c.storeGateEntry()}
+	c.stallUntil(c.sqNotFull, &c.stats.StallQueueFullCycles)
+	e := &sqEntry{kind: sqStore, addr: addr, value: v, size: size, seq: c.NextSeq(), ready: c.be.StoreGate()}
 	c.sq.push(e)
 	c.issueCycle()
 	c.traceOp(isa.OpStore, addr, v, start)
 }
 
 // CLWB requests a write-back of the cache line containing addr to the
-// point of persistence. Routing depends on the design.
+// point of persistence; the backend owns the routing (persist queue,
+// persist buffer, store queue, or nothing at all). CLWB is valid on
+// every design.
 func (c *Core) CLWB(addr mem.Addr) {
 	c.stats.CLWBs++
 	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpCLWB, mem.LineAddr(addr), 0, start) }()
 	line := mem.LineAddr(addr)
-	switch c.design {
-	case hwdesign.StrandWeaver:
-		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
-		c.pq.InsertCLWB(c.nextSeq(), line, c.barrierSeqForCLWB())
-	case hwdesign.HOPS:
-		// Delegated: append to the persist buffer, holding issue until
-		// the elder same-line store (if any) drains so the flush
-		// captures its value.
-		seq := c.nextSeq()
-		ready := func() bool { return !c.sq.HasPendingStoreToLine(line, seq) }
-		c.stallUntil(func() bool {
-			return c.sbu.TryAppendCLWB(line, ready, func() { c.kick() })
-		}, &c.stats.StallQueueFullCycles)
-	default: // IntelX86, NoPersistQueue, NonAtomic
-		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
-		c.sq.push(&sqEntry{kind: sqCLWB, addr: line, seq: c.nextSeq()})
-	}
+	c.be.CLWB(c, line)
 	c.issueCycle()
+	c.traceOp(isa.OpCLWB, line, 0, start)
 }
 
-// SFence issues Intel's persist barrier; valid only on the IntelX86 and
-// NonAtomic designs. Per the paper (Section II-B), SFENCE "stalls issue
-// for subsequent updates until prior CLWBs complete": prior stores must
-// be visible and prior CLWBs acknowledged by the PM controller before
-// the core proceeds — the long-latency stall StrandWeaver removes.
-func (c *Core) SFence() {
+// barrier issues the persist-ordering primitive k through the backend.
+func (c *Core) barrier(k isa.OpKind) error {
 	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpSFence, 0, 0, start) }()
-	c.requireDesign(hwdesign.IntelX86, hwdesign.NonAtomic)
+	if err := c.be.Barrier(c, k); err != nil {
+		return err
+	}
 	c.stats.Fences++
-	c.nextSeq()
-	c.stallUntil(func() bool { return c.sq.empty() && c.outstandingFlushes == 0 },
-		&c.stats.StallFenceCycles)
 	c.issueCycle()
+	c.traceOp(k, 0, 0, start)
+	return nil
 }
 
-// PersistBarrier orders persists within the current strand (StrandWeaver
-// and NoPersistQueue designs).
-func (c *Core) PersistBarrier() {
-	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpPersistBarrier, 0, 0, start) }()
-	c.requireDesign(hwdesign.StrandWeaver, hwdesign.NoPersistQueue)
-	c.stats.Fences++
-	seq := c.nextSeq()
-	if c.design == hwdesign.StrandWeaver {
-		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
-		c.lastPB = c.pq.InsertPB(seq)
-	} else {
-		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
-		c.sq.push(&sqEntry{kind: sqPB, seq: seq})
-	}
-	c.lastPBSeq = seq
-	c.issueCycle()
-}
+// SFence issues Intel's persist barrier. Per the paper (Section II-B),
+// SFENCE "stalls issue for subsequent updates until prior CLWBs
+// complete": prior stores must be visible and prior CLWBs acknowledged
+// by the PM controller before the core proceeds — the long-latency
+// stall StrandWeaver removes.
+func (c *Core) SFence() error { return c.barrier(isa.OpSFence) }
 
-// NewStrand begins a new strand (StrandWeaver and NoPersistQueue).
-func (c *Core) NewStrand() {
-	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpNewStrand, 0, 0, start) }()
-	c.requireDesign(hwdesign.StrandWeaver, hwdesign.NoPersistQueue)
-	c.stats.Fences++
-	seq := c.nextSeq()
-	if c.design == hwdesign.StrandWeaver {
-		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
-		c.pq.InsertNS(seq)
-	} else {
-		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
-		c.sq.push(&sqEntry{kind: sqNS, seq: seq})
-	}
-	c.lastNSSeq = seq
-	c.issueCycle()
-}
+// PersistBarrier orders persists within the current strand.
+func (c *Core) PersistBarrier() error { return c.barrier(isa.OpPersistBarrier) }
+
+// NewStrand begins a new strand.
+func (c *Core) NewStrand() error { return c.barrier(isa.OpNewStrand) }
 
 // JoinStrand merges prior strands: the front-end stalls until all prior
-// persists and stores complete (StrandWeaver and NoPersistQueue).
-func (c *Core) JoinStrand() {
-	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpJoinStrand, 0, 0, start) }()
-	c.requireDesign(hwdesign.StrandWeaver, hwdesign.NoPersistQueue)
-	c.stats.Fences++
-	seq := c.nextSeq()
-	if c.design == hwdesign.StrandWeaver {
-		c.stallUntil(func() bool { return !c.pq.Full() }, &c.stats.StallQueueFullCycles)
-		e := c.pq.InsertJS(seq)
-		c.stallUntil(e.Retired, &c.stats.StallFenceCycles)
-	} else {
-		c.stallUntil(func() bool { return !c.sq.full() }, &c.stats.StallQueueFullCycles)
-		c.sq.push(&sqEntry{kind: sqJS, seq: seq})
-		c.stallUntil(c.sq.empty, &c.stats.StallFenceCycles)
-	}
-	// A join resets strand state: subsequent operations start ordering
-	// afresh.
-	c.lastPB = nil
-	c.lastPBSeq, c.lastNSSeq = 0, 0
-	c.issueCycle()
-}
+// persists and stores complete.
+func (c *Core) JoinStrand() error { return c.barrier(isa.OpJoinStrand) }
 
 // OFence issues the HOPS lightweight epoch barrier: ordering is
 // delegated to the persist buffer; the core stalls only if the buffer
 // is full.
-func (c *Core) OFence() {
-	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpOFence, 0, 0, start) }()
-	c.requireDesign(hwdesign.HOPS)
-	c.stats.Fences++
-	c.nextSeq()
-	c.stallUntil(func() bool { return c.sbu.TryAppendPB(func() { c.kick() }) },
-		&c.stats.StallQueueFullCycles)
-	c.issueCycle()
-}
+func (c *Core) OFence() error { return c.barrier(isa.OpOFence) }
 
 // DFence issues the HOPS durability barrier: the core stalls until the
 // persist buffer fully drains and prior stores have left the store
 // queue.
-func (c *Core) DFence() {
-	start := c.eng.Now()
-	defer func() { c.traceOp(isa.OpDFence, 0, 0, start) }()
-	c.requireDesign(hwdesign.HOPS)
-	c.stats.Fences++
-	c.nextSeq()
-	c.stallUntil(func() bool { return c.sq.empty() && c.sbu.Drained() },
-		&c.stats.StallFenceCycles)
-	c.issueCycle()
+func (c *Core) DFence() error { return c.barrier(isa.OpDFence) }
+
+// Issue issues the ordering primitive k. isa.OpNone is a no-op (the
+// value ordering plans use for requirements a design discharges for
+// free); any non-ordering kind is an error.
+func (c *Core) Issue(k isa.OpKind) error {
+	if k == isa.OpNone {
+		return nil
+	}
+	if !k.IsPersistOrderOp() {
+		return fmt.Errorf("cpu: %s is not an ordering primitive", k)
+	}
+	return c.barrier(k)
 }
 
 // DrainAll stalls until every persist mechanism on this core is idle
 // (used at workload teardown so all persists land before measurement or
 // crash-free verification). Charged as a fence stall.
 func (c *Core) DrainAll() {
-	c.stallUntil(c.Drained, &c.stats.StallFenceCycles)
+	c.stallUntil(c.drainedFn, &c.stats.StallFenceCycles)
 }
 
 // CAS64 performs an atomic compare-and-swap (x86 LOCK CMPXCHG): it
@@ -222,7 +160,7 @@ func (c *Core) DrainAll() {
 // succeeded.
 func (c *Core) CAS64(addr mem.Addr, old, new uint64) bool {
 	c.stats.RMWs++
-	c.stallUntil(c.sq.empty, &c.stats.LockSpinCycles)
+	c.stallUntil(c.sqEmpty, &c.stats.LockSpinCycles)
 	line := mem.LineAddr(addr)
 	var success bool
 	done := false
@@ -230,6 +168,7 @@ func (c *Core) CAS64(addr mem.Addr, old, new uint64) bool {
 		cur := c.machine.Volatile.Read64(addr)
 		if cur == old {
 			c.machine.Volatile.Write64(addr, new)
+			c.be.OnStoreVisible(addr, new, 8)
 			success = true
 		}
 		done = true
@@ -238,7 +177,7 @@ func (c *Core) CAS64(addr mem.Addr, old, new uint64) bool {
 	for !done {
 		c.wake.Park(c.co)
 	}
-	c.nextSeq()
+	c.NextSeq()
 	c.stats.BusyUntil = c.eng.Now()
 	return success
 }
@@ -247,20 +186,21 @@ func (c *Core) CAS64(addr mem.Addr, old, new uint64) bool {
 // new value (x86 LOCK XADD semantics).
 func (c *Core) AtomicAdd64(addr mem.Addr, delta uint64) uint64 {
 	c.stats.RMWs++
-	c.stallUntil(c.sq.empty, &c.stats.LockSpinCycles)
+	c.stallUntil(c.sqEmpty, &c.stats.LockSpinCycles)
 	line := mem.LineAddr(addr)
 	var result uint64
 	done := false
 	c.l1.Store(line, func() {
 		result = c.machine.Volatile.Read64(addr) + delta
 		c.machine.Volatile.Write64(addr, result)
+		c.be.OnStoreVisible(addr, result, 8)
 		done = true
 		c.wake.Broadcast()
 	})
 	for !done {
 		c.wake.Park(c.co)
 	}
-	c.nextSeq()
+	c.NextSeq()
 	c.stats.BusyUntil = c.eng.Now()
 	return result
 }
@@ -296,13 +236,4 @@ func (c *Core) Lock(addr mem.Addr) {
 // release semantics).
 func (c *Core) Unlock(addr mem.Addr) {
 	c.Store64(addr, 0)
-}
-
-func (c *Core) requireDesign(ds ...hwdesign.Design) {
-	for _, d := range ds {
-		if c.design == d {
-			return
-		}
-	}
-	panic("cpu: primitive not available on design " + c.design.String())
 }

@@ -1,23 +1,18 @@
 package cpu
 
 import (
-	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/backend"
 	"strandweaver/internal/mem"
-	"strandweaver/internal/strand"
 )
 
-// sqKind discriminates store-queue entries. Which kinds appear depends
-// on the design: CLWBs and fences travel through the store queue on
-// Intel, NonAtomic and NoPersistQueue; on StrandWeaver they go to the
-// persist queue, and on HOPS straight to the persist buffer.
+// sqKind discriminates store-queue entries: ordinary stores, and
+// backend-defined ops (CLWBs and fences on designs that route them
+// through the store queue in program order).
 type sqKind uint8
 
 const (
 	sqStore sqKind = iota
-	sqCLWB
-	sqPB
-	sqNS
-	sqJS
+	sqOp
 )
 
 type sqEntry struct {
@@ -26,9 +21,12 @@ type sqEntry struct {
 	value uint64
 	size  uint8
 	seq   uint64
-	// gate, for StrandWeaver stores, is the persist barrier that must
-	// have issued before this store may drain.
-	gate *strand.Entry
+	// op is the backend operation for sqOp entries; it runs only at the
+	// queue head.
+	op backend.QueuedOp
+	// ready, when non-nil, must hold before a store may start draining
+	// (the StrandWeaver persist-barrier store gate).
+	ready func() bool
 	// started and finished track a pipelined store drain: cache accesses
 	// for consecutive stores may overlap (MSHRs), but visibility (the
 	// functional write and the pop) happens in program order.
@@ -36,16 +34,19 @@ type sqEntry struct {
 }
 
 // storeQueue is the per-core store queue: entries drain to the L1 in
-// program order (TSO). It also implements strand.StoreTracker for the
-// persist queue.
+// program order (TSO). It implements backend.Queue (and with it
+// strand.StoreTracker) for the persist backends.
 type storeQueue struct {
 	core    *Core
 	entries []*sqEntry
-	// busy marks a drain in progress at the head.
+	// busy marks a backend op holding the head (an async drain or a
+	// NoPersistQueue JoinStrand wait).
 	busy bool
-	// jsWait marks a NoPersistQueue JoinStrand blocking the head.
-	jsWait bool
-	stats  sqStats
+	// popFn releases a backend op at the head; built once (the head op
+	// is re-stepped on every pump while blocked, so this must not
+	// allocate per attempt).
+	popFn func()
+	stats sqStats
 }
 
 type sqStats struct {
@@ -53,13 +54,29 @@ type sqStats struct {
 	drained      uint64
 }
 
-func newStoreQueue(c *Core) *storeQueue { return &storeQueue{core: c} }
+func newStoreQueue(c *Core) *storeQueue {
+	q := &storeQueue{core: c}
+	q.popFn = func() {
+		q.busy = false
+		q.pop()
+		c.kick()
+	}
+	return q
+}
 
-func (q *storeQueue) full() bool {
+// Full implements backend.Queue.
+func (q *storeQueue) Full() bool {
 	return len(q.entries) >= q.core.cfg.StoreQueueEntries
 }
 
-func (q *storeQueue) empty() bool { return len(q.entries) == 0 }
+// Empty implements backend.Queue.
+func (q *storeQueue) Empty() bool { return len(q.entries) == 0 }
+
+// Enqueue implements backend.Queue: it appends a backend op behind all
+// prior entries.
+func (q *storeQueue) Enqueue(seq uint64, op backend.QueuedOp) {
+	q.push(&sqEntry{kind: sqOp, seq: seq, op: op})
+}
 
 func (q *storeQueue) push(e *sqEntry) {
 	q.entries = append(q.entries, e)
@@ -121,12 +138,12 @@ func (q *storeQueue) HasPendingStoreBefore(seq uint64) bool {
 // pump advances the store queue. Stores drain with overlap: up to
 // L1MSHRs cache accesses may be in flight at once (an out-of-order
 // core's store misses pipeline), but visibility — the functional write
-// and the pop — is strictly in program order (TSO). Non-store entries
-// (CLWBs and fences, on designs that route them through the store
-// queue) are handled only at the head, which is exactly what creates
-// the head-of-line blocking the persist queue exists to avoid.
+// and the pop — is strictly in program order (TSO). Backend ops (CLWBs
+// and fences, on designs that route them through the store queue) are
+// handled only at the head, which is exactly what creates the
+// head-of-line blocking the persist queue exists to avoid.
 func (q *storeQueue) pump() {
-	if q.jsWait || len(q.entries) == 0 {
+	if len(q.entries) == 0 {
 		return
 	}
 	c := q.core
@@ -141,7 +158,7 @@ func (q *storeQueue) pump() {
 		c.kick()
 	}
 	// Start eligible store drains, in order, up to the MSHR limit;
-	// scanning stops at the first non-store entry (fence or CLWB), which
+	// scanning stops at the first backend op (fence or CLWB), which
 	// must reach the head before draining.
 	inFlight := 0
 	for _, e := range q.entries {
@@ -158,10 +175,8 @@ func (q *storeQueue) pump() {
 		if e.started {
 			continue
 		}
-		// StrandWeaver rule: a store after a persist barrier waits until
-		// the barrier (and hence all elder CLWBs) has issued to the
-		// strand buffer unit — issue, not completion, is the relaxation.
-		if e.gate != nil && !e.gate.HasIssued() {
+		// A store's issue gate (if any) must hold before it drains.
+		if e.ready != nil && !e.ready() {
 			return
 		}
 		e.started = true
@@ -180,63 +195,26 @@ func (q *storeQueue) pump() {
 		return
 	}
 	head := q.entries[0]
-	switch head.kind {
-	case sqStore:
-		// Handled above.
-	case sqCLWB:
-		switch c.design {
-		case hwdesign.IntelX86, hwdesign.NonAtomic:
-			// Direct flush: the entry frees once the flush dispatches;
-			// SFENCE tracks completion via outstandingFlushes.
-			q.busy = true
-			c.outstandingFlushes++
-			line := mem.LineAddr(head.addr)
-			c.eng.Schedule(1, func() {
-				c.l1.Flush(line, func() {
-					c.outstandingFlushes--
-					c.kick()
-				})
-				q.busy = false
-				q.pop()
-				c.kick()
-			})
-		case hwdesign.NoPersistQueue:
-			// Head-of-line blocking: the CLWB occupies the head until
-			// the strand buffer unit accepts it.
-			line := mem.LineAddr(head.addr)
-			if !c.sbu.TryAppendCLWB(line, nil, func() { c.kick() }) {
-				return
-			}
-			q.pop()
-			c.kick()
-		default:
-			panic("cpu: CLWB in store queue under " + c.design.String())
-		}
-	case sqPB:
-		if !c.sbu.TryAppendPB(func() { c.kick() }) {
-			return
-		}
-		q.pop()
-		c.kick()
-	case sqNS:
-		c.sbu.NewStrand(nil)
-		q.pop()
-		c.kick()
-	case sqJS:
-		// NoPersistQueue JoinStrand: wait until everything appended so
-		// far to the strand buffer unit has completed and retired.
-		q.jsWait = true
-		tok := c.sbu.RecordTails()
-		c.sbu.CallWhenDrained(tok, func() {
-			q.jsWait = false
-			q.pop()
-			c.kick()
-		})
+	if head.kind != sqOp {
+		return
+	}
+	// The pop callback releases the head: it is invoked by the queue
+	// itself on OpDone, or later by the op on OpAsync.
+	q.busy = true
+	switch head.op.Step(q.popFn) {
+	case backend.OpDone:
+		q.popFn()
+	case backend.OpBlocked:
+		// No progress; retry on a later pump.
+		q.busy = false
+	case backend.OpAsync:
+		// The op owns the head and will invoke pop.
 	}
 }
 
 // writeFunctional applies the store's value to the globally visible
-// image at drain time (visibility point) and charges nothing further.
+// image at drain time (visibility point) and notifies the backend —
+// for eADR, visibility is the persistence point.
 func (q *storeQueue) writeFunctional(e *sqEntry) {
 	switch e.size {
 	case 8:
@@ -248,4 +226,5 @@ func (q *storeQueue) writeFunctional(e *sqEntry) {
 	default:
 		panic("cpu: unsupported store size")
 	}
+	q.core.be.OnStoreVisible(e.addr, e.value, e.size)
 }

@@ -31,6 +31,11 @@ type ExpOptions struct {
 	Seed int64
 	// Benchmarks restricts the benchmark set (nil = all of Table II).
 	Benchmarks []string
+	// Designs restricts the hardware-design set for grid experiments
+	// (nil = hwdesign.All). Figure 7 speedups are normalised to Intel
+	// x86, so a subset that omits it reports absolute cycles only
+	// (speedup 0).
+	Designs []hwdesign.Design
 	// Parallel bounds the sweep's worker pool: 0 = GOMAXPROCS, 1 =
 	// serial. Results are byte-identical for every value.
 	Parallel int
@@ -57,6 +62,9 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = workloads.Names()
+	}
+	if len(o.Designs) == 0 {
+		o.Designs = hwdesign.All
 	}
 	return o
 }
@@ -167,7 +175,7 @@ func RunGrid(o ExpOptions) (*Grid, error) {
 	var cells []sweep.Cell[*Result]
 	for _, b := range o.Benchmarks {
 		for _, m := range langmodel.All {
-			for _, d := range hwdesign.All {
+			for _, d := range o.Designs {
 				spec := Spec{Benchmark: b, Model: m, Design: d,
 					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}
 				cells = append(cells, measuredCell(specKey(spec), spec))
@@ -182,14 +190,19 @@ func RunGrid(o ExpOptions) (*Grid, error) {
 	i := 0
 	for _, b := range o.Benchmarks {
 		for _, m := range langmodel.All {
+			// The Intel baseline may sit anywhere in the design subset
+			// (or be absent, leaving speedups at 0), so locate it before
+			// normalising the row.
 			var intel *Result
-			for _, d := range hwdesign.All {
+			for j, d := range o.Designs {
+				if d == hwdesign.IntelX86 {
+					intel = results[i+j]
+				}
+			}
+			for _, d := range o.Designs {
 				r := results[i]
 				i++
 				c := &Cell{Benchmark: b, Model: m, Design: d, Result: r}
-				if d == hwdesign.IntelX86 {
-					intel = r
-				}
 				if intel != nil && intel.Cycles > 0 && r.Cycles > 0 {
 					c.Speedup = float64(intel.Cycles) / float64(r.Cycles)
 					ip := intel.CoreTotals.PersistStallCycles()
@@ -258,13 +271,13 @@ func PrintFig7(w io.Writer, g *Grid) {
 	fmt.Fprintf(w, "Figure 7: speedup over Intel x86 (higher is better)\n")
 	for _, m := range langmodel.All {
 		fmt.Fprintf(w, "\n[%s]\n%-12s", strings.ToUpper(m.String()), "benchmark")
-		for _, d := range hwdesign.All {
+		for _, d := range g.Options.Designs {
 			fmt.Fprintf(w, " %16s", d)
 		}
 		fmt.Fprintln(w)
 		for _, b := range g.Options.Benchmarks {
 			fmt.Fprintf(w, "%-12s", b)
-			for _, d := range hwdesign.All {
+			for _, d := range g.Options.Designs {
 				c := g.Cell(b, m, d)
 				if c == nil {
 					fmt.Fprintf(w, " %16s", "-")
@@ -276,7 +289,7 @@ func PrintFig7(w io.Writer, g *Grid) {
 		}
 	}
 	fmt.Fprintf(w, "\nGeometric means over all benchmarks and models:\n")
-	for _, d := range hwdesign.All {
+	for _, d := range g.Options.Designs {
 		fmt.Fprintf(w, "  %-18s %6.2fx vs intel-x86", d, GeoMean(g.Speedups(d)))
 		if d != hwdesign.HOPS {
 			fmt.Fprintf(w, "   %6.2fx vs hops", GeoMean(g.SpeedupsOver(d, hwdesign.HOPS)))
@@ -366,14 +379,14 @@ func PrintClaims(w io.Writer, cl Claims) {
 func PrintFig8(w io.Writer, g *Grid) {
 	fmt.Fprintf(w, "Figure 8: CPU stall cycles enforcing persist order (normalised to Intel x86)\n")
 	fmt.Fprintf(w, "%-12s %-6s", "benchmark", "model")
-	for _, d := range hwdesign.All {
+	for _, d := range g.Options.Designs {
 		fmt.Fprintf(w, " %16s", d)
 	}
 	fmt.Fprintln(w)
 	for _, b := range g.Options.Benchmarks {
 		for _, m := range langmodel.All {
 			fmt.Fprintf(w, "%-12s %-6s", b, m)
-			for _, d := range hwdesign.All {
+			for _, d := range g.Options.Designs {
 				c := g.Cell(b, m, d)
 				if c == nil {
 					fmt.Fprintf(w, " %16s", "-")

@@ -1,8 +1,13 @@
 // Package hwdesign enumerates the hardware persistency designs compared
-// in the paper's evaluation (Section VI-A).
+// in the paper's evaluation (Section VI-A), plus the eADR upper-bound
+// baseline. A Design value is only a name; the behavior behind each
+// name lives in internal/backend, one implementation file per design.
 package hwdesign
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Design selects the persist-ordering hardware wired into each core.
 type Design uint8
@@ -26,10 +31,17 @@ const (
 	// NonAtomic removes ordering between logs and in-place updates; it
 	// is the performance upper bound and is not crash-consistent.
 	NonAtomic
+	// EADR models an extended-ADR platform: battery-backed caches sit
+	// inside the persistence domain, so a store persists the moment it
+	// becomes visible and CLWBs and every ordering barrier are zero-cost
+	// no-ops. It bounds what any persist-ordering hardware could achieve
+	// while remaining crash-consistent.
+	EADR
 )
 
-// All lists every design in evaluation order.
-var All = []Design{IntelX86, HOPS, NoPersistQueue, StrandWeaver, NonAtomic}
+// All lists every design in evaluation order (EADR last, as the extra
+// upper-bound bar in the Figure 7 output).
+var All = []Design{IntelX86, HOPS, NoPersistQueue, StrandWeaver, NonAtomic, EADR}
 
 var names = [...]string{
 	IntelX86:       "intel-x86",
@@ -37,6 +49,7 @@ var names = [...]string{
 	NoPersistQueue: "no-persist-queue",
 	StrandWeaver:   "strandweaver",
 	NonAtomic:      "non-atomic",
+	EADR:           "eadr",
 }
 
 // String returns the design's evaluation label.
@@ -47,26 +60,28 @@ func (d Design) String() string {
 	return fmt.Sprintf("Design(%d)", uint8(d))
 }
 
-// Parse returns the design named s.
+// Names returns every design label in evaluation order.
+func Names() []string {
+	out := make([]string, len(All))
+	for i, d := range All {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Parse returns the design named s (case-insensitive). The error names
+// the valid designs so CLI callers fail fast with a usable message.
 func Parse(s string) (Design, error) {
 	for d, n := range names {
-		if n == s {
+		if strings.EqualFold(n, s) {
 			return Design(d), nil
 		}
 	}
-	return 0, fmt.Errorf("hwdesign: unknown design %q", s)
+	return 0, fmt.Errorf("hwdesign: unknown design %q (valid: %s)", s, strings.Join(Names(), ", "))
 }
-
-// HasStrandBufferUnit reports whether the design includes the strand
-// buffer unit.
-func (d Design) HasStrandBufferUnit() bool {
-	return d == StrandWeaver || d == NoPersistQueue
-}
-
-// HasPersistQueue reports whether the design includes the dedicated
-// persist queue.
-func (d Design) HasPersistQueue() bool { return d == StrandWeaver }
 
 // CrashConsistent reports whether the design preserves the log-before-
-// update invariant required for correct recovery.
+// update invariant required for correct recovery. NonAtomic deliberately
+// breaks it; EADR keeps it for free because TSO visibility order is the
+// persist order.
 func (d Design) CrashConsistent() bool { return d != NonAtomic }

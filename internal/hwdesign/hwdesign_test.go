@@ -1,6 +1,9 @@
 package hwdesign
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseRoundTrip(t *testing.T) {
 	for _, d := range All {
@@ -14,24 +17,50 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseCaseInsensitive(t *testing.T) {
+	cases := map[string]Design{
+		"Intel-X86":    IntelX86,
+		"HOPS":         HOPS,
+		"StrandWeaver": StrandWeaver,
+		"EADR":         EADR,
+		"eadr":         EADR,
+	}
+	for s, want := range cases {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+}
+
+func TestParseErrorListsValidDesigns(t *testing.T) {
+	_, err := Parse("warp-drive")
+	if err == nil {
+		t.Fatal("Parse accepted an unknown design")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("Parse error %q does not name valid design %q", err, n)
+		}
+	}
+}
+
 func TestDesignPredicates(t *testing.T) {
 	cases := []struct {
-		d           Design
-		sbu, pq, cc bool
+		d  Design
+		cc bool
 	}{
-		{IntelX86, false, false, true},
-		{HOPS, false, false, true},
-		{NoPersistQueue, true, false, true},
-		{StrandWeaver, true, true, true},
-		{NonAtomic, false, false, false},
+		{IntelX86, true},
+		{HOPS, true},
+		{NoPersistQueue, true},
+		{StrandWeaver, true},
+		{NonAtomic, false},
+		{EADR, true},
+	}
+	if len(cases) != len(All) {
+		t.Fatalf("predicate cases cover %d designs, All has %d", len(cases), len(All))
 	}
 	for _, c := range cases {
-		if c.d.HasStrandBufferUnit() != c.sbu {
-			t.Errorf("%s: HasStrandBufferUnit = %v", c.d, c.d.HasStrandBufferUnit())
-		}
-		if c.d.HasPersistQueue() != c.pq {
-			t.Errorf("%s: HasPersistQueue = %v", c.d, c.d.HasPersistQueue())
-		}
 		if c.d.CrashConsistent() != c.cc {
 			t.Errorf("%s: CrashConsistent = %v", c.d, c.d.CrashConsistent())
 		}

@@ -43,6 +43,9 @@ const (
 	OpRMW
 	// OpCompute models cycles of non-memory work.
 	OpCompute
+	// OpNone is the absence of an operation. Persist-backend ordering
+	// plans use it for requirements a design discharges for free.
+	OpNone
 )
 
 var opNames = [...]string{
@@ -57,6 +60,7 @@ var opNames = [...]string{
 	OpDFence:         "DFENCE",
 	OpRMW:            "RMW",
 	OpCompute:        "COMP",
+	OpNone:           "NONE",
 }
 
 // String returns the conventional mnemonic for the op kind.

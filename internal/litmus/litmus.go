@@ -54,15 +54,31 @@ func StandardPrograms() map[string]pmo.Program {
 	}
 }
 
+// primErr records the first ordering-primitive failure across a run's
+// workers. Litmus programs use the strand primitives, so a backend that
+// does not implement them must surface ErrPrimitiveUnavailable to the
+// caller rather than silently validating a program that never ordered
+// anything.
+type primErr struct{ err error }
+
+func (r *primErr) record(err error) bool {
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return err != nil
+}
+
 // workers translates the abstract program into simulator workers: each
 // store is a Store64 + CLWB on the current strand, barriers map to the
-// StrandWeaver primitives.
-func workers(p pmo.Program) []machine.Worker {
+// StrandWeaver primitives. A worker whose primitive fails stops
+// immediately; the recorder carries the error back to Check.
+func workers(p pmo.Program, rec *primErr) []machine.Worker {
 	var ws []machine.Worker
 	for _, thread := range p {
 		ops := thread
 		ws = append(ws, func(c *cpu.Core) {
 			for _, op := range ops {
+				var err error
 				switch op.Kind {
 				case pmo.KStore:
 					c.Store64(LocAddr(op.Loc), op.Val)
@@ -70,11 +86,14 @@ func workers(p pmo.Program) []machine.Worker {
 				case pmo.KLoad:
 					c.Load64(LocAddr(op.Loc))
 				case pmo.KPB:
-					c.PersistBarrier()
+					err = c.PersistBarrier()
 				case pmo.KNS:
-					c.NewStrand()
+					err = c.NewStrand()
 				case pmo.KJS:
-					c.JoinStrand()
+					err = c.JoinStrand()
+				}
+				if rec.record(err) {
+					return
 				}
 			}
 			c.DrainAll()
@@ -154,7 +173,11 @@ func CheckWithFaults(p pmo.Program, stride uint64, mk func(crashCycle uint64) Fa
 	if mk != nil {
 		mk(0).Arm(s)
 	}
-	end, err := s.Run(workers(p), 10_000_000)
+	rec := &primErr{}
+	end, err := s.Run(workers(p, rec), 10_000_000)
+	if rec.err != nil {
+		return nil, fmt.Errorf("litmus: crash-free run: %w", rec.err)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("litmus: crash-free run: %w", err)
 	}
@@ -174,7 +197,11 @@ func CheckWithFaults(p pmo.Program, stride uint64, mk func(crashCycle uint64) Fa
 		}
 		crashAt := sim.Cycle(at)
 		sc.RunAt(crashAt, sc.Abandon)
-		_, _ = sc.Run(workers(p), 10_000_000) // error expected: stopped engine
+		crec := &primErr{}
+		_, _ = sc.Run(workers(p, crec), 10_000_000) // error expected: stopped engine
+		if crec.err != nil {
+			return res, fmt.Errorf("litmus: crash run at cycle %d: %w", at, crec.err)
+		}
 		var img *mem.Image
 		if fi != nil {
 			img = fi.CrashImage(sc)

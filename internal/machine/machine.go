@@ -40,7 +40,10 @@ func New(cfg config.Config, design hwdesign.Design) (*System, error) {
 	hier := cache.NewHierarchy(eng, cfg, m, ctrl)
 	s := &System{Eng: eng, Cfg: cfg, Design: design, Mem: m, Ctrl: ctrl, Hier: hier}
 	for i := 0; i < cfg.Cores; i++ {
-		core := cpu.NewCore(i, eng, cfg, design, m, hier.L1(i), ctrl)
+		core, err := cpu.NewCore(i, eng, cfg, design, m, hier.L1(i), ctrl)
+		if err != nil {
+			return nil, err
+		}
 		hier.SetGate(i, core.PersistGate())
 		s.Cores = append(s.Cores, core)
 	}

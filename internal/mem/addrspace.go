@@ -34,6 +34,12 @@ type Machine struct {
 	// Persistent reflects only PM lines that have been accepted by the
 	// ADR persistence domain. It is what a post-crash recovery observes.
 	Persistent *Image
+	// persistAtVisibility marks the caches as part of the persistence
+	// domain (the eADR design): stores persist at visibility, and line
+	// write-backs carry no durability action — their snapshots may be
+	// older than words persisted since, so PersistLine/PersistLineData
+	// become no-ops.
+	persistAtVisibility bool
 }
 
 // NewMachine returns a machine with empty images.
@@ -46,7 +52,7 @@ func NewMachine() *Machine {
 // a flush or write-back by the ADR controller. Lines outside PM are
 // ignored.
 func (m *Machine) PersistLine(line Addr) {
-	if !IsPM(line) {
+	if !IsPM(line) || m.persistAtVisibility {
 		return
 	}
 	var buf [LineSize]byte
@@ -58,11 +64,16 @@ func (m *Machine) PersistLine(line Addr) {
 // persistent image. Used when the flush captured the line's contents at
 // an earlier cycle than acceptance.
 func (m *Machine) PersistLineData(line Addr, data *[LineSize]byte) {
-	if !IsPM(line) {
+	if !IsPM(line) || m.persistAtVisibility {
 		return
 	}
 	m.Persistent.StoreLine(line, data)
 }
+
+// SetPersistAtVisibility switches the machine between the ADR model
+// (persistence at controller acceptance, the default) and the eADR
+// model (persistence at store visibility; line persists are no-ops).
+func (m *Machine) SetPersistAtVisibility(on bool) { m.persistAtVisibility = on }
 
 // CrashImage returns a deep copy of the persistent image, i.e. the PM
 // contents a recovery process would observe if the machine lost power at

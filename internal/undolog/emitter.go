@@ -1,88 +1,62 @@
 package undolog
 
-import (
-	"strandweaver/internal/cpu"
-	"strandweaver/internal/hwdesign"
-)
+import "strandweaver/internal/cpu"
 
-// The ordering emitters map the three logging-order requirements of
-// Figure 5 onto each hardware design's primitives:
+// The ordering emitters discharge the logging-order requirements of the
+// paper's Figure 5. Which primitive each requirement takes on which
+// design is the design's own knowledge: its persist backend publishes
+// an ordering plan (backend.OrderingPlan, one field per requirement,
+// isa.OpNone where the design needs nothing), and the emitters simply
+// issue the named primitive. Adding a hardware design therefore touches
+// no logging code.
+//
+// The requirements, briefly (see each backend's Plan for the per-design
+// rationale):
 //
 //   - BeginPair: start an independent log/update pair (NewStrand under
 //     strand designs; nothing elsewhere — epochs have no equivalent).
 //   - LogToUpdate: order the log persist before the in-place update
 //     (persist barrier / SFENCE / ofence; nothing under NonAtomic, which
-//     is exactly the ordering the non-atomic upper bound removes).
-//   - Durable: make all prior persists durable before proceeding
-//     (JoinStrand / SFENCE / dfence; nothing under NonAtomic).
+//     is exactly the ordering the non-atomic upper bound removes, and
+//     nothing under eADR, where visibility order is persist order).
+//   - CommitOrder: order the commit sequence's phases (marker →
+//     invalidations → head advance). Under strand designs this must be
+//     JoinStrand: a persist barrier cannot order across the fresh
+//     strands that the invalidations ride.
+//   - RegionEnd: close a failure-atomic region before its locks
+//     release (HOPS needs a dfence here: it delegates ordering to
+//     per-core persist buffers with no cross-core tracking, so persist
+//     responsibility must be handed off durably at synchronization
+//     boundaries).
+//   - Durable: make all prior persists durable before proceeding.
+//
+// The plans are backend-authored, so every named primitive is available
+// on its design and the issue cannot fail.
 
 // BeginPair starts a new log/update pair on its own strand.
 func BeginPair(c *cpu.Core) {
-	switch c.Design() {
-	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
-		c.NewStrand()
-	}
+	_ = c.Issue(c.OrderingPlan().BeginPair)
 }
 
 // LogToUpdate orders the just-written log entry's persist before the
 // upcoming in-place update's persist.
 func LogToUpdate(c *cpu.Core) {
-	switch c.Design() {
-	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
-		c.PersistBarrier()
-	case hwdesign.IntelX86:
-		c.SFence()
-	case hwdesign.HOPS:
-		c.OFence()
-	case hwdesign.NonAtomic:
-		// The removed ordering: logs and updates race to PM.
-	}
+	_ = c.Issue(c.OrderingPlan().LogToUpdate)
 }
 
-// CommitOrder orders the commit sequence's phases (marker →
-// invalidations → head advance). Under strand designs this must be
-// JoinStrand: a persist barrier cannot order across the fresh strands
-// that the invalidations ride. Intel's SFENCE and HOPS's ofence order
-// everything program-prior, so they suffice (and for HOPS the ordering
-// stays delegated — the core does not stall).
+// CommitOrder orders the commit sequence's phases.
 func CommitOrder(c *cpu.Core) {
-	switch c.Design() {
-	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
-		c.JoinStrand()
-	case hwdesign.IntelX86:
-		c.SFence()
-	case hwdesign.HOPS:
-		c.OFence()
-	case hwdesign.NonAtomic:
-	}
+	_ = c.Issue(c.OrderingPlan().CommitOrder)
 }
 
 // RegionEnd is issued when a failure-atomic region closes, before its
-// locks release. Strand designs need nothing here: inter-thread persist
-// order is enforced in hardware by strong persist atomicity (snoop
-// gating), and log commits are deferred with dependency ordering. HOPS,
-// however, delegates ordering to per-core persist buffers with no
-// cross-core tracking, so persist responsibility must be handed off
-// durably at synchronization boundaries — the paper: "dfence to flush
-// the updates to PM ... at the end of each failure-atomic region".
-// Intel's ordering is already durability-based (SFENCE per update), so
-// nothing extra is required.
+// locks release.
 func RegionEnd(c *cpu.Core) {
-	if c.Design() == hwdesign.HOPS {
-		c.DFence()
-	}
+	_ = c.Issue(c.OrderingPlan().RegionEnd)
 }
 
 // Durable stalls (or on HOPS, drains) until every prior persist is
 // durable.
 func Durable(c *cpu.Core) {
-	switch c.Design() {
-	case hwdesign.StrandWeaver, hwdesign.NoPersistQueue:
-		c.JoinStrand()
-	case hwdesign.IntelX86:
-		c.SFence()
-	case hwdesign.HOPS:
-		c.DFence()
-	case hwdesign.NonAtomic:
-	}
+	_ = c.Issue(c.OrderingPlan().Durable)
 }

@@ -29,6 +29,7 @@ package strandweaver
 import (
 	"io"
 
+	"strandweaver/internal/backend"
 	"strandweaver/internal/config"
 	"strandweaver/internal/cpu"
 	"strandweaver/internal/faultinject"
@@ -75,17 +76,23 @@ func DefaultConfig() Config { return config.Default() }
 // Design selects the persist-ordering hardware.
 type Design = hwdesign.Design
 
-// The five evaluated hardware designs.
+// The evaluated hardware designs: the paper's five, plus an eADR
+// upper bound (caches inside the persistence domain, every ordering
+// primitive free).
 const (
 	IntelX86       = hwdesign.IntelX86
 	HOPS           = hwdesign.HOPS
 	NoPersistQueue = hwdesign.NoPersistQueue
 	StrandWeaver   = hwdesign.StrandWeaver
 	NonAtomic      = hwdesign.NonAtomic
+	EADR           = hwdesign.EADR
 )
 
 // AllDesigns lists the designs in evaluation order.
 var AllDesigns = hwdesign.All
+
+// DesignNames lists the parseable design labels in evaluation order.
+func DesignNames() []string { return hwdesign.Names() }
 
 // ParseDesign resolves a design by its evaluation label.
 func ParseDesign(s string) (Design, error) { return hwdesign.Parse(s) }
@@ -113,6 +120,11 @@ type System = machine.System
 // Core is one simulated core; its methods (Load64, Store64, CLWB,
 // PersistBarrier, NewStrand, JoinStrand, ...) are the ISA surface.
 type Core = cpu.Core
+
+// ErrPrimitiveUnavailable is returned by the ordering primitives when
+// the selected hardware design does not implement them (for example
+// PersistBarrier on Intel x86). Match it with errors.As.
+type ErrPrimitiveUnavailable = backend.ErrPrimitiveUnavailable
 
 // Worker is a simulated-thread body.
 type Worker = machine.Worker
