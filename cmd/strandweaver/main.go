@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,6 +45,8 @@ type options struct {
 	serial       bool
 	serialCheck  bool
 	metricsOut   string
+	cpuProfile   string
+	memProfile   string
 }
 
 // workers resolves the -parallel/-serial pair into a sweep worker
@@ -88,6 +92,8 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.BoolVar(&o.serial, "serial", false, "force serial sweeps (same as -parallel 1)")
 	fs.BoolVar(&o.serialCheck, "serial-check", false, "run experiments both parallel and serial and fail on any result mismatch")
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write per-cell sweep metrics (JSON array) to this file")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	if err := fs.Parse(args[1:]); err != nil {
 		return o, err
 	}
@@ -170,6 +176,20 @@ func main() {
 	}
 	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks, Designs: o.designs, Parallel: o.workers()}
 
+	if o.cpuProfile != "" {
+		f, perr := os.Create(o.cpuProfile)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "strandweaver:", perr)
+			os.Exit(1)
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fmt.Fprintln(os.Stderr, "strandweaver:", perr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	// Each sweep-backed command appends a per-cell metrics report here;
 	// -metrics-out writes them as one JSON array after a clean run.
 	var metrics []*sw.SweepReport
@@ -238,7 +258,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[sweep metrics written to %s]\n", o.metricsOut)
 	}
+	if o.memProfile != "" {
+		if perr := writeHeapProfile(o.memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "strandweaver:", perr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[heap profile written to %s]\n", o.memProfile)
+	}
 	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", o.cmd, time.Since(start).Round(time.Millisecond))
+}
+
+// writeHeapProfile forces a GC (so the profile shows live retention,
+// not garbage awaiting collection) and writes the heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the collected sweep reports as a JSON array.
@@ -310,6 +352,8 @@ flags (see -h per experiment): -threads -ops -seed -benchmarks -design
                                -crashes
 sweep flags: -parallel N (0 = GOMAXPROCS) -serial -metrics-out FILE
              -serial-check (experiments only)
+profiling:   -cpuprofile FILE -memprofile FILE (pprof format; see
+             README "Running sweeps and profiling")
 torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
 `)
 }

@@ -43,12 +43,34 @@ type flushBackend struct {
 	// allocation.
 	notFull, drainedCond func() bool
 
+	// Single-slot dispatch state plus thunks built once: the store queue
+	// steps at most one directFlush at a time (the op holds the queue
+	// head until its dispatch pops it), so one pending line/pop pair
+	// covers every CLWB, and the flush-done callback captures nothing
+	// per flush. The steady-state CLWB path allocates nothing.
+	pendingLine mem.Addr
+	pendingPop  func()
+	dispatchFn  func()
+	flushDoneFn func()
+	freeOps     []*directFlush
+
 	dispatched uint64
 	sfences    uint64
 }
 
 func newFlushBackend(d hwdesign.Design, deps Deps, plan OrderingPlan) *flushBackend {
-	return &flushBackend{design: d, eng: deps.Eng, l1: deps.L1, kick: deps.Kick, plan: plan}
+	b := &flushBackend{design: d, eng: deps.Eng, l1: deps.L1, kick: deps.Kick, plan: plan}
+	b.flushDoneFn = func() {
+		b.flushes--
+		b.kick()
+	}
+	b.dispatchFn = func() {
+		line, pop := b.pendingLine, b.pendingPop
+		b.pendingPop = nil
+		b.l1.Flush(line, b.flushDoneFn)
+		pop()
+	}
+	return b
 }
 
 func (b *flushBackend) Design() hwdesign.Design { return b.design }
@@ -64,7 +86,16 @@ func (b *flushBackend) CLWB(h Host, line mem.Addr) {
 		b.notFull = func() bool { return !q.Full() }
 	}
 	h.StallUntil(b.notFull, StallQueueFull)
-	h.Queue().Enqueue(h.NextSeq(), &directFlush{b: b, line: line})
+	var f *directFlush
+	if n := len(b.freeOps); n > 0 {
+		f = b.freeOps[n-1]
+		b.freeOps[n-1] = nil
+		b.freeOps = b.freeOps[:n-1]
+	} else {
+		f = &directFlush{b: b}
+	}
+	f.line = line
+	h.Queue().Enqueue(h.NextSeq(), f)
 }
 
 func (b *flushBackend) Barrier(h Host, k isa.OpKind) error {
@@ -104,12 +135,10 @@ func (f *directFlush) Step(pop func()) StepStatus {
 	b := f.b
 	b.flushes++
 	b.dispatched++
-	b.eng.Schedule(1, func() {
-		b.l1.Flush(f.line, func() {
-			b.flushes--
-			b.kick()
-		})
-		pop()
-	})
+	b.pendingLine, b.pendingPop = f.line, pop
+	b.eng.Schedule(1, b.dispatchFn)
+	// f's line has been captured into the pending slot; the op itself is
+	// dead (Step runs once) and can be recycled immediately.
+	b.freeOps = append(b.freeOps, f)
 	return OpAsync
 }

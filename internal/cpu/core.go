@@ -91,6 +91,22 @@ type Core struct {
 	// built once.
 	sqNotFull, sqEmpty, drainedFn func() bool
 
+	// opDone plus the cached completion thunks below serve the blocking
+	// memory ops (access, CAS64, AtomicAdd64). The coroutine blocks
+	// until its one in-flight operation completes, so a single pending
+	// slot per core suffices and no memory op allocates a closure.
+	opDone       bool
+	accessDoneFn func()
+	casAddr      mem.Addr
+	casOld       uint64
+	casNew       uint64
+	casOK        bool
+	casFn        func()
+	addAddr      mem.Addr
+	addDelta     uint64
+	addResult    uint64
+	addFn        func()
+
 	rng *rand.Rand
 
 	stats Stats
@@ -118,6 +134,27 @@ func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design,
 	c.sqNotFull = func() bool { return !c.sq.Full() }
 	c.sqEmpty = c.sq.Empty
 	c.drainedFn = c.Drained
+	c.accessDoneFn = func() {
+		c.opDone = true
+		c.wake.Broadcast()
+	}
+	c.casFn = func() {
+		cur := c.machine.Volatile.Read64(c.casAddr)
+		if cur == c.casOld {
+			c.machine.Volatile.Write64(c.casAddr, c.casNew)
+			c.be.OnStoreVisible(c.casAddr, c.casNew, 8)
+			c.casOK = true
+		}
+		c.opDone = true
+		c.wake.Broadcast()
+	}
+	c.addFn = func() {
+		c.addResult = c.machine.Volatile.Read64(c.addAddr) + c.addDelta
+		c.machine.Volatile.Write64(c.addAddr, c.addResult)
+		c.be.OnStoreVisible(c.addAddr, c.addResult, 8)
+		c.opDone = true
+		c.wake.Broadcast()
+	}
 	be, err := backend.New(design, backend.Deps{
 		Eng:     eng,
 		Cfg:     cfg,

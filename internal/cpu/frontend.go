@@ -51,14 +51,13 @@ func (c *Core) Load32(addr mem.Addr) uint32 {
 }
 
 // access performs a blocking cache access through fn and charges its
-// latency to the calling coroutine.
+// latency to the calling coroutine. The completion thunk is cached on
+// the core: the coroutine blocks until the access completes, so one
+// pending slot suffices and the hot hit path allocates nothing.
 func (c *Core) access(line mem.Addr, fn func(mem.Addr, func())) {
-	done := false
-	fn(line, func() {
-		done = true
-		c.wake.Broadcast()
-	})
-	for !done {
+	c.opDone = false
+	fn(line, c.accessDoneFn)
+	for !c.opDone {
 		c.wake.Park(c.co)
 	}
 	c.stats.BusyUntil = c.eng.Now()
@@ -76,8 +75,7 @@ func (c *Core) store(addr mem.Addr, v uint64, size uint8) {
 	c.stats.Stores++
 	start := c.eng.Now()
 	c.stallUntil(c.sqNotFull, &c.stats.StallQueueFullCycles)
-	e := &sqEntry{kind: sqStore, addr: addr, value: v, size: size, seq: c.NextSeq(), ready: c.be.StoreGate()}
-	c.sq.push(e)
+	c.sq.pushStore(addr, v, size, c.NextSeq(), c.be.StoreGate())
 	c.issueCycle()
 	c.traceOp(isa.OpStore, addr, v, start)
 }
@@ -162,24 +160,15 @@ func (c *Core) CAS64(addr mem.Addr, old, new uint64) bool {
 	c.stats.RMWs++
 	c.stallUntil(c.sqEmpty, &c.stats.LockSpinCycles)
 	line := mem.LineAddr(addr)
-	var success bool
-	done := false
-	c.l1.Store(line, func() {
-		cur := c.machine.Volatile.Read64(addr)
-		if cur == old {
-			c.machine.Volatile.Write64(addr, new)
-			c.be.OnStoreVisible(addr, new, 8)
-			success = true
-		}
-		done = true
-		c.wake.Broadcast()
-	})
-	for !done {
+	c.casAddr, c.casOld, c.casNew, c.casOK = addr, old, new, false
+	c.opDone = false
+	c.l1.Store(line, c.casFn)
+	for !c.opDone {
 		c.wake.Park(c.co)
 	}
 	c.NextSeq()
 	c.stats.BusyUntil = c.eng.Now()
-	return success
+	return c.casOK
 }
 
 // AtomicAdd64 atomically adds delta to the value at addr and returns the
@@ -188,21 +177,15 @@ func (c *Core) AtomicAdd64(addr mem.Addr, delta uint64) uint64 {
 	c.stats.RMWs++
 	c.stallUntil(c.sqEmpty, &c.stats.LockSpinCycles)
 	line := mem.LineAddr(addr)
-	var result uint64
-	done := false
-	c.l1.Store(line, func() {
-		result = c.machine.Volatile.Read64(addr) + delta
-		c.machine.Volatile.Write64(addr, result)
-		c.be.OnStoreVisible(addr, result, 8)
-		done = true
-		c.wake.Broadcast()
-	})
-	for !done {
+	c.addAddr, c.addDelta = addr, delta
+	c.opDone = false
+	c.l1.Store(line, c.addFn)
+	for !c.opDone {
 		c.wake.Park(c.co)
 	}
 	c.NextSeq()
 	c.stats.BusyUntil = c.eng.Now()
-	return result
+	return c.addResult
 }
 
 // Compute models n cycles of non-memory work.

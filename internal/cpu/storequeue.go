@@ -31,14 +31,26 @@ type sqEntry struct {
 	// for consecutive stores may overlap (MSHRs), but visibility (the
 	// functional write and the pop) happens in program order.
 	started, finished bool
+	// drainFn is the entry's cached drain-completion thunk, built once
+	// when the entry is first allocated and reused across recycles (an
+	// entry has at most one drain outstanding, and it always completes
+	// before the entry is popped and recycled).
+	drainFn func()
 }
 
 // storeQueue is the per-core store queue: entries drain to the L1 in
 // program order (TSO). It implements backend.Queue (and with it
 // strand.StoreTracker) for the persist backends.
+//
+// Layout: buf[head:] are the live entries, oldest first. Pops advance
+// head; the backing array is recycled in place when the queue empties
+// (and compacted if a long-lived queue lets head run away), and popped
+// entries return to a freelist, so steady-state stores allocate nothing.
 type storeQueue struct {
-	core    *Core
-	entries []*sqEntry
+	core *Core
+	buf  []*sqEntry
+	head int
+	free []*sqEntry
 	// busy marks a backend op holding the head (an async drain or a
 	// NoPersistQueue JoinStrand wait).
 	busy bool
@@ -64,35 +76,88 @@ func newStoreQueue(c *Core) *storeQueue {
 	return q
 }
 
+// Len reports current occupancy.
+func (q *storeQueue) Len() int { return len(q.buf) - q.head }
+
+// at returns the i-th oldest live entry.
+func (q *storeQueue) at(i int) *sqEntry { return q.buf[q.head+i] }
+
+// alloc returns a recycled (or new) entry with all fields zeroed except
+// the cached drain thunk.
+func (q *storeQueue) alloc() *sqEntry {
+	if n := len(q.free); n > 0 {
+		e := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return e
+	}
+	e := &sqEntry{}
+	e.drainFn = func() {
+		e.finished = true
+		q.core.kick()
+	}
+	return e
+}
+
 // Full implements backend.Queue.
 func (q *storeQueue) Full() bool {
-	return len(q.entries) >= q.core.cfg.StoreQueueEntries
+	return q.Len() >= q.core.cfg.StoreQueueEntries
 }
 
 // Empty implements backend.Queue.
-func (q *storeQueue) Empty() bool { return len(q.entries) == 0 }
+func (q *storeQueue) Empty() bool { return q.Len() == 0 }
 
 // Enqueue implements backend.Queue: it appends a backend op behind all
 // prior entries.
 func (q *storeQueue) Enqueue(seq uint64, op backend.QueuedOp) {
-	q.push(&sqEntry{kind: sqOp, seq: seq, op: op})
+	e := q.alloc()
+	e.kind = sqOp
+	e.seq = seq
+	e.op = op
+	q.push(e)
+}
+
+// pushStore appends an ordinary store entry.
+func (q *storeQueue) pushStore(addr mem.Addr, value uint64, size uint8, seq uint64, ready func() bool) {
+	e := q.alloc()
+	e.kind = sqStore
+	e.addr = addr
+	e.value = value
+	e.size = size
+	e.seq = seq
+	e.ready = ready
+	q.push(e)
 }
 
 func (q *storeQueue) push(e *sqEntry) {
-	q.entries = append(q.entries, e)
-	if len(q.entries) > q.stats.maxOccupancy {
-		q.stats.maxOccupancy = len(q.entries)
+	q.buf = append(q.buf, e)
+	if n := q.Len(); n > q.stats.maxOccupancy {
+		q.stats.maxOccupancy = n
 	}
 	q.core.kick()
 }
 
 func (q *storeQueue) pop() {
-	q.entries[0] = nil
-	q.entries = q.entries[1:]
-	if len(q.entries) == 0 {
-		q.entries = nil
+	e := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head*2 >= len(q.buf) {
+		// Compact a long-lived queue so the backing array stays bounded
+		// by the live entry count (amortised O(1) per pop).
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
 	}
 	q.stats.drained++
+	// Recycle: the drain thunk is kept, everything else resets.
+	*e = sqEntry{drainFn: e.drainFn}
+	q.free = append(q.free, e)
 }
 
 // forward returns the value of the youngest elder store overlapping
@@ -100,8 +165,8 @@ func (q *storeQueue) pop() {
 // Exact-match forwarding only: the simulated workloads always access
 // fields with consistent size and alignment.
 func (q *storeQueue) forward(addr mem.Addr, size uint8) (uint64, bool) {
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		e := q.entries[i]
+	for i := len(q.buf) - 1; i >= q.head; i-- {
+		e := q.buf[i]
 		if e.kind == sqStore && e.addr == addr && e.size == size {
 			return e.value, true
 		}
@@ -111,7 +176,8 @@ func (q *storeQueue) forward(addr mem.Addr, size uint8) (uint64, bool) {
 
 // HasPendingStoreToLine implements strand.StoreTracker.
 func (q *storeQueue) HasPendingStoreToLine(line mem.Addr, seq uint64) bool {
-	for _, e := range q.entries {
+	for i := q.head; i < len(q.buf); i++ {
+		e := q.buf[i]
 		if e.seq >= seq {
 			break
 		}
@@ -124,7 +190,8 @@ func (q *storeQueue) HasPendingStoreToLine(line mem.Addr, seq uint64) bool {
 
 // HasPendingStoreBefore implements strand.StoreTracker.
 func (q *storeQueue) HasPendingStoreBefore(seq uint64) bool {
-	for _, e := range q.entries {
+	for i := q.head; i < len(q.buf); i++ {
+		e := q.buf[i]
 		if e.seq >= seq {
 			break
 		}
@@ -143,13 +210,13 @@ func (q *storeQueue) HasPendingStoreBefore(seq uint64) bool {
 // handled only at the head, which is exactly what creates the
 // head-of-line blocking the persist queue exists to avoid.
 func (q *storeQueue) pump() {
-	if len(q.entries) == 0 {
+	if q.Len() == 0 {
 		return
 	}
 	c := q.core
 	// Retire finished stores from the head, in order.
-	for len(q.entries) > 0 {
-		head := q.entries[0]
+	for q.Len() > 0 {
+		head := q.at(0)
 		if head.kind != sqStore || !head.finished {
 			break
 		}
@@ -161,7 +228,8 @@ func (q *storeQueue) pump() {
 	// scanning stops at the first backend op (fence or CLWB), which
 	// must reach the head before draining.
 	inFlight := 0
-	for _, e := range q.entries {
+	for i := q.head; i < len(q.buf); i++ {
+		e := q.buf[i]
 		if e.kind != sqStore {
 			break
 		}
@@ -181,20 +249,15 @@ func (q *storeQueue) pump() {
 		}
 		e.started = true
 		inFlight++
-		entry := e
-		line := mem.LineAddr(e.addr)
-		c.l1.Store(line, func() {
-			entry.finished = true
-			c.kick()
-		})
+		c.l1.Store(mem.LineAddr(e.addr), e.drainFn)
 		if inFlight >= c.cfg.L1MSHRs {
 			return
 		}
 	}
-	if len(q.entries) == 0 || q.busy {
+	if q.Len() == 0 || q.busy {
 		return
 	}
-	head := q.entries[0]
+	head := q.at(0)
 	if head.kind != sqOp {
 		return
 	}

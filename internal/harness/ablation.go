@@ -143,6 +143,7 @@ func runLoggingTx(o ExpOptions, storesPerTx int, redo bool, met *sweep.CellMetri
 	}
 	if met != nil {
 		met.AddRun(uint64(end), sys.Ctrl.Stats())
+		met.AddEngine(sys.Eng.Stats())
 	}
 	return uint64(end), nil
 }

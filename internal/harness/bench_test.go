@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"testing"
+
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+)
+
+// BenchmarkGridCell measures one full grid cell end to end — machine
+// construction, workload run, result extraction — the unit of work the
+// sweep engine schedules. The engine-core rebuild targets exactly this
+// path's steady-state allocation and switch overhead.
+func BenchmarkGridCell(b *testing.B) {
+	spec := Spec{Benchmark: "hashmap", Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
+		Threads: 4, OpsPerThread: 50}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/sweep"
+)
+
+// The engine counters must reach the -metrics-out side channel: every
+// measured cell folds its run's sim.Stats into CellMetrics.Engine, and
+// the counters must be non-trivial (a real run schedules events, takes
+// the same-cycle fast path, and context-switches its workers).
+func TestEngineCountersReachCellMetrics(t *testing.T) {
+	rep := sweep.NewReport("test")
+	o := ExpOptions{Benchmarks: []string{"arrayswap"}, Designs: []hwdesign.Design{hwdesign.StrandWeaver},
+		Threads: 2, OpsPerThread: 10, Metrics: rep}
+	if _, err := Table2(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("no cell metrics collected")
+	}
+	for _, cell := range rep.Cells {
+		eng := cell.Engine
+		if eng == nil {
+			t.Fatalf("cell %s has no engine counters", cell.Key)
+		}
+		if eng.EventsScheduled == 0 || eng.EventsFired == 0 {
+			t.Errorf("cell %s: no events counted: %+v", cell.Key, eng)
+		}
+		if eng.EventsFired > eng.EventsScheduled {
+			t.Errorf("cell %s: fired %d > scheduled %d", cell.Key, eng.EventsFired, eng.EventsScheduled)
+		}
+		if eng.FastPathHits == 0 {
+			t.Errorf("cell %s: same-cycle fast path never hit", cell.Key)
+		}
+		if eng.CoroutineSwitches == 0 {
+			t.Errorf("cell %s: no coroutine switches counted", cell.Key)
+		}
+		if eng.PeakHeapDepth <= 0 {
+			t.Errorf("cell %s: peak heap depth %d", cell.Key, eng.PeakHeapDepth)
+		}
+	}
+	// The counters must survive into the JSON report under "engine".
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Cells []struct {
+			Engine *struct {
+				EventsScheduled   uint64 `json:"events_scheduled"`
+				CoroutineSwitches uint64 `json:"coroutine_switches"`
+			} `json:"engine"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Cells) == 0 || decoded.Cells[0].Engine == nil {
+		t.Fatal("engine counters missing from JSON report")
+	}
+	if decoded.Cells[0].Engine.EventsScheduled != rep.Cells[0].Engine.EventsScheduled {
+		t.Error("events_scheduled did not round-trip through JSON")
+	}
+}
+
+// Engine counters are deterministic: two identical runs must count the
+// same events, switches and heap depths (the parallel sweep's
+// parallel==serial result equality depends on this).
+func TestEngineCountersDeterministic(t *testing.T) {
+	spec := Spec{Benchmark: "hashmap", Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
+		Threads: 4, OpsPerThread: 20}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Engine, b.Engine) {
+		t.Errorf("engine counters differ across identical runs:\n%+v\n%+v", a.Engine, b.Engine)
+	}
+}
+
+// The Engine field must stay out of the marshalled Result: the golden
+// digests are sha256 over json.Marshal(Result) and must not move when
+// engine internals change what they count.
+func TestEngineCountersExcludedFromResultJSON(t *testing.T) {
+	r, err := Run(Spec{Benchmark: "arrayswap", Model: langmodel.SFR, Design: hwdesign.EADR,
+		Threads: 1, OpsPerThread: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine.EventsScheduled == 0 {
+		t.Fatal("engine counters not populated on Result")
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("events_scheduled")) || bytes.Contains(blob, []byte("Engine")) {
+		t.Error("engine counters leaked into the Result JSON (would change golden digests)")
+	}
+}

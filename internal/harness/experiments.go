@@ -101,6 +101,7 @@ func measuredCell(key string, spec Spec) sweep.Cell[*Result] {
 				return nil, err
 			}
 			m.AddRun(r.Cycles, r.Controller)
+			m.AddEngine(r.Engine)
 			return r, nil
 		},
 	}
@@ -525,6 +526,7 @@ func runBatched(o ExpOptions, d hwdesign.Design, opsPerRegion int, met *sweep.Ce
 	}
 	if met != nil {
 		met.AddRun(uint64(end), sys.Ctrl.Stats())
+		met.AddEngine(sys.Eng.Stats())
 	}
 	return uint64(end), nil
 }

@@ -65,6 +65,17 @@ const goldenPath = "testdata/golden_digests.json"
 // resultDigest hashes the complete measurement (cycles, per-core stat
 // totals, controller counters, derived metrics) so any behavioral drift
 // in the persist path shows up, not just end-to-end cycle counts.
+//
+// Coverage note: these digests are also the enforcement mechanism for
+// the sim-engine ordering contract (docs/DETERMINISM.md): any event
+// core change that perturbs the (cycle, seq) fire order — heap layout,
+// same-cycle fast path, coroutine handshake, entry pooling — moves
+// cycle counts or stall totals somewhere in this grid and fails here.
+// Result.Engine (the event-core counters) is deliberately excluded
+// from the marshalled form via `json:"-"`: the counters describe the
+// engine's internals, not simulated behaviour, and must be free to
+// change without regenerating goldens
+// (TestEngineCountersExcludedFromResultJSON pins the exclusion).
 func resultDigest(r *Result) string {
 	b, err := json.Marshal(r)
 	if err != nil {

@@ -68,6 +68,12 @@ type Result struct {
 	StallFrac float64
 	// OpsPerMCycle is throughput in operations per million cycles.
 	OpsPerMCycle float64
+	// Engine holds the event-core counters for the run (events, fast-path
+	// and freelist hits, coroutine switches). Excluded from JSON so the
+	// golden result digests — sha256 over the marshalled Result — stay
+	// byte-identical across engine-internals changes; the counters are
+	// still deterministic and reach -metrics-out via sweep.CellMetrics.
+	Engine sim.Stats `json:"-"`
 }
 
 // Run executes one spec and returns its measurements.
@@ -114,6 +120,7 @@ func newResult(spec Spec, sys *machine.System, cycles uint64) *Result {
 		TotalOps:   uint64(spec.Threads * spec.OpsPerThread),
 		CoreTotals: tot,
 		Controller: sys.Ctrl.Stats(),
+		Engine:     sys.Eng.Stats(),
 	}
 	if cycles > 0 {
 		r.CKC = float64(tot.CLWBs) / (float64(cycles) / 1000)

@@ -387,6 +387,7 @@ func workloadCell(o TortureOptions, bench string, pi int, plan faultinject.Plan,
 					return nil, fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
 				}
 				m.AddRun(uint64(end), sys.Ctrl.Stats())
+				m.AddEngine(sys.Eng.Stats())
 				combos := make([]comboOutcome, 0, o.Crashes)
 				for ci := 1; ci <= o.Crashes; ci++ {
 					crashAt := crashCycles(o, end, ci)
@@ -400,6 +401,7 @@ func workloadCell(o TortureOptions, bench string, pi int, plan faultinject.Plan,
 					_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
 					crash := fi.CrashImage(sys)
 					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+					m.AddEngine(sys.Eng.Stats())
 
 					co := comboOutcome{
 						fingerprint: crash.Fingerprint(),
@@ -572,6 +574,7 @@ func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int)
 					return nil, fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
 				}
 				m.AddRun(uint64(end), sys.Ctrl.Stats())
+				m.AddEngine(sys.Eng.Stats())
 				combos := make([]comboOutcome, 0, o.Crashes)
 				for ci := 1; ci <= o.Crashes; ci++ {
 					crashAt := crashCycles(o, end, ci)
@@ -582,6 +585,7 @@ func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int)
 					_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
 					crash := fi.CrashImage(sys)
 					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+					m.AddEngine(sys.Eng.Stats())
 
 					co := comboOutcome{
 						fingerprint: crash.Fingerprint(),

@@ -71,7 +71,7 @@ func (s *System) Spawn(i int, worker Worker) {
 	co := sim.NewCoroutine(s.Eng, func(_ *sim.Coroutine) { worker(core) })
 	core.Attach(co)
 	s.coros = append(s.coros, co)
-	s.Eng.ScheduleAt(sim.Cycle(i), func() { co.Resume() })
+	s.Eng.ScheduleAt(sim.Cycle(i), co.ResumeFn())
 }
 
 // Run spawns one worker per entry of workers and runs the simulation

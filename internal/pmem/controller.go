@@ -70,6 +70,15 @@ type drainEntry struct {
 	attempts int
 	// draining marks the entry as owned by a bank.
 	draining bool
+	// pendingFail carries the fault verdict of the in-flight media
+	// attempt to doneFn; an entry has at most one attempt outstanding.
+	pendingFail bool
+	// doneFn and retryFn are the entry's cached media-attempt thunks,
+	// built once at allocation and reused across recycles (media
+	// attempts on different banks complete out of order, so these
+	// cannot be single controller-wide slots).
+	doneFn  func()
+	retryFn func()
 }
 
 // LineWrite is a snapshot of one tracked PM line write.
@@ -92,16 +101,34 @@ type Controller struct {
 	// submitSeq stamps submissions for deterministic ordering.
 	submitSeq uint64
 	// transit holds PM writes submitted but not yet arrived at the
-	// controller front-end (on-chip flight), in submission order.
-	transit []*pendingWrite
+	// controller front-end (on-chip flight): transit[transitHead:] in
+	// submission order. The on-chip latency is one constant, so arrivals
+	// are FIFO and arriveFn (built once) pops the head — no closure per
+	// submission.
+	transit     []*pendingWrite
+	transitHead int
+	arriveFn    func()
 	// pending holds PM writes that arrived while the write queue was
-	// full; they are accepted FIFO as entries free.
-	pending []*pendingWrite
+	// full (pending[pendHead:], oldest first); they are accepted FIFO as
+	// entries free.
+	pending  []*pendingWrite
+	pendHead int
+	// volAcks queues completion callbacks for flushes of volatile lines
+	// (constant round trip, so FIFO); volAckFn pops the head.
+	volAcks    []WriteAck
+	volAckHead int
+	volAckFn   func()
+	// freePW and freeDE recycle tracking records so the steady-state
+	// write path allocates nothing.
+	freePW []*pendingWrite
+	freeDE []*drainEntry
 
 	// writeQOccupied counts accepted PM writes not yet drained to media.
 	writeQOccupied int
-	// drainq holds accepted writes not yet owned by a bank, FIFO.
-	drainq []*drainEntry
+	// drainq holds accepted writes not yet owned by a bank
+	// (drainq[drainHead:], FIFO).
+	drainq    []*drainEntry
+	drainHead int
 	// inflight holds every accepted, undrained write in acceptance
 	// order (drainq entries plus those a bank is writing).
 	inflight []*drainEntry
@@ -112,9 +139,16 @@ type Controller struct {
 	faults FaultHook
 
 	// readsInFlight counts outstanding PM reads (bounded by the read
-	// queue).
+	// queue). PM read latency is one constant, so in-flight reads
+	// complete FIFO: readAcks[readAckHead:] are their completions in
+	// issue order and readDoneFn (built once) pops the head.
+	// pendingReads[pendReadHead:] wait for a free read-queue slot.
 	readsInFlight int
-	pendingReads  []func()
+	pendingReads  []ReadDone
+	pendReadHead  int
+	readAcks      []ReadDone
+	readAckHead   int
+	readDoneFn    func()
 
 	stats Stats
 }
@@ -174,7 +208,78 @@ const overflowSampleCap = 64
 // New returns a controller bound to the engine, configuration and
 // functional machine images.
 func New(eng *sim.Engine, cfg config.Config, machine *mem.Machine) *Controller {
-	return &Controller{eng: eng, cfg: cfg, machine: machine}
+	c := &Controller{eng: eng, cfg: cfg, machine: machine}
+	c.arriveFn = func() {
+		w := c.transit[c.transitHead]
+		c.transit[c.transitHead] = nil
+		c.transitHead++
+		if c.transitHead == len(c.transit) {
+			c.transit = c.transit[:0]
+			c.transitHead = 0
+		}
+		c.arrive(w)
+	}
+	c.volAckFn = func() {
+		ack := c.volAcks[c.volAckHead]
+		c.volAcks[c.volAckHead] = nil
+		c.volAckHead++
+		if c.volAckHead == len(c.volAcks) {
+			c.volAcks = c.volAcks[:0]
+			c.volAckHead = 0
+		}
+		if ack != nil {
+			ack()
+		}
+	}
+	c.readDoneFn = func() {
+		done := c.readAcks[c.readAckHead]
+		c.readAcks[c.readAckHead] = nil
+		c.readAckHead++
+		if c.readAckHead == len(c.readAcks) {
+			c.readAcks = c.readAcks[:0]
+			c.readAckHead = 0
+		}
+		c.readsInFlight--
+		c.stats.PMReads++
+		done()
+		if c.pendReadHead < len(c.pendingReads) {
+			next := c.pendingReads[c.pendReadHead]
+			c.pendingReads[c.pendReadHead] = nil
+			c.pendReadHead++
+			if c.pendReadHead == len(c.pendingReads) {
+				c.pendingReads = c.pendingReads[:0]
+				c.pendReadHead = 0
+			}
+			c.startRead(next)
+		}
+	}
+	return c
+}
+
+// allocPW returns a recycled (or new) pendingWrite, fields zeroed.
+func (c *Controller) allocPW() *pendingWrite {
+	if n := len(c.freePW); n > 0 {
+		w := c.freePW[n-1]
+		c.freePW[n-1] = nil
+		c.freePW = c.freePW[:n-1]
+		return w
+	}
+	return &pendingWrite{}
+}
+
+// allocDE returns a recycled (or new) drainEntry with its cached media
+// thunks intact and every other field zeroed.
+func (c *Controller) allocDE() *drainEntry {
+	if n := len(c.freeDE); n > 0 {
+		e := c.freeDE[n-1]
+		c.freeDE[n-1] = nil
+		c.freeDE = c.freeDE[:n-1]
+		return e
+	}
+	e := &drainEntry{}
+	e.doneFn = func() { c.mediaWriteDone(e, e.pendingFail) }
+	e.retryFn = func() { c.startMediaWrite(e) }
+	return e
 }
 
 // Stats returns a snapshot of the accumulated statistics. The snapshot
@@ -198,30 +303,17 @@ func (c *Controller) SetFaultHook(h FaultHook) { c.faults = h }
 func (c *Controller) SubmitPMWrite(line mem.Addr, data [mem.LineSize]byte, ack WriteAck) {
 	if !mem.IsPM(line) {
 		// Flush of a volatile line: no durability action; ack after the
-		// same round trip so timing stays uniform.
-		c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles+c.cfg.PMAckCycles), func() {
-			if ack != nil {
-				ack()
-			}
-		})
+		// same round trip so timing stays uniform. The round trip is
+		// constant, so completions are FIFO through the volAcks ring.
+		c.volAcks = append(c.volAcks, ack)
+		c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles+c.cfg.PMAckCycles), c.volAckFn)
 		return
 	}
 	c.submitSeq++
-	w := &pendingWrite{line: line, data: data, ack: ack, seq: c.submitSeq}
+	w := c.allocPW()
+	w.line, w.data, w.ack, w.seq = line, data, ack, c.submitSeq
 	c.transit = append(c.transit, w)
-	c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles), func() {
-		c.removeTransit(w)
-		c.arrive(w)
-	})
-}
-
-func (c *Controller) removeTransit(w *pendingWrite) {
-	for i, t := range c.transit {
-		if t == w {
-			c.transit = append(c.transit[:i], c.transit[i+1:]...)
-			return
-		}
-	}
+	c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles), c.arriveFn)
 }
 
 func (c *Controller) arrive(w *pendingWrite) {
@@ -229,11 +321,11 @@ func (c *Controller) arrive(w *pendingWrite) {
 		c.stats.WriteQueueFullEvents++
 		w.arrivedAt = c.eng.Now()
 		c.pending = append(c.pending, w)
-		if len(c.pending) > c.stats.MaxPendingArrivals {
-			c.stats.MaxPendingArrivals = len(c.pending)
+		if n := len(c.pending) - c.pendHead; n > c.stats.MaxPendingArrivals {
+			c.stats.MaxPendingArrivals = n
 			if len(c.stats.OverflowHighWater) < overflowSampleCap {
 				c.stats.OverflowHighWater = append(c.stats.OverflowHighWater,
-					OverflowSample{Cycle: c.eng.Now(), Depth: len(c.pending)})
+					OverflowSample{Cycle: c.eng.Now(), Depth: n})
 			}
 		}
 		return
@@ -248,25 +340,32 @@ func (c *Controller) accept(w *pendingWrite) {
 		c.stats.MaxWriteQueueDepth = c.writeQOccupied
 	}
 	c.stats.PMWritesAccepted++
-	e := &drainEntry{line: w.line, data: w.data}
+	e := c.allocDE()
+	e.line, e.data = w.line, w.data
 	c.machine.Persistent.CopyLine(w.line, &e.old)
 	c.machine.PersistLineData(w.line, &w.data)
 	c.drainq = append(c.drainq, e)
 	c.inflight = append(c.inflight, e)
 	if w.ack != nil {
-		ack := w.ack
-		c.eng.Schedule(sim.Cycle(c.cfg.PMAckCycles), sim.Event(ack))
+		c.eng.Schedule(sim.Cycle(c.cfg.PMAckCycles), sim.Event(w.ack))
 	}
+	// The tracking record is dead once accepted (the persistent image
+	// and drain entry hold copies of the data).
+	*w = pendingWrite{}
+	c.freePW = append(c.freePW, w)
 	c.tryDrain()
 }
 
 // tryDrain starts media writes on free banks.
 func (c *Controller) tryDrain() {
-	for c.busyBanks < c.cfg.PMBanks && len(c.drainq) > 0 {
-		e := c.drainq[0]
-		copy(c.drainq, c.drainq[1:])
-		c.drainq[len(c.drainq)-1] = nil
-		c.drainq = c.drainq[:len(c.drainq)-1]
+	for c.busyBanks < c.cfg.PMBanks && c.drainHead < len(c.drainq) {
+		e := c.drainq[c.drainHead]
+		c.drainq[c.drainHead] = nil
+		c.drainHead++
+		if c.drainHead == len(c.drainq) {
+			c.drainq = c.drainq[:0]
+			c.drainHead = 0
+		}
 		e.draining = true
 		c.busyBanks++
 		c.startMediaWrite(e)
@@ -284,7 +383,8 @@ func (c *Controller) startMediaWrite(e *drainEntry) {
 		c.stats.MediaFaultDelayCycles += uint64(v.ExtraCycles)
 		fail = v.Fail
 	}
-	c.eng.Schedule(latency, func() { c.mediaWriteDone(e, fail) })
+	e.pendingFail = fail
+	c.eng.Schedule(latency, e.doneFn)
 }
 
 func (c *Controller) mediaWriteDone(e *drainEntry, failed bool) {
@@ -296,7 +396,7 @@ func (c *Controller) mediaWriteDone(e *drainEntry, failed bool) {
 			// after the backoff.
 			backoff := sim.Cycle(c.cfg.PMMediaRetryBackoffCycles)
 			c.stats.MediaFaultDelayCycles += uint64(backoff)
-			c.eng.Schedule(backoff, func() { c.startMediaWrite(e) })
+			c.eng.Schedule(backoff, e.retryFn)
 			return
 		}
 		// Retry budget exhausted: force the write through (media scrub)
@@ -307,12 +407,19 @@ func (c *Controller) mediaWriteDone(e *drainEntry, failed bool) {
 	c.writeQOccupied--
 	c.stats.PMWritesDrained++
 	c.removeInflight(e)
+	// Recycle (keeping the cached thunks): nothing references the entry
+	// once it leaves inflight.
+	*e = drainEntry{doneFn: e.doneFn, retryFn: e.retryFn}
+	c.freeDE = append(c.freeDE, e)
 	// A queue entry freed: accept a waiting arrival, oldest first.
-	if len(c.pending) > 0 && c.writeQOccupied < c.cfg.PMWriteQueueEntries {
-		w := c.pending[0]
-		copy(c.pending, c.pending[1:])
-		c.pending[len(c.pending)-1] = nil
-		c.pending = c.pending[:len(c.pending)-1]
+	if c.pendHead < len(c.pending) && c.writeQOccupied < c.cfg.PMWriteQueueEntries {
+		w := c.pending[c.pendHead]
+		c.pending[c.pendHead] = nil
+		c.pendHead++
+		if c.pendHead == len(c.pending) {
+			c.pending = c.pending[:0]
+			c.pendHead = 0
+		}
 		c.stats.PendingStallCycles += uint64(c.eng.Now() - w.arrivedAt)
 		c.accept(w)
 	}
@@ -335,9 +442,11 @@ func (c *Controller) removeInflight(e *drainEntry) {
 // independently may or may not have reached the media (torn persists);
 // under the baseline line-atomic model they are dropped wholly.
 func (c *Controller) UnacceptedWrites() []LineWrite {
-	ws := make([]*pendingWrite, 0, len(c.transit)+len(c.pending))
-	ws = append(ws, c.transit...)
-	ws = append(ws, c.pending...)
+	transit := c.transit[c.transitHead:]
+	pending := c.pending[c.pendHead:]
+	ws := make([]*pendingWrite, 0, len(transit)+len(pending))
+	ws = append(ws, transit...)
+	ws = append(ws, pending...)
 	// Submission order; transit and pending are each ordered already but
 	// interleave (a later submission can be in transit while an earlier
 	// one waits in the overflow queue).
@@ -378,25 +487,20 @@ func (c *Controller) SubmitRead(line mem.Addr, done ReadDone) {
 		c.eng.Schedule(sim.Cycle(c.cfg.DRAMReadCycles), sim.Event(done))
 		return
 	}
-	start := func() {
-		c.readsInFlight++
-		c.eng.Schedule(sim.Cycle(c.cfg.PMReadCycles), func() {
-			c.readsInFlight--
-			c.stats.PMReads++
-			done()
-			if len(c.pendingReads) > 0 {
-				next := c.pendingReads[0]
-				copy(c.pendingReads, c.pendingReads[1:])
-				c.pendingReads = c.pendingReads[:len(c.pendingReads)-1]
-				next()
-			}
-		})
-	}
 	if c.readsInFlight >= c.cfg.PMReadQueueEntries {
-		c.pendingReads = append(c.pendingReads, start)
+		c.pendingReads = append(c.pendingReads, done)
 		return
 	}
-	start()
+	c.startRead(done)
+}
+
+// startRead issues one PM read: its completion joins the FIFO ack ring
+// (constant latency, so reads complete in issue order) and readDoneFn
+// pops it — the steady-state read path allocates nothing.
+func (c *Controller) startRead(done ReadDone) {
+	c.readsInFlight++
+	c.readAcks = append(c.readAcks, done)
+	c.eng.Schedule(sim.Cycle(c.cfg.PMReadCycles), c.readDoneFn)
 }
 
 // SubmitDRAMWrite absorbs a volatile write-back; DRAM writes complete
@@ -410,4 +514,4 @@ func (c *Controller) SubmitDRAMWrite(line mem.Addr) {
 func (c *Controller) WriteQueueDepth() int { return c.writeQOccupied }
 
 // PendingArrivals reports writes waiting for a free write-queue entry.
-func (c *Controller) PendingArrivals() int { return len(c.pending) }
+func (c *Controller) PendingArrivals() int { return len(c.pending) - c.pendHead }

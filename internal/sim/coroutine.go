@@ -9,15 +9,29 @@ package sim
 // coroutine re-enters the event loop via engine.Schedule callbacks that
 // call resume again. This is cooperative scheduling, so the simulation
 // stays fully deterministic.
+//
+// The handshake is a single unbuffered ping-pong channel: ownership of
+// the channel's send side strictly alternates between the engine
+// (Resume) and the coroutine (Yield), so every send is a direct handoff
+// to the one blocked receiver. Wakeups reuse the coroutine's cached
+// resume thunk (resumeFn) — parking and resuming a coroutine allocates
+// nothing.
 type Coroutine struct {
-	eng      *Engine
-	resumeCh chan struct{}
-	yieldCh  chan struct{}
+	eng *Engine
+	// ch carries control back and forth: Resume sends to hand control
+	// to the coroutine and then receives to wait for its yield; Yield
+	// does the mirror image. Strict alternation means at most one
+	// sender and one receiver exist at any instant.
+	ch chan struct{}
+	// resumeFn is the cached resume thunk: every scheduled wakeup
+	// (WaitCycles, Waiter.Broadcast, machine spawn) shares it instead
+	// of allocating a closure per wakeup.
+	resumeFn func()
 	done     bool
 	aborted  bool
 }
 
-// errAborted is the panic sentinel used to unwind an aborted coroutine's
+// abortSentinel is the panic value used to unwind an aborted coroutine's
 // goroutine so it does not leak (e.g. when a simulated crash abandons
 // the machine mid-run).
 type abortSentinel struct{}
@@ -27,10 +41,10 @@ type abortSentinel struct{}
 // co.Yield to give up control.
 func NewCoroutine(eng *Engine, body func(co *Coroutine)) *Coroutine {
 	co := &Coroutine{
-		eng:      eng,
-		resumeCh: make(chan struct{}),
-		yieldCh:  make(chan struct{}),
+		eng: eng,
+		ch:  make(chan struct{}),
 	}
+	co.resumeFn = func() { co.Resume() }
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -39,9 +53,9 @@ func NewCoroutine(eng *Engine, body func(co *Coroutine)) *Coroutine {
 				}
 			}
 			co.done = true
-			co.yieldCh <- struct{}{}
+			co.ch <- struct{}{}
 		}()
-		<-co.resumeCh
+		<-co.ch
 		if co.aborted {
 			panic(abortSentinel{})
 		}
@@ -71,29 +85,36 @@ func (co *Coroutine) Resume() {
 	if co.done {
 		return
 	}
-	co.resumeCh <- struct{}{}
-	<-co.yieldCh
+	co.eng.stats.CoroutineSwitches++
+	co.ch <- struct{}{}
+	<-co.ch
 }
+
+// ResumeFn returns the coroutine's cached resume thunk, for callers that
+// schedule resumption as an engine event (avoids a closure per wakeup).
+func (co *Coroutine) ResumeFn() func() { return co.resumeFn }
 
 // Yield returns control to the engine side. The coroutine blocks until
 // the next Resume. Must be called from within the coroutine body.
 func (co *Coroutine) Yield() {
-	co.yieldCh <- struct{}{}
-	<-co.resumeCh
+	co.ch <- struct{}{}
+	<-co.ch
 	if co.aborted {
 		panic(abortSentinel{})
 	}
 }
 
 // WaitCycles suspends the coroutine for d simulated cycles: it schedules
-// its own resumption and yields.
+// its own resumption (through the cached resume thunk) and yields.
 func (co *Coroutine) WaitCycles(d Cycle) {
-	co.eng.Schedule(d, func() { co.Resume() })
+	co.eng.Schedule(d, co.resumeFn)
 	co.Yield()
 }
 
 // WaitUntil repeatedly re-checks cond each poll cycles until it is true.
-// Use for back-pressure conditions with no dedicated wakeup signal.
+// Use only for back-pressure conditions with no dedicated wakeup signal;
+// the simulator's own stall sites all park on a Waiter instead, which
+// schedules zero events while the coroutine is parked.
 func (co *Coroutine) WaitUntil(cond func() bool, poll Cycle) {
 	if poll == 0 {
 		poll = 1
@@ -106,6 +127,8 @@ func (co *Coroutine) WaitUntil(cond func() bool, poll Cycle) {
 // Waiter is a one-shot wakeup list: coroutines park on it and are resumed
 // (in FIFO order, deterministically) when Broadcast fires. It models
 // hardware wakeup signals such as "queue entry freed" or "ack received".
+// A parked coroutine costs nothing per cycle: no events are scheduled
+// until Broadcast wakes it.
 type Waiter struct {
 	eng     *Engine
 	parked  []*Coroutine
@@ -122,17 +145,19 @@ func (w *Waiter) Park(co *Coroutine) {
 }
 
 // Broadcast wakes every parked coroutine at the current cycle (as a
-// zero-delay event, preserving deterministic ordering).
+// zero-delay event, preserving deterministic FIFO ordering). Each wakeup
+// schedules the coroutine's cached resume thunk — no allocation per
+// woken coroutine.
 func (w *Waiter) Broadcast() {
 	if len(w.parked) == 0 {
 		return
 	}
 	woken := w.parked
-	w.parked = nil
+	w.parked = w.parked[:0]
 	w.signals++
-	for _, co := range woken {
-		c := co
-		w.eng.Schedule(0, func() { c.Resume() })
+	for i, co := range woken {
+		w.eng.Schedule(0, co.resumeFn)
+		woken[i] = nil
 	}
 }
 

@@ -7,12 +7,18 @@
 // cooperative handshake (see Coroutine), which preserves determinism:
 // exactly one goroutine — the engine's or a coroutine's — runs at any
 // instant.
+//
+// The event core is allocation-free in steady state: events are value
+// entries in an inline 4-ary min-heap (no per-event boxing), same-cycle
+// zero-delay bursts — the kick/Broadcast pattern every queue pump
+// generates — bypass the heap through a FIFO ring, and both structures
+// recycle their backing storage instead of releasing it. The ordering
+// contract is exactly (cycle, seq) regardless of which structure holds
+// an event; docs/DETERMINISM.md states the contract, and the golden
+// digests in internal/harness enforce it.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycle is a point in simulated time, measured in CPU cycles.
 type Cycle uint64
@@ -20,60 +26,74 @@ type Cycle uint64
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
+// eventEntry is one scheduled event, stored by value: scheduling does
+// not allocate once the heap and ring have grown to the simulation's
+// working depth.
 type eventEntry struct {
-	at    Cycle
-	seq   uint64
-	fn    Event
-	index int
+	at  Cycle
+	seq uint64
+	fn  Event
 }
 
-type eventHeap []*eventEntry
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b under the (cycle, seq) total
+// order.
+func (a *eventEntry) before(b *eventEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*eventEntry)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// Stats counts engine-level activity. All counters are deterministic
+// functions of the event order, so they may be compared across runs
+// and folded into sweep results (sweep.CellMetrics).
+type Stats struct {
+	// EventsScheduled and EventsFired count Schedule calls and event
+	// callbacks run.
+	EventsScheduled uint64 `json:"events_scheduled"`
+	EventsFired     uint64 `json:"events_fired"`
+	// FastPathHits counts zero-delay schedules that took the same-cycle
+	// FIFO ring instead of the heap (no sift, O(1)).
+	FastPathHits uint64 `json:"fast_path_hits"`
+	// FreelistHits counts event slots recycled from previously grown
+	// heap or ring capacity — schedules that allocated nothing.
+	FreelistHits uint64 `json:"freelist_hits"`
+	// PeakHeapDepth is the high-water mark of pending events (heap plus
+	// same-cycle ring).
+	PeakHeapDepth int `json:"peak_heap_depth"`
+	// CoroutineSwitches counts engine-to-coroutine handshakes (Resume
+	// round trips).
+	CoroutineSwitches uint64 `json:"coroutine_switches"`
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
-	// Stopped is set by Stop; Run returns promptly once set.
+	now Cycle
+	seq uint64
+	// heap is an inline 4-ary min-heap of future events ordered by
+	// (at, seq). Value entries: no allocation per Schedule.
+	heap []eventEntry
+	// ring is the same-cycle fast path: zero-delay events appended
+	// while the clock sits at ringAt, consumed FIFO from ringHead.
+	// Entries are in strictly increasing seq order, all at == ringAt,
+	// so the head is comparable against the heap top in O(1).
+	ring     []eventEntry
+	ringHead int
+	ringAt   Cycle
+	// stopped is set by Stop; Run returns promptly once set.
 	stopped bool
+	stats   Stats
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // Schedule runs fn after delay cycles. A delay of 0 runs fn later in the
 // current cycle, after already-scheduled same-cycle events.
@@ -82,7 +102,30 @@ func (e *Engine) Schedule(delay Cycle, fn Event) {
 		panic("sim: Schedule called with nil event")
 	}
 	e.seq++
-	heap.Push(&e.events, &eventEntry{at: e.now + delay, seq: e.seq, fn: fn})
+	e.stats.EventsScheduled++
+	entry := eventEntry{at: e.now + delay, seq: e.seq, fn: fn}
+	if delay == 0 && (e.ringLen() == 0 || e.ringAt == e.now) {
+		// Same-cycle fast path: the ring holds only entries at the
+		// current cycle, appended in seq order, so no sift is needed.
+		// (The ring cycle is re-pinned whenever the ring is empty; see
+		// Run's limit clamp for why now can move without firing.)
+		if e.ringLen() == 0 {
+			e.ringAt = e.now
+		}
+		if len(e.ring) < cap(e.ring) {
+			e.stats.FreelistHits++
+		}
+		e.ring = append(e.ring, entry)
+		e.stats.FastPathHits++
+	} else {
+		if len(e.heap) < cap(e.heap) {
+			e.stats.FreelistHits++
+		}
+		e.heapPush(entry)
+	}
+	if depth := e.Pending(); depth > e.stats.PeakHeapDepth {
+		e.stats.PeakHeapDepth = depth
+	}
 }
 
 // ScheduleAt runs fn at the absolute cycle at, which must not be in the
@@ -102,16 +145,48 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending reports the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.heap) + e.ringLen() }
+
+func (e *Engine) ringLen() int { return len(e.ring) - e.ringHead }
+
+// next returns a pointer to the earliest pending event under the
+// (cycle, seq) order, or nil if none is pending. The pointer is valid
+// until the next Schedule or pop.
+func (e *Engine) next() *eventEntry {
+	var best *eventEntry
+	if e.ringHead < len(e.ring) {
+		best = &e.ring[e.ringHead]
+	}
+	if len(e.heap) > 0 && (best == nil || e.heap[0].before(best)) {
+		best = &e.heap[0]
+	}
+	return best
+}
 
 // Step fires the next event, advancing the clock to its cycle. It returns
 // false if no events remain or the engine is stopped.
 func (e *Engine) Step() bool {
-	if e.stopped || e.events.Len() == 0 {
+	if e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*eventEntry)
+	var ev eventEntry
+	if h := e.ringHead; h < len(e.ring) &&
+		(len(e.heap) == 0 || e.ring[h].before(&e.heap[0])) {
+		ev = e.ring[h]
+		e.ring[h].fn = nil
+		e.ringHead = h + 1
+		if e.ringHead == len(e.ring) {
+			// Drained: recycle the backing array in place.
+			e.ring = e.ring[:0]
+			e.ringHead = 0
+		}
+	} else if len(e.heap) > 0 {
+		ev = e.heapPop()
+	} else {
+		return false
+	}
 	e.now = ev.at
+	e.stats.EventsFired++
 	ev.fn()
 	return true
 }
@@ -120,9 +195,12 @@ func (e *Engine) Step() bool {
 // pass limit (limit 0 means no limit). It returns the cycle at which it
 // stopped.
 func (e *Engine) Run(limit Cycle) Cycle {
-	for !e.stopped && e.events.Len() > 0 {
-		next := e.events[0].at
-		if limit != 0 && next > limit {
+	for !e.stopped {
+		next := e.next()
+		if next == nil {
+			break
+		}
+		if limit != 0 && next.at > limit {
 			e.now = limit
 			break
 		}
@@ -134,13 +212,72 @@ func (e *Engine) Run(limit Cycle) Cycle {
 // RunUntil fires events while cond returns false, subject to the same
 // termination rules as Run.
 func (e *Engine) RunUntil(cond func() bool, limit Cycle) Cycle {
-	for !e.stopped && !cond() && e.events.Len() > 0 {
-		next := e.events[0].at
-		if limit != 0 && next > limit {
+	for !e.stopped && !cond() {
+		next := e.next()
+		if next == nil {
+			break
+		}
+		if limit != 0 && next.at > limit {
 			e.now = limit
 			break
 		}
 		e.Step()
 	}
 	return e.now
+}
+
+// --- inline 4-ary min-heap ---
+//
+// A 4-ary heap halves the tree depth of a binary heap, trading slightly
+// wider sift-down scans for fewer cache-missing levels — the standard
+// layout for simulator event queues. Entries are values; the backing
+// array only ever grows, so steady-state pushes allocate nothing.
+
+func (e *Engine) heapPush(entry eventEntry) {
+	e.heap = append(e.heap, entry)
+	// Sift up.
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() eventEntry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n].fn = nil
+	e.heap = h[:n]
+	h = e.heap
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }

@@ -57,18 +57,32 @@ type sbEntry struct {
 	// same-line store drains; StrandWeaver resolves this in the persist
 	// queue instead).
 	ready func() bool
+	// buf is the owning strand buffer while the entry is live, so the
+	// cached flush completion (flushDone) can retire without capturing
+	// it per issue.
+	buf *strandBuffer
+	// flushDone is the entry's cached flush-acknowledgement thunk, built
+	// once at allocation and reused across recycles (an entry has at
+	// most one flush outstanding, and it always completes before the
+	// entry retires and recycles).
+	flushDone func()
 }
 
 // strandBuffer manages persist order within one strand: CLWBs separated
 // by a persist barrier complete in order; CLWBs not separated by one may
-// issue concurrently. Entries retire from the head in order.
+// issue concurrently. Entries retire from the head in order
+// (entries[head:], oldest first).
 type strandBuffer struct {
 	entries []*sbEntry
+	head    int
 	// appended and retired are monotonic counters used for tail-index
 	// gating by the write-back and snoop buffers.
 	appended uint64
 	retired  uint64
 }
+
+// live reports the unretired entry count.
+func (b *strandBuffer) live() int { return len(b.entries) - b.head }
 
 // BufferUnit is the strand buffer unit: an array of strand buffers plus
 // the ongoing-buffer index that NewStrand rotates round-robin.
@@ -80,8 +94,29 @@ type BufferUnit struct {
 	ongoing     int
 	subscribers []func()
 	gateWaits   []gateWait
+	// free recycles retired entries so the steady-state CLWB path
+	// allocates nothing.
+	free []*sbEntry
 
 	stats UnitStats
+}
+
+// alloc returns a recycled (or new) entry with its cached flush thunk
+// intact and every other field zeroed.
+func (u *BufferUnit) alloc() *sbEntry {
+	if n := len(u.free); n > 0 {
+		e := u.free[n-1]
+		u.free[n-1] = nil
+		u.free = u.free[:n-1]
+		return e
+	}
+	e := &sbEntry{}
+	e.flushDone = func() {
+		u.stats.inFlight--
+		e.completed = true
+		u.tryRetire(e.buf)
+	}
+	return e
 }
 
 type gateWait struct {
@@ -134,12 +169,12 @@ func (u *BufferUnit) Buffers() int { return len(u.buffers) }
 func (u *BufferUnit) OngoingIndex() int { return u.ongoing }
 
 // Occupancy reports the number of unretired entries in buffer i.
-func (u *BufferUnit) Occupancy(i int) int { return len(u.buffers[i].entries) }
+func (u *BufferUnit) Occupancy(i int) int { return u.buffers[i].live() }
 
 // Drained reports whether every strand buffer is empty.
 func (u *BufferUnit) Drained() bool {
 	for _, b := range u.buffers {
-		if len(b.entries) > 0 {
+		if b.live() > 0 {
 			return false
 		}
 	}
@@ -152,10 +187,11 @@ func (u *BufferUnit) Drained() bool {
 // the entry has completed. ready, if non-nil, gates issue (see sbEntry).
 func (u *BufferUnit) TryAppendCLWB(line mem.Addr, ready func() bool, onComplete func()) bool {
 	b := u.buffers[u.ongoing]
-	if len(b.entries) >= u.capacity {
+	if b.live() >= u.capacity {
 		return false
 	}
-	e := &sbEntry{kind: entryCLWB, line: line, onComplete: onComplete, ready: ready}
+	e := u.alloc()
+	e.kind, e.line, e.onComplete, e.ready, e.buf = entryCLWB, line, onComplete, ready, b
 	b.entries = append(b.entries, e)
 	b.appended++
 	u.stats.CLWBsAccepted++
@@ -168,10 +204,11 @@ func (u *BufferUnit) TryAppendCLWB(line mem.Addr, ready func() bool, onComplete 
 // the barrier has completed and retired.
 func (u *BufferUnit) TryAppendPB(onComplete func()) bool {
 	b := u.buffers[u.ongoing]
-	if len(b.entries) >= u.capacity {
+	if b.live() >= u.capacity {
 		return false
 	}
-	e := &sbEntry{kind: entryPB, onComplete: onComplete}
+	e := u.alloc()
+	e.kind, e.onComplete, e.buf = entryPB, onComplete, b
 	b.entries = append(b.entries, e)
 	b.appended++
 	u.stats.PBsAccepted++
@@ -195,7 +232,8 @@ func (u *BufferUnit) NewStrand(onComplete func()) {
 // issueEligible issues every unissued CLWB in b that is not behind a
 // persist barrier and whose ready gate (if any) is satisfied.
 func (u *BufferUnit) issueEligible(b *strandBuffer) {
-	for _, x := range b.entries {
+	for i := b.head; i < len(b.entries); i++ {
+		x := b.entries[i]
 		if x.kind == entryPB {
 			break
 		}
@@ -227,11 +265,7 @@ func (u *BufferUnit) issue(b *strandBuffer, e *sbEntry) {
 	if u.stats.inFlight > u.stats.MaxInFlight {
 		u.stats.MaxInFlight = u.stats.inFlight
 	}
-	u.l1.Flush(e.line, func() {
-		u.stats.inFlight--
-		e.completed = true
-		u.tryRetire(b)
-	})
+	u.l1.Flush(e.line, e.flushDone)
 }
 
 // tryRetire pops completed entries from the buffer head in order. A
@@ -240,14 +274,14 @@ func (u *BufferUnit) issue(b *strandBuffer, e *sbEntry) {
 // next barrier.
 func (u *BufferUnit) tryRetire(b *strandBuffer) {
 	progressed := false
-	for len(b.entries) > 0 {
-		head := b.entries[0]
+	for b.live() > 0 {
+		head := b.entries[b.head]
 		if head.kind == entryPB {
 			head.completed = true
 			if head.onComplete != nil {
 				u.eng.Schedule(0, head.onComplete)
 			}
-			b.pop()
+			u.pop(b)
 			progressed = true
 			// Resolve dependencies: issue CLWBs up to the next barrier.
 			u.issueEligible(b)
@@ -259,7 +293,7 @@ func (u *BufferUnit) tryRetire(b *strandBuffer) {
 		if head.onComplete != nil {
 			u.eng.Schedule(0, head.onComplete)
 		}
-		b.pop()
+		u.pop(b)
 		progressed = true
 	}
 	if progressed {
@@ -268,14 +302,19 @@ func (u *BufferUnit) tryRetire(b *strandBuffer) {
 	}
 }
 
-func (b *strandBuffer) pop() {
-	b.entries[0] = nil
-	b.entries = b.entries[1:]
-	b.retired++
-	if len(b.entries) == 0 {
-		// Reset backing array so it cannot grow without bound.
-		b.entries = nil
+// pop retires the buffer head and recycles the entry (its completion has
+// already been scheduled by value, so nothing references it afterwards).
+func (u *BufferUnit) pop(b *strandBuffer) {
+	e := b.entries[b.head]
+	b.entries[b.head] = nil
+	b.head++
+	if b.head == len(b.entries) {
+		b.entries = b.entries[:0]
+		b.head = 0
 	}
+	b.retired++
+	*e = sbEntry{flushDone: e.flushDone}
+	u.free = append(u.free, e)
 }
 
 // RecordTails implements cache.PersistGate: it snapshots each buffer's

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
 )
 
 // CellMetrics is one cell's observability record: how long the cell
@@ -41,6 +42,10 @@ type CellMetrics struct {
 	// budget ran out.
 	MediaRetries          uint64 `json:"media_retries,omitempty"`
 	MediaRetriesExhausted uint64 `json:"media_retries_exhausted,omitempty"`
+	// Engine folds the cell's discrete-event-core counters: event and
+	// switch counts sum across runs, the heap high-water mark takes the
+	// maximum. Deterministic for a given cell.
+	Engine *sim.Stats `json:"engine,omitempty"`
 	// Err records the cell's failure, if any.
 	Err string `json:"error,omitempty"`
 }
@@ -59,6 +64,23 @@ func (m *CellMetrics) AddRun(cycles uint64, st pmem.Stats) {
 	}
 	m.MediaRetries += st.MediaWriteFaults
 	m.MediaRetriesExhausted += st.MediaRetriesExhausted
+}
+
+// AddEngine folds one run's discrete-event-core counters into the
+// record. Called alongside AddRun by cell bodies that have the engine
+// in scope.
+func (m *CellMetrics) AddEngine(st sim.Stats) {
+	if m.Engine == nil {
+		m.Engine = &sim.Stats{}
+	}
+	m.Engine.EventsScheduled += st.EventsScheduled
+	m.Engine.EventsFired += st.EventsFired
+	m.Engine.FastPathHits += st.FastPathHits
+	m.Engine.FreelistHits += st.FreelistHits
+	m.Engine.CoroutineSwitches += st.CoroutineSwitches
+	if st.PeakHeapDepth > m.Engine.PeakHeapDepth {
+		m.Engine.PeakHeapDepth = st.PeakHeapDepth
+	}
 }
 
 // foldStats accumulates one controller snapshot into dst: counters
