@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// checkSource parses one file and applies the determinism rules. It is
+// a pure-syntax pass (stdlib go/ast, no type checker): package
+// identities come from the file's imports, and map types are resolved
+// through in-file declarations, which covers the patterns the rules
+// target without a build step.
+func checkSource(filename string, src []byte) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	c := &checker{fset: fset, file: f, suppressed: suppressedLines(fset, f)}
+	c.resolveImports()
+	ast.Inspect(f, c.visit)
+	return c.diags, nil
+}
+
+type checker struct {
+	fset *token.FileSet
+	file *ast.File
+	// timeName and randName are the local names of the "time" and
+	// "math/rand" imports ("" when not imported).
+	timeName, randName string
+	// suppressed holds the line numbers covered by //strandvet:ok.
+	suppressed map[int]bool
+	diags      []string
+}
+
+// suppressedLines collects the lines a //strandvet:ok comment covers:
+// its own line (for end-of-line comments) and the next line (for a
+// comment placed above the flagged statement).
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//strandvet:ok") {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+func (c *checker) resolveImports() {
+	for _, imp := range c.file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			c.timeName = name
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			c.randName = name
+		}
+	}
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	p := c.fset.Position(pos)
+	if c.suppressed[p.Line] {
+		return
+	}
+	c.diags = append(c.diags, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.checkCall(n)
+	case *ast.RangeStmt:
+		c.checkRange(n)
+	}
+	return true
+}
+
+// pkgCall matches a call of the form pkgName.Fn(...) where pkgName is
+// a plain identifier not shadowed by a local declaration.
+func pkgCall(call *ast.CallExpr, pkgName string) (string, bool) {
+	if pkgName == "" {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName || id.Obj != nil {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if fn, ok := pkgCall(call, c.timeName); ok && fn == "Now" {
+		c.report(call.Pos(), "call to %s.Now: measured paths must not read the wall clock (docs/DETERMINISM.md); derive time from simulated cycles or suppress with //strandvet:ok for metrics-only code", c.timeName)
+	}
+	if fn, ok := pkgCall(call, c.randName); ok && !strings.HasPrefix(fn, "New") {
+		c.report(call.Pos(), "call to %s.%s: the global math/rand generator is unseeded shared state (docs/DETERMINISM.md); use a seeded instance from %s.New", c.randName, fn, c.randName)
+	}
+}
+
+// checkRange flags `for range m` over a map when the loop body feeds
+// ordered output (printing or writing directly inside the body): map
+// iteration order would then leak into results. Iterating to build an
+// unordered aggregate (sums, sets, another map) is fine.
+func (c *checker) checkRange(rng *ast.RangeStmt) {
+	if !c.isMapExpr(rng.X) {
+		return
+	}
+	if out := findOutputCall(rng.Body); out != "" {
+		c.report(rng.Pos(), "map iteration feeds ordered output (%s): iteration order is random (docs/DETERMINISM.md); range over sorted keys instead", out)
+	}
+}
+
+// isMapExpr reports whether the expression is statically known to be a
+// map: a map literal, make(map[...]...), or an identifier whose in-file
+// declaration is one of those or carries an explicit map type.
+func (c *checker) isMapExpr(x ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.CompositeLit:
+		_, ok := x.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			_, ok := x.Args[0].(*ast.MapType)
+			return ok
+		}
+	case *ast.Ident:
+		return identIsMap(x)
+	}
+	return false
+}
+
+// identIsMap resolves an identifier through its declaration (the
+// parser's in-file object resolution) looking for a map type.
+func identIsMap(id *ast.Ident) bool {
+	if id.Obj == nil {
+		return false
+	}
+	switch decl := id.Obj.Decl.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range decl.Lhs {
+			l, ok := lhs.(*ast.Ident)
+			if !ok || l.Name != id.Name || i >= len(decl.Rhs) && len(decl.Rhs) != 1 {
+				continue
+			}
+			rhs := decl.Rhs[0]
+			if len(decl.Rhs) == len(decl.Lhs) {
+				rhs = decl.Rhs[i]
+			}
+			switch r := rhs.(type) {
+			case *ast.CompositeLit:
+				if _, ok := r.Type.(*ast.MapType); ok {
+					return true
+				}
+			case *ast.CallExpr:
+				if fn, ok := r.Fun.(*ast.Ident); ok && fn.Name == "make" && len(r.Args) > 0 {
+					if _, ok := r.Args[0].(*ast.MapType); ok {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		if _, ok := decl.Type.(*ast.MapType); ok {
+			return true
+		}
+	case *ast.Field:
+		if _, ok := decl.Type.(*ast.MapType); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// findOutputCall returns a description of the first output call in the
+// body (fmt printing, or a Write*/print method call), or "".
+func findOutputCall(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if id, ok := sel.X.(*ast.Ident); ok && id.Obj == nil && id.Name == "fmt" {
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+				found = "fmt." + name
+			}
+			return true
+		}
+		if strings.HasPrefix(name, "Write") || name == "Print" || name == "Printf" || name == "Println" {
+			found = "." + name
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCheck applies the checker to an inline fixture and returns its
+// diagnostics.
+func runCheck(t *testing.T, src string) []string {
+	t.Helper()
+	diags, err := checkSource("fixture.go", []byte(src))
+	if err != nil {
+		t.Fatalf("checkSource: %v", err)
+	}
+	return diags
+}
+
+func wantDiags(t *testing.T, diags []string, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(substrs))
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i], want) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i], want)
+		}
+	}
+}
+
+func TestFlagsTimeNow(t *testing.T) {
+	diags := runCheck(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+`)
+	wantDiags(t, diags, "time.Now")
+}
+
+func TestFlagsAliasedTimeNow(t *testing.T) {
+	diags := runCheck(t, `package p
+import clock "time"
+func f() clock.Time { return clock.Now() }
+`)
+	wantDiags(t, diags, "clock.Now")
+}
+
+func TestAllowsOtherTimeFunctions(t *testing.T) {
+	diags := runCheck(t, `package p
+import "time"
+func f() time.Duration { return 3 * time.Millisecond }
+func g(d time.Duration) { time.Sleep(d) }
+`)
+	wantDiags(t, diags)
+}
+
+func TestFlagsGlobalRand(t *testing.T) {
+	diags := runCheck(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(10) }
+`)
+	wantDiags(t, diags, "rand.Intn")
+}
+
+func TestAllowsSeededRandConstructors(t *testing.T) {
+	diags := runCheck(t, `package p
+import "math/rand"
+func f(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func g(r *rand.Rand) int { return r.Intn(10) }
+`)
+	wantDiags(t, diags)
+}
+
+func TestShadowedPackageNameNotFlagged(t *testing.T) {
+	diags := runCheck(t, `package p
+type fake struct{}
+func (fake) Now() int { return 0 }
+func f() int {
+	time := fake{}
+	return time.Now()
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestFlagsMapRangePrinting(t *testing.T) {
+	diags := runCheck(t, `package p
+import "fmt"
+func f() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	wantDiags(t, diags, "map iteration feeds ordered output (fmt.Printf)")
+}
+
+func TestFlagsMapRangeWriterMethod(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strings"
+func f(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+`)
+	wantDiags(t, diags, "map iteration feeds ordered output (.WriteString)")
+}
+
+func TestAllowsMapRangeAggregation(t *testing.T) {
+	diags := runCheck(t, `package p
+func f(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestAllowsSliceRangePrinting(t *testing.T) {
+	diags := runCheck(t, `package p
+import "fmt"
+func f(names []string) {
+	for _, n := range names {
+		fmt.Println(n)
+	}
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	diags := runCheck(t, `package p
+import "time"
+func f() time.Time { return time.Now() } //strandvet:ok metrics only
+`)
+	wantDiags(t, diags)
+}
+
+func TestSuppressionPrecedingLine(t *testing.T) {
+	diags := runCheck(t, `package p
+import "time"
+func f() time.Time {
+	//strandvet:ok metrics only
+	return time.Now()
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestDefaultDirsAreClean(t *testing.T) {
+	// The CI wiring runs strandvet from the repo root over these
+	// packages; the tree must stay clean (legitimate uses carry
+	// //strandvet:ok with a justification).
+	for _, dir := range defaultDirs {
+		diags, err := checkDir("../../" + dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(diags) > 0 {
+			t.Errorf("%s: unexpected diagnostics: %v", dir, diags)
+		}
+	}
+}

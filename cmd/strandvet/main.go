@@ -1,0 +1,91 @@
+// Command strandvet is the repo's determinism vet pass: it enforces
+// the docs/DETERMINISM.md rules that keep results byte-identical
+// across runs and worker counts, over the packages where those rules
+// are load-bearing (internal/sim, internal/harness, internal/sweep,
+// internal/litmus).
+//
+// Rules (non-test files only):
+//
+//   - no wall-clock reads: calls to time.Now are flagged — measured
+//     paths must derive time from simulated cycles;
+//   - no global RNG: calls to math/rand package-level functions
+//     (rand.Intn, rand.Float64, ...) are flagged — all randomness must
+//     flow from seeded, instance-local generators (constructors like
+//     rand.New and rand.NewSource are fine);
+//   - no map-order output: a `for range` over a map whose body prints
+//     or writes directly is flagged — iteration order would leak into
+//     output; iterate a sorted key slice instead.
+//
+// A finding is suppressed by a `//strandvet:ok` comment on the same
+// line or the line above — the escape hatch for the documented
+// exemptions (e.g. the sweep metrics side channel's wall times).
+//
+// Usage: strandvet [package-dir ...]; with no arguments it checks the
+// default package list relative to the current directory. Exits 1 when
+// any finding is reported, 2 on usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// defaultDirs is the package list the determinism rules cover.
+var defaultDirs = []string{
+	"internal/sim",
+	"internal/harness",
+	"internal/sweep",
+	"internal/litmus",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var all []string
+	for _, dir := range dirs {
+		ds, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "strandvet:", err)
+			os.Exit(2)
+		}
+		all = append(all, ds...)
+	}
+	sort.Strings(all)
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkDir checks every non-test Go file directly in dir.
+func checkDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := checkSource(path, src)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,138 @@
+package main
+
+// The lint command runs the static persist-order analyzer
+// (internal/persistcheck) over every standard litmus program and over
+// the undo/redo logging recipes of every hardware design, without
+// simulating anything. It prints one report per subject plus a
+// relaxation table comparing each design's undo recipe against the
+// Intel x86 baseline, and exits non-zero when any finding reaches the
+// -severity threshold.
+//
+// This command reaches under the facade: the analyzer's inputs (backend
+// ordering plans, the logging runtimes' emit-for-analysis streams) are
+// internal seams, not public simulation API.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"strandweaver/internal/backend"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/litmus"
+	"strandweaver/internal/persistcheck"
+	"strandweaver/internal/redolog"
+	"strandweaver/internal/undolog"
+)
+
+// lintPairs is the transaction size the recipe streams are rendered at:
+// enough pairs that cross-pair over-ordering is visible, small enough
+// to read.
+const lintPairs = 2
+
+// lintOutput is the -json document.
+type lintOutput struct {
+	Reports    []*persistcheck.Report    `json:"reports"`
+	Relaxation []persistcheck.Relaxation `json:"relaxation"`
+}
+
+// lintReports builds every report the lint command checks: the standard
+// litmus programs, then the undo- and redo-log recipe streams of every
+// design (in hwdesign.All order). NonAtomic's error findings are
+// downgraded to warnings — that design is documented as not
+// crash-consistent, so its vulnerabilities are expected, and the
+// analyzer finding them is the correct result rather than a regression.
+func lintReports() (*lintOutput, error) {
+	out := &lintOutput{}
+	progs := litmus.StandardPrograms()
+	for _, name := range litmus.StandardProgramNames() {
+		out.Reports = append(out.Reports, persistcheck.AnalyzeProgram("litmus/"+name, progs[name]))
+	}
+	undoReports := make(map[hwdesign.Design]*persistcheck.Report)
+	for _, d := range hwdesign.All {
+		plan, err := backend.PlanFor(d)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range []persistcheck.Stream{
+			undolog.AnalysisStream(d, plan, lintPairs),
+			redolog.AnalysisStream(d, plan, lintPairs),
+		} {
+			rep, err := persistcheck.AnalyzeStream(s)
+			if err != nil {
+				return nil, err
+			}
+			if !d.CrashConsistent() {
+				downgradeExpected(rep)
+			}
+			out.Reports = append(out.Reports, rep)
+			if i == 0 {
+				undoReports[d] = rep
+			}
+		}
+	}
+	base := undoReports[hwdesign.IntelX86]
+	for _, d := range hwdesign.All {
+		out.Relaxation = append(out.Relaxation, undoReports[d].RelaxationVs(base, d.String()))
+	}
+	return out, nil
+}
+
+// downgradeExpected caps a report's findings at warning severity and
+// marks them expected.
+func downgradeExpected(rep *persistcheck.Report) {
+	for i := range rep.Findings {
+		if rep.Findings[i].Severity == persistcheck.SevError {
+			rep.Findings[i].Severity = persistcheck.SevWarn
+			rep.Findings[i].Message += " (expected: design is not crash-consistent)"
+		}
+	}
+}
+
+// printRelaxation renders the undo-recipe relaxation table.
+func printRelaxation(w io.Writer, rs []persistcheck.Relaxation) {
+	fmt.Fprintln(w, "Undo-log recipe ordering relative to intel-x86 (static analysis)")
+	fmt.Fprintf(w, "  %-18s %9s %15s %10s %19s %13s\n",
+		"design", "barriers", "stall barriers", "must edges", "barriers eliminated", "edges removed")
+	for _, r := range rs {
+		fmt.Fprintf(w, "  %-18s %9d %15d %10d %19d %13d\n",
+			r.Design, r.Barriers, r.StallBarriers, r.MustEdges, r.BarriersEliminated, r.EdgesRemoved)
+	}
+}
+
+func runLint(o options) error {
+	threshold, err := persistcheck.ParseSeverity(o.lintSeverity)
+	if err != nil {
+		return err
+	}
+	out, err := lintReports()
+	if err != nil {
+		return err
+	}
+	if o.lintJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range out.Reports {
+			fmt.Print(rep)
+		}
+		fmt.Println()
+		printRelaxation(os.Stdout, out.Relaxation)
+	}
+	over := 0
+	for _, rep := range out.Reports {
+		for _, f := range rep.Findings {
+			if f.Severity >= threshold {
+				over++
+			}
+		}
+	}
+	if over > 0 {
+		return fmt.Errorf("lint: %d findings at or above severity %s", over, threshold)
+	}
+	return nil
+}

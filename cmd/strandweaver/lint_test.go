@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"strandweaver/internal/persistcheck"
+)
+
+func TestLintFlags(t *testing.T) {
+	o := parse(t, "lint", "-severity", "warn", "-json")
+	if o.lintSeverity != "warn" || !o.lintJSON {
+		t.Errorf("parsed severity=%q json=%v, want warn/true", o.lintSeverity, o.lintJSON)
+	}
+	if err := validate(o); err != nil {
+		t.Errorf("validate rejected lint -severity warn: %v", err)
+	}
+	if err := validate(parse(t, "lint", "-severity", "fatal")); err == nil {
+		t.Error("validate accepted -severity fatal")
+	}
+}
+
+// TestLintReportsGate pins the CI gate's semantics in-process: the
+// full lint corpus carries no error-severity findings (NonAtomic's
+// expected vulnerabilities are downgraded to warnings), and the
+// relaxation table shows strands relaxing the Intel baseline.
+func TestLintReportsGate(t *testing.T) {
+	out, err := lintReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 litmus programs + 6 designs x 2 recipes.
+	if want := 8 + 12; len(out.Reports) != want {
+		t.Errorf("got %d reports, want %d", len(out.Reports), want)
+	}
+	for _, rep := range out.Reports {
+		if rep.MaxSeverity() >= persistcheck.SevError {
+			t.Errorf("%s: error-severity findings survive the lint gate:\n%s", rep.Name, rep)
+		}
+	}
+	var sw, intel *persistcheck.Relaxation
+	for i := range out.Relaxation {
+		switch out.Relaxation[i].Design {
+		case "strandweaver":
+			sw = &out.Relaxation[i]
+		case "intel-x86":
+			intel = &out.Relaxation[i]
+		}
+	}
+	if sw == nil || intel == nil {
+		t.Fatalf("relaxation table missing designs: %+v", out.Relaxation)
+	}
+	if intel.BarriersEliminated != 0 || intel.EdgesRemoved != 0 {
+		t.Errorf("intel baseline relaxation nonzero: %+v", intel)
+	}
+	if sw.BarriersEliminated <= 0 || sw.EdgesRemoved <= 0 {
+		t.Errorf("strandweaver relaxation not positive: %+v", sw)
+	}
+}

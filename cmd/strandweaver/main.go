@@ -47,6 +47,8 @@ type options struct {
 	metricsOut   string
 	cpuProfile   string
 	memProfile   string
+	lintSeverity string
+	lintJSON     bool
 }
 
 // workers resolves the -parallel/-serial pair into a sweep worker
@@ -60,7 +62,7 @@ func (o options) workers() int {
 
 var commands = []string{
 	"table2", "fig7", "fig8", "fig9", "fig10", "experiments",
-	"litmus", "crash", "torture", "ablation", "all",
+	"litmus", "lint", "crash", "torture", "ablation", "all",
 }
 
 // parseArgs parses a command line (without the program name) into
@@ -94,6 +96,8 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write per-cell sweep metrics (JSON array) to this file")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+	fs.StringVar(&o.lintSeverity, "severity", "error", "minimum finding severity for a non-zero exit (lint): info, warn, error")
+	fs.BoolVar(&o.lintJSON, "json", false, "emit reports and relaxation metrics as JSON (lint)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return o, err
 	}
@@ -149,6 +153,11 @@ func validate(o options) error {
 	}
 	if o.serialCheck && o.cmd != "experiments" {
 		return fmt.Errorf("-serial-check only applies to the experiments command")
+	}
+	if o.cmd == "lint" {
+		if _, err := sw.ParseLintSeverity(o.lintSeverity); err != nil {
+			return err
+		}
 	}
 	valid := sw.BenchmarkNames()
 	for _, b := range o.benchmarks {
@@ -224,6 +233,8 @@ func main() {
 		err = runExperiments(opt, o.serialCheck)
 	case "litmus":
 		err = runLitmus()
+	case "lint":
+		err = runLint(o)
 	case "crash":
 		err = runCrash(opt, o.crashes)
 	case "torture":
@@ -341,6 +352,9 @@ experiments:
            the speedup grid once, rendered as Figure 7 + headline
            claims + Figure 8 (one grid run instead of two)
   litmus   Figure 2 litmus shapes: hardware vs formal model
+  lint     static persist-order analysis of the litmus programs and
+           every design's logging recipes (no simulation); exits
+           non-zero on findings at or above -severity
   crash    crash-injection + recovery + invariant verification sweep
   torture  fault-injection torture harness: torn persists, PM media
            faults, crash-during-recovery convergence
@@ -355,6 +369,7 @@ sweep flags: -parallel N (0 = GOMAXPROCS) -serial -metrics-out FILE
 profiling:   -cpuprofile FILE -memprofile FILE (pprof format; see
              README "Running sweeps and profiling")
 torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
+lint flags:    -severity LEVEL (info, warn, error) -json
 `)
 }
 

@@ -169,15 +169,23 @@ type Deps struct {
 
 type ctor func(Deps) Backend
 
-var registry = map[hwdesign.Design]ctor{}
+type registration struct {
+	mk   ctor
+	plan OrderingPlan
+}
 
-// register binds a design to its constructor; each design file calls it
-// from init.
-func register(d hwdesign.Design, mk ctor) {
+var registry = map[hwdesign.Design]registration{}
+
+// register binds a design to its constructor and its static ordering
+// plan; each design file calls it from init. The plan is registered
+// alongside the constructor so that recipe analysis (internal/
+// persistcheck and the lint CLI) can ask "what primitives would this
+// design's logging recipe issue?" without building a machine.
+func register(d hwdesign.Design, plan OrderingPlan, mk ctor) {
 	if _, dup := registry[d]; dup {
 		panic("backend: duplicate registration for design " + d.String())
 	}
-	registry[d] = mk
+	registry[d] = registration{mk: mk, plan: plan}
 }
 
 // Registered reports whether design d has a backend implementation.
@@ -188,11 +196,23 @@ func Registered(d hwdesign.Design) bool {
 
 // New builds the backend implementing design d.
 func New(d hwdesign.Design, deps Deps) (Backend, error) {
-	mk, ok := registry[d]
+	r, ok := registry[d]
 	if !ok {
 		return nil, fmt.Errorf("backend: no implementation registered for design %s", d)
 	}
-	return mk(deps), nil
+	return r.mk(deps), nil
+}
+
+// PlanFor returns design d's logging-order plan without constructing a
+// backend (and therefore without an engine, caches or memory). It is
+// the recipe-capture seam for static analysis: Backend.Plan on a live
+// backend returns the same value.
+func PlanFor(d hwdesign.Design) (OrderingPlan, error) {
+	r, ok := registry[d]
+	if !ok {
+		return OrderingPlan{}, fmt.Errorf("backend: no implementation registered for design %s", d)
+	}
+	return r.plan, nil
 }
 
 // unavailable is the shared Barrier tail for unsupported primitives.

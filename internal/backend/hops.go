@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register(hwdesign.HOPS, newHOPS)
+	register(hwdesign.HOPS, hopsPlan, newHOPS)
 }
 
 // hopsBackend implements the delegated-epoch persistency model: CLWBs
@@ -86,15 +86,17 @@ func (b *hopsBackend) Pump() { b.sbu.Kick() }
 
 func (b *hopsBackend) Drained() bool { return b.sbu.Drained() }
 
-func (b *hopsBackend) Plan() OrderingPlan {
-	return OrderingPlan{
-		BeginPair:   isa.OpNone,
-		LogToUpdate: isa.OpOFence,
-		CommitOrder: isa.OpOFence,
-		RegionEnd:   isa.OpDFence,
-		Durable:     isa.OpDFence,
-	}
+// hopsPlan delegates ordering to the persist buffer: ofence for cheap
+// epoch edges, dfence where durability must be handed off.
+var hopsPlan = OrderingPlan{
+	BeginPair:   isa.OpNone,
+	LogToUpdate: isa.OpOFence,
+	CommitOrder: isa.OpOFence,
+	RegionEnd:   isa.OpDFence,
+	Durable:     isa.OpDFence,
 }
+
+func (b *hopsBackend) Plan() OrderingPlan { return hopsPlan }
 
 func (b *hopsBackend) Stats() []Stat {
 	s := b.sbu.Stats()

@@ -8,15 +8,20 @@ import (
 	"strandweaver/internal/sim"
 )
 
+// intelPlan is Intel's logging-order mapping: SFENCE is the only
+// primitive, so every ordering requirement that needs anything at all
+// takes a full store-queue + flush drain.
+var intelPlan = OrderingPlan{
+	BeginPair:   isa.OpNone,
+	LogToUpdate: isa.OpSFence,
+	CommitOrder: isa.OpSFence,
+	RegionEnd:   isa.OpNone,
+	Durable:     isa.OpSFence,
+}
+
 func init() {
-	register(hwdesign.IntelX86, func(d Deps) Backend {
-		return newFlushBackend(hwdesign.IntelX86, d, OrderingPlan{
-			BeginPair:   isa.OpNone,
-			LogToUpdate: isa.OpSFence,
-			CommitOrder: isa.OpSFence,
-			RegionEnd:   isa.OpNone,
-			Durable:     isa.OpSFence,
-		})
+	register(hwdesign.IntelX86, intelPlan, func(d Deps) Backend {
+		return newFlushBackend(hwdesign.IntelX86, d, intelPlan)
 	})
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register(hwdesign.NoPersistQueue, newNoPQ)
+	register(hwdesign.NoPersistQueue, nopqPlan, newNoPQ)
 }
 
 // nopqBackend is StrandWeaver without the persist queue (the paper's
@@ -87,15 +87,17 @@ func (b *nopqBackend) Pump() { b.sbu.Kick() }
 
 func (b *nopqBackend) Drained() bool { return b.sbu.Drained() }
 
-func (b *nopqBackend) Plan() OrderingPlan {
-	return OrderingPlan{
-		BeginPair:   isa.OpNewStrand,
-		LogToUpdate: isa.OpPersistBarrier,
-		CommitOrder: isa.OpJoinStrand,
-		RegionEnd:   isa.OpNone,
-		Durable:     isa.OpJoinStrand,
-	}
+// nopqPlan is the strand plan (the ablation removes the persist queue,
+// not the primitives).
+var nopqPlan = OrderingPlan{
+	BeginPair:   isa.OpNewStrand,
+	LogToUpdate: isa.OpPersistBarrier,
+	CommitOrder: isa.OpJoinStrand,
+	RegionEnd:   isa.OpNone,
+	Durable:     isa.OpJoinStrand,
 }
+
+func (b *nopqBackend) Plan() OrderingPlan { return nopqPlan }
 
 func (b *nopqBackend) Stats() []Stat {
 	s := b.sbu.Stats()

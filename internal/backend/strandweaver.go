@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register(hwdesign.StrandWeaver, newStrandWeaver)
+	register(hwdesign.StrandWeaver, swPlan, newStrandWeaver)
 }
 
 // swBackend is the full StrandWeaver proposal: a persist queue beside
@@ -114,15 +114,17 @@ func (b *swBackend) Pump() {
 
 func (b *swBackend) Drained() bool { return b.pq.Empty() && b.sbu.Drained() }
 
-func (b *swBackend) Plan() OrderingPlan {
-	return OrderingPlan{
-		BeginPair:   isa.OpNewStrand,
-		LogToUpdate: isa.OpPersistBarrier,
-		CommitOrder: isa.OpJoinStrand,
-		RegionEnd:   isa.OpNone,
-		Durable:     isa.OpJoinStrand,
-	}
+// swPlan maps each logging requirement to the cheapest strand
+// primitive that discharges it (the paper's Figure 5 rightmost column).
+var swPlan = OrderingPlan{
+	BeginPair:   isa.OpNewStrand,
+	LogToUpdate: isa.OpPersistBarrier,
+	CommitOrder: isa.OpJoinStrand,
+	RegionEnd:   isa.OpNone,
+	Durable:     isa.OpJoinStrand,
 }
+
+func (b *swBackend) Plan() OrderingPlan { return swPlan }
 
 func (b *swBackend) Stats() []Stat {
 	qs := b.pq.Stats()

@@ -98,12 +98,7 @@ func currentGolden(t *testing.T) *goldenFile {
 	}
 
 	progs := litmus.StandardPrograms()
-	names := make([]string, 0, len(progs))
-	for n := range progs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range litmus.StandardProgramNames() {
 		r, err := litmus.Check(progs[n], goldenStride)
 		if err != nil {
 			t.Fatalf("litmus %s: %v", n, err)

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"strandweaver/internal/config"
 	"strandweaver/internal/cpu"
@@ -290,11 +289,7 @@ func Torture(o TortureOptions) (*TortureReport, error) {
 // count does not depend on outcomes).
 func litmusCells(o TortureOptions, plans []faultinject.Plan, rep *TortureReport) []tortureCell {
 	progs := litmus.StandardPrograms()
-	names := make([]string, 0, len(progs))
-	for n := range progs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := litmus.StandardProgramNames()
 	rep.LitmusPrograms = len(names)
 	var tcells []tortureCell
 	for _, name := range names {

@@ -85,3 +85,10 @@ func Parse(s string) (Design, error) {
 // breaks it; EADR keeps it for free because TSO visibility order is the
 // persist order.
 func (d Design) CrashConsistent() bool { return d != NonAtomic }
+
+// PersistAtVisibility reports whether a store persists the moment it
+// becomes visible (battery-backed caches inside the persistence
+// domain). On such a design the TSO visibility order IS the persist
+// order, so static analysis treats every same-thread store pair as
+// must-persist-ordered and no explicit flush is required.
+func (d Design) PersistAtVisibility() bool { return d == EADR }

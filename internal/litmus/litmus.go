@@ -8,6 +8,7 @@ package litmus
 
 import (
 	"fmt"
+	"sort"
 
 	"strandweaver/internal/config"
 	"strandweaver/internal/cpu"
@@ -52,6 +53,19 @@ func StandardPrograms() map[string]pmo.Program {
 			{pmo.NS(), pmo.St(locA, 1), pmo.PB(), pmo.St(locB, 1), pmo.NS(), pmo.St(locC, 1), pmo.JS()},
 		},
 	}
+}
+
+// StandardProgramNames returns the names of StandardPrograms in sorted
+// order — the canonical iteration order for deterministic reports
+// (docs/DETERMINISM.md forbids ranging the map directly into output).
+func StandardProgramNames() []string {
+	progs := StandardPrograms()
+	names := make([]string, 0, len(progs))
+	for n := range progs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // primErr records the first ordering-primitive failure across a run's

@@ -1,0 +1,121 @@
+package persistcheck_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"strandweaver/internal/litmus"
+	"strandweaver/internal/persistcheck"
+	"strandweaver/internal/pmo"
+)
+
+// The differential guarantee: the static relation is a *must*
+// relation. For every edge a -> b the analyzer claims, no crash cut
+// the formal model allows may contain b without a. The model side is
+// pmo.AllowedPersistSets — the exact enumeration of reachable crash
+// states over all interleavings — so a single counterexample set
+// falsifies the analyzer.
+
+// checkMustEdges cross-validates one program; it returns the number of
+// static edges checked.
+func checkMustEdges(t *testing.T, name string, p pmo.Program) int {
+	t.Helper()
+	edges := persistcheck.MustEdges(p)
+	sets := pmo.AllowedPersistSets(p)
+	if len(sets) == 0 {
+		t.Fatalf("%s: model allows no crash states", name)
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		for _, set := range sets {
+			if set[b] && !set[a] {
+				t.Errorf("%s: static edge %v -> %v violated: model allows crash set %v with %v but not %v",
+					name, a, b, set, b, a)
+			}
+		}
+	}
+	return len(edges)
+}
+
+func TestMustEdgesRespectedOnStandardPrograms(t *testing.T) {
+	progs := litmus.StandardPrograms()
+	total := 0
+	for _, name := range litmus.StandardProgramNames() {
+		total += checkMustEdges(t, name, progs[name])
+	}
+	if total == 0 {
+		t.Fatal("no static edges across all standard programs; the analyzer is vacuous")
+	}
+}
+
+// randomProgram draws a small strand-persistency program (the same
+// shape space as the litmus random cross-validation: 1-2 threads,
+// stores to up to 3 locations with unique values, loads, PB, NS, JS;
+// at most 10 ops so the model enumeration stays cheap).
+func randomProgram(r *rand.Rand) pmo.Program {
+	threads := 1 + r.Intn(2)
+	nextVal := uint64(1)
+	var p pmo.Program
+	total := 0
+	for t := 0; t < threads; t++ {
+		n := 3 + r.Intn(4)
+		if total+n > 10 {
+			n = 10 - total
+		}
+		total += n
+		var ops []pmo.Op
+		for i := 0; i < n; i++ {
+			switch r.Intn(10) {
+			case 0, 1, 2, 3:
+				ops = append(ops, pmo.St(r.Intn(3), nextVal))
+				nextVal++
+			case 4:
+				ops = append(ops, pmo.Ld(r.Intn(3)))
+			case 5, 6:
+				ops = append(ops, pmo.PB())
+			case 7, 8:
+				ops = append(ops, pmo.NS())
+			default:
+				ops = append(ops, pmo.JS())
+			}
+		}
+		p = append(p, ops)
+	}
+	return p
+}
+
+func TestMustEdgesRespectedOnRandomPrograms(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 25
+	}
+	r := rand.New(rand.NewSource(20200613))
+	totalEdges := 0
+	for i := 0; i < iters; i++ {
+		p := randomProgram(r)
+		totalEdges += checkMustEdges(t, "random", p)
+	}
+	if totalEdges == 0 {
+		t.Fatal("no static edges across all random programs; the property test is vacuous")
+	}
+}
+
+func TestAllowedPersistSetsContainsEmptyAndFull(t *testing.T) {
+	// Sanity on the model side of the differential: the empty cut
+	// (crash before anything persists) and the full cut (crash after
+	// everything) are always allowed.
+	p := pmo.Program{{pmo.St(0, 1), pmo.PB(), pmo.St(1, 1)}}
+	sets := pmo.AllowedPersistSets(p)
+	hasEmpty, hasFull := false, false
+	for _, s := range sets {
+		if len(s) == 0 {
+			hasEmpty = true
+		}
+		if len(s) == 2 {
+			hasFull = true
+		}
+	}
+	if !hasEmpty || !hasFull {
+		t.Errorf("sets = %v: empty=%v full=%v, want both", sets, hasEmpty, hasFull)
+	}
+}

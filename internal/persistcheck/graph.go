@@ -1,0 +1,503 @@
+package persistcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"strandweaver/internal/isa"
+	"strandweaver/internal/pmo"
+)
+
+// irKind is the analyzer's internal op classification. Barrier kinds
+// collapse to their Equation 1-2 edge semantics: irPB is a strand-
+// scoped barrier (PersistBarrier, OFENCE: orders across it unless a
+// NewStrand intervenes), irJS is a strand-insensitive one (JoinStrand,
+// SFENCE, DFENCE: orders across it unconditionally).
+type irKind uint8
+
+const (
+	irStore irKind = iota
+	irLoad
+	irPB
+	irNS
+	irJS
+)
+
+// irOp is one op of the analyzer's per-thread intermediate form.
+type irOp struct {
+	kind irKind
+	// src is the original mnemonic (OpPersistBarrier vs OpOFence, ...)
+	// for diagnostics and per-kind policies.
+	src isa.OpKind
+	// loc is the abstract location (stores and loads).
+	loc int
+	// label names the op for requirement matching and diagnostics.
+	label string
+	// flushed marks stores covered by a later flush of their line (or
+	// implicitly persistent ones).
+	flushed bool
+	// thread and pos locate the op in the source program/stream.
+	thread, pos int
+}
+
+// render prints the op in litmus notation for findings.
+func (o irOp) render() string {
+	switch o.kind {
+	case irStore, irLoad:
+		if o.label != "" {
+			return fmt.Sprintf("%s %q", o.src, o.label)
+		}
+		return fmt.Sprintf("%s loc%d", o.src, o.loc)
+	default:
+		return o.src.String()
+	}
+}
+
+// fromProgram lowers an abstract pmo program to IR: every store is an
+// implicitly flushed persist.
+func fromProgram(p pmo.Program) [][]irOp {
+	threads := make([][]irOp, len(p))
+	for t, ops := range p {
+		ir := make([]irOp, 0, len(ops))
+		for i, op := range ops {
+			o := irOp{thread: t, pos: i, label: op.Label, loc: op.Loc}
+			switch op.Kind {
+			case pmo.KStore:
+				o.kind, o.src, o.flushed = irStore, isa.OpStore, true
+			case pmo.KLoad:
+				o.kind, o.src = irLoad, isa.OpLoad
+			case pmo.KPB:
+				o.kind, o.src = irPB, isa.OpPersistBarrier
+			case pmo.KNS:
+				o.kind, o.src = irNS, isa.OpNewStrand
+			case pmo.KJS:
+				o.kind, o.src = irJS, isa.OpJoinStrand
+			default:
+				continue
+			}
+			ir = append(ir, o)
+		}
+		threads[t] = ir
+	}
+	return threads
+}
+
+// opPos identifies one IR op by thread and position in the thread's IR
+// sequence (not the source stream).
+type opPos struct{ t, i int }
+
+// graph is the static must-persist-before DAG over the memory nodes.
+type graph struct {
+	threads [][]irOp
+	// nodes flattens the memory ops (stores and loads) of all threads.
+	nodes []irOp
+	// nodeAt maps an IR position to its node index (-1 for barriers).
+	nodeAt map[opPos]int
+	// closure[i][j] reports a must-persist-before path node i -> j.
+	closure [][]bool
+}
+
+// buildGraph constructs the per-thread prescribed persist-order DAG
+// (the static projection of Equations 1-4: only edges that hold in
+// every interleaving) and its transitive closure. When skip is
+// non-nil, the barrier at that IR position is ignored — the delta
+// against the full graph is a barrier's edge contribution.
+func buildGraph(threads [][]irOp, visOrdered bool, skip *opPos) *graph {
+	g := &graph{threads: threads, nodeAt: make(map[opPos]int)}
+	for t, ops := range threads {
+		for i, op := range ops {
+			if op.kind == irStore || op.kind == irLoad {
+				g.nodeAt[opPos{t, i}] = len(g.nodes)
+				g.nodes = append(g.nodes, op)
+			}
+		}
+	}
+	n := len(g.nodes)
+	g.closure = make([][]bool, n)
+	for i := range g.closure {
+		g.closure[i] = make([]bool, n)
+	}
+	// Equations 1-2, restricted to edges independent of the
+	// interleaving: same-thread pairs separated by barriers. A strand-
+	// insensitive barrier (irJS) orders unconditionally; a strand-
+	// scoped one (irPB) orders unless a NewStrand shares the interval.
+	// Equation 3's static projection: same-thread same-location store
+	// pairs (TSO visibility follows program order). Cross-thread
+	// Equation 3 edges depend on the interleaving and are never "must".
+	for t, ops := range threads {
+		for i := 0; i < len(ops); i++ {
+			a := ops[i]
+			if a.kind != irStore && a.kind != irLoad {
+				continue
+			}
+			for j := i + 1; j < len(ops); j++ {
+				b := ops[j]
+				if b.kind != irStore && b.kind != irLoad {
+					continue
+				}
+				hasPB, hasNS, hasJS := false, false, false
+				for k := i + 1; k < j; k++ {
+					if skip != nil && skip.t == t && skip.i == k {
+						continue
+					}
+					switch ops[k].kind {
+					case irPB:
+						hasPB = true
+					case irNS:
+						hasNS = true
+					case irJS:
+						hasJS = true
+					}
+				}
+				ordered := hasJS || (hasPB && !hasNS)
+				if a.kind == irStore && b.kind == irStore {
+					if a.loc == b.loc {
+						ordered = true
+					}
+					if visOrdered {
+						ordered = true
+					}
+				}
+				if ordered {
+					g.closure[g.nodeAt[opPos{t, i}]][g.nodeAt[opPos{t, j}]] = true
+				}
+			}
+		}
+	}
+	// Equation 4: transitivity (loads relay ordering even though they
+	// never persist).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !g.closure[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if g.closure[k][j] {
+					g.closure[i][j] = true
+				}
+			}
+		}
+	}
+	return g
+}
+
+// storePairs counts store->store ordered pairs in a closure.
+func (g *graph) storePairs() int {
+	count := 0
+	for i, u := range g.nodes {
+		if u.kind != irStore {
+			continue
+		}
+		for j, v := range g.nodes {
+			if v.kind == irStore && g.closure[i][j] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// analyze runs the four finding passes over the IR.
+func analyze(name string, threads [][]irOp, requires []Requirement, visOrdered bool) (*Report, error) {
+	g := buildGraph(threads, visOrdered, nil)
+	rep := &Report{Name: name, Threads: len(threads)}
+	for _, ops := range threads {
+		for _, op := range ops {
+			switch op.kind {
+			case irStore:
+				rep.Stores++
+			case irLoad:
+				rep.Loads++
+			default:
+				rep.Barriers++
+				if stalling(op.src) {
+					rep.StallBarriers++
+				}
+			}
+		}
+	}
+	rep.MustEdges = g.storePairs()
+
+	// Resolve requirement labels to node indexes up front.
+	labelNode := make(map[string]int)
+	dupLabel := make(map[string]bool)
+	for idx, nd := range g.nodes {
+		if nd.kind != irStore || nd.label == "" {
+			continue
+		}
+		if _, seen := labelNode[nd.label]; seen {
+			dupLabel[nd.label] = true
+			continue
+		}
+		labelNode[nd.label] = idx
+	}
+	required := make([][]bool, len(g.nodes))
+	for i := range required {
+		required[i] = make([]bool, len(g.nodes))
+	}
+	type reqEdge struct {
+		before, after int
+		req           Requirement
+	}
+	var reqEdges []reqEdge
+	for _, r := range requires {
+		bi, bok := labelNode[r.Before]
+		ai, aok := labelNode[r.After]
+		if !bok || !aok {
+			return nil, fmt.Errorf("requirement %q -> %q references an unknown store label", r.Before, r.After)
+		}
+		if dupLabel[r.Before] || dupLabel[r.After] {
+			return nil, fmt.Errorf("requirement %q -> %q references an ambiguous (duplicated) store label", r.Before, r.After)
+		}
+		reqEdges = append(reqEdges, reqEdge{before: bi, after: ai, req: r})
+		required[bi][ai] = true
+	}
+	// The requirements compose transitively: log -> update and
+	// update -> marker imply log -> marker is also load-bearing.
+	for k := range required {
+		for i := range required {
+			if !required[i][k] {
+				continue
+			}
+			for j := range required {
+				if required[k][j] {
+					required[i][j] = true
+				}
+			}
+		}
+	}
+	rep.RequiredEdges = 0
+	for i := range required {
+		for j := range required[i] {
+			if required[i][j] {
+				rep.RequiredEdges++
+			}
+		}
+	}
+
+	var findings []Finding
+
+	// Class 1: unpersisted stores.
+	for _, nd := range g.nodes {
+		if nd.kind == irStore && !nd.flushed {
+			findings = append(findings, Finding{
+				Class:    ClassUnpersistedStore,
+				Severity: SevError,
+				Thread:   nd.thread,
+				Index:    nd.pos,
+				Op:       nd.render(),
+				Message:  "store is never flushed: no CLWB covers its cache line before the end of the thread, so a crash at any point may lose it",
+			})
+		}
+	}
+
+	// Class 2: missing ordering.
+	for _, e := range reqEdges {
+		before, after := g.nodes[e.before], g.nodes[e.after]
+		reason := ""
+		if e.req.Reason != "" {
+			reason = " (" + e.req.Reason + ")"
+		}
+		switch {
+		case !before.flushed:
+			findings = append(findings, Finding{
+				Class:    ClassMissingOrdering,
+				Severity: SevError,
+				Thread:   after.thread,
+				Index:    after.pos,
+				Op:       after.render(),
+				Message: fmt.Sprintf("required predecessor %q is never flushed: a crash can persist %q without it%s",
+					e.req.Before, e.req.After, reason),
+			})
+		case !g.closure[e.before][e.after]:
+			findings = append(findings, Finding{
+				Class:    ClassMissingOrdering,
+				Severity: SevError,
+				Thread:   after.thread,
+				Index:    after.pos,
+				Op:       after.render(),
+				Message: fmt.Sprintf("no persist-order path from %q: a crash can persist %q without %q%s",
+					e.req.Before, e.req.After, e.req.Before, reason),
+			})
+		}
+	}
+
+	// Classes 3 and 4: walk the barriers.
+	findings = append(findings, barrierFindings(g, threads, visOrdered, required, len(requires) > 0)...)
+
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Class < b.Class
+	})
+	rep.Findings = findings
+	return rep, nil
+}
+
+// barrierFindings produces the redundant-barrier and strand-misuse
+// findings.
+func barrierFindings(g *graph, threads [][]irOp, visOrdered bool, required [][]bool, haveReqs bool) []Finding {
+	var findings []Finding
+	for t, ops := range threads {
+		seenNS := false
+		// strandStart is the IR index right after the latest strand
+		// boundary (NewStrand or JoinStrand; a join resets strand
+		// state).
+		strandStart := 0
+		for i, op := range ops {
+			switch op.kind {
+			case irStore, irLoad:
+				continue
+			case irNS:
+				seenNS = true
+				// Degenerate NS;JS pair: a strand opened and joined
+				// with nothing on it.
+				if j, next := nextMeaningful(ops, i); next != nil && next.kind == irJS {
+					findings = append(findings, Finding{
+						Class:    ClassStrandMisuse,
+						Severity: SevWarn,
+						Thread:   t,
+						Index:    ops[j].pos,
+						Op:       ops[j].render(),
+						Message:  "degenerate NewStrand;JoinStrand pair: the strand carries no persists",
+					})
+				}
+				strandStart = i + 1
+				continue
+			case irJS:
+				strandStart = i + 1
+				if op.src == isa.OpJoinStrand {
+					// JoinStrand is the strand model's durability point;
+					// its redundancy story is the strand-misuse class,
+					// not edge counting.
+					if !seenNS {
+						findings = append(findings, Finding{
+							Class:    ClassStrandMisuse,
+							Severity: SevWarn,
+							Thread:   t,
+							Index:    op.pos,
+							Op:       op.render(),
+							Message:  "JoinStrand with no preceding NewStrand: there are no prior strands to merge",
+						})
+					}
+					continue
+				}
+				// SFENCE/DFENCE fall through to edge measurement.
+			case irPB:
+				// Barrier on an empty strand: nothing before it since
+				// the strand opened, so it orders nothing on this
+				// strand.
+				empty := true
+				for k := strandStart; k < i; k++ {
+					if ops[k].kind == irStore || ops[k].kind == irLoad {
+						empty = false
+						break
+					}
+				}
+				if empty {
+					findings = append(findings, Finding{
+						Class:    ClassStrandMisuse,
+						Severity: SevWarn,
+						Thread:   t,
+						Index:    op.pos,
+						Op:       op.render(),
+						Message:  "barrier at the start of an empty strand orders nothing",
+					})
+					continue
+				}
+			}
+			// Remaining cases: a strand-scoped barrier mid-strand, or a
+			// strand-insensitive fence (SFENCE/DFENCE; JoinStrand was
+			// handled above). Measure its edge contribution.
+			if stalling(op.src) && !storesAfter(ops, i) {
+				// A draining fence with no later persists is a pure
+				// durability point (make everything durable before
+				// proceeding/returning), not a redundant barrier.
+				continue
+			}
+			contributed, excess := contribution(g, threads, visOrdered, opPos{t, i}, required)
+			if contributed == 0 {
+				findings = append(findings, Finding{
+					Class:    ClassRedundantBarrier,
+					Severity: SevWarn,
+					Thread:   t,
+					Index:    op.pos,
+					Op:       op.render(),
+					Message:  "redundant barrier: contributes no must-persist-before edges; removing it leaves the persist order unchanged",
+					Suggestion: "delete the barrier, or restructure the surrounding strand " +
+						"(a barrier cleared by NewStrand or shadowed by a later join orders nothing)",
+				})
+				continue
+			}
+			if haveReqs && excess > 0 && (op.src == isa.OpSFence || op.src == isa.OpOFence) {
+				findings = append(findings, Finding{
+					Class:       ClassRedundantBarrier,
+					Severity:    SevInfo,
+					Thread:      t,
+					Index:       op.pos,
+					Op:          op.render(),
+					Contributed: contributed,
+					Required:    contributed - excess,
+					Excess:      excess,
+					Message: fmt.Sprintf("over-ordering barrier: enforces %d must-persist-before pairs but the recipe requires only %d",
+						contributed, contributed-excess),
+					Suggestion: "a NewStrand per independent log/update pair plus JoinStrand at the commit point " +
+						fmt.Sprintf("would relax %d of these pairs (strand persistency, paper Figure 5)", excess),
+				})
+			}
+		}
+	}
+	return findings
+}
+
+// storesAfter reports whether any store follows IR index i in the
+// thread.
+func storesAfter(ops []irOp, i int) bool {
+	for j := i + 1; j < len(ops); j++ {
+		if ops[j].kind == irStore {
+			return true
+		}
+	}
+	return false
+}
+
+// nextMeaningful returns the next non-load op after index i (loads on
+// an otherwise empty strand do not make it meaningful for persists).
+func nextMeaningful(ops []irOp, i int) (int, *irOp) {
+	for j := i + 1; j < len(ops); j++ {
+		if ops[j].kind == irLoad {
+			continue
+		}
+		return j, &ops[j]
+	}
+	return -1, nil
+}
+
+// contribution measures a barrier's edge contribution: the store pairs
+// present in the full closure but absent when the barrier is skipped,
+// and how many of those no declared requirement needs.
+func contribution(g *graph, threads [][]irOp, visOrdered bool, at opPos, required [][]bool) (contributed, excess int) {
+	without := buildGraph(threads, visOrdered, &at)
+	for i, u := range g.nodes {
+		if u.kind != irStore {
+			continue
+		}
+		for j, v := range g.nodes {
+			if v.kind != irStore {
+				continue
+			}
+			if g.closure[i][j] && !without.closure[i][j] {
+				contributed++
+				if !required[i][j] {
+					excess++
+				}
+			}
+		}
+	}
+	return contributed, excess
+}

@@ -1,0 +1,299 @@
+package persistcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/persistcheck"
+	"strandweaver/internal/pmo"
+)
+
+// line returns the address of PM cache line n (test shorthand).
+func line(n int) uint64 { return uint64(mem.PMBase + mem.Addr(n)*mem.LineSize) }
+
+func st(l int, label string) isa.Op {
+	return isa.Op{Kind: isa.OpStore, Addr: line(l), Size: 8, Label: label}
+}
+func clwb(l int) isa.Op { return isa.Op{Kind: isa.OpCLWB, Addr: line(l)} }
+func sfence() isa.Op    { return isa.Op{Kind: isa.OpSFence} }
+func analyzeT(t *testing.T, s persistcheck.Stream) *persistcheck.Report {
+	t.Helper()
+	rep, err := persistcheck.AnalyzeStream(s)
+	if err != nil {
+		t.Fatalf("AnalyzeStream(%s): %v", s.Name, err)
+	}
+	return rep
+}
+
+// classesOf projects findings to (class, severity) pairs for compact
+// assertions.
+func classesOf(rep *persistcheck.Report) [][2]string {
+	var out [][2]string
+	for _, f := range rep.Findings {
+		out = append(out, [2]string{f.Class.String(), f.Severity.String()})
+	}
+	return out
+}
+
+func wantClasses(t *testing.T, rep *persistcheck.Report, want ...[2]string) {
+	t.Helper()
+	got := classesOf(rep)
+	if len(got) != len(want) {
+		t.Fatalf("got findings %v, want %v\nreport:\n%s", got, want, rep)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %v, want %v\nreport:\n%s", i, got[i], want[i], rep)
+		}
+	}
+}
+
+func TestUnpersistedStore(t *testing.T) {
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "unflushed",
+		Ops:  []isa.Op{st(0, "a"), clwb(0), st(1, "b")}, // b has no flush
+	})
+	wantClasses(t, rep, [2]string{"unpersisted-store", "error"})
+	if f := rep.Findings[0]; f.Op != `ST "b"` || f.Thread != 0 {
+		t.Errorf("finding anchored at %q t%d, want ST \"b\" t0", f.Op, f.Thread)
+	}
+	if rep.MaxSeverity() != persistcheck.SevError {
+		t.Errorf("MaxSeverity = %v, want error", rep.MaxSeverity())
+	}
+}
+
+func TestMissingOrderingNoPath(t *testing.T) {
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "race",
+		Ops:  []isa.Op{st(0, "log"), clwb(0), st(1, "data"), clwb(1)},
+		Requires: []persistcheck.Requirement{
+			{Before: "log", After: "data", Reason: "no rollback without the log"},
+		},
+	})
+	wantClasses(t, rep, [2]string{"missing-ordering", "error"})
+	if msg := rep.Findings[0].Message; !strings.Contains(msg, `no persist-order path from "log"`) ||
+		!strings.Contains(msg, "no rollback without the log") {
+		t.Errorf("message = %q", msg)
+	}
+}
+
+func TestMissingOrderingUnflushedPredecessor(t *testing.T) {
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "unflushed-pred",
+		Ops:  []isa.Op{st(0, "log"), sfence(), st(1, "data"), clwb(1)},
+		Requires: []persistcheck.Requirement{
+			{Before: "log", After: "data"},
+		},
+	})
+	wantClasses(t, rep,
+		[2]string{"unpersisted-store", "error"},
+		[2]string{"missing-ordering", "error"})
+	if msg := rep.Findings[1].Message; !strings.Contains(msg, `required predecessor "log" is never flushed`) {
+		t.Errorf("message = %q", msg)
+	}
+}
+
+func TestOrderingSatisfiedBySfence(t *testing.T) {
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "ordered",
+		Ops:  []isa.Op{st(0, "log"), clwb(0), sfence(), st(1, "data"), clwb(1)},
+		Requires: []persistcheck.Requirement{
+			{Before: "log", After: "data"},
+		},
+	})
+	wantClasses(t, rep)
+	if rep.MustEdges != 1 || rep.RequiredEdges != 1 {
+		t.Errorf("MustEdges=%d RequiredEdges=%d, want 1 and 1", rep.MustEdges, rep.RequiredEdges)
+	}
+}
+
+func TestOrderingSatisfiedBySameLocation(t *testing.T) {
+	// Equation 3's static projection: same-thread stores to one line
+	// are ordered with no barrier at all.
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "same-loc",
+		Ops:  []isa.Op{st(0, "v1"), clwb(0), st(0, "v2"), clwb(0)},
+		Requires: []persistcheck.Requirement{
+			{Before: "v1", After: "v2"},
+		},
+	})
+	wantClasses(t, rep)
+}
+
+func TestRedundantBarrierZeroEdges(t *testing.T) {
+	// The ns-clears-pb shape: a PB immediately cleared by NewStrand
+	// orders nothing (the paper's Figure 2g/h point).
+	rep := persistcheck.AnalyzeProgram("ns-clears-pb", pmo.Program{{
+		pmo.St(0, 1), pmo.PB(), pmo.NS(), pmo.St(1, 1), pmo.JS(), pmo.St(2, 1),
+	}})
+	wantClasses(t, rep, [2]string{"redundant-barrier", "warn"})
+	if f := rep.Findings[0]; f.Op != "PB" || !strings.Contains(f.Message, "contributes no must-persist-before edges") {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestOverOrderingAdvisory(t *testing.T) {
+	// Two independent (log, data) pairs under one SFENCE each: the
+	// first fence also orders pair 0 against pair 1's log, which no
+	// requirement needs — the strand-relaxation opportunity.
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "over-ordered",
+		Ops: []isa.Op{
+			st(0, "log0"), clwb(0), sfence(), st(1, "data0"), clwb(1),
+			st(2, "log1"), clwb(2), sfence(), st(3, "data1"), clwb(3),
+		},
+		Requires: []persistcheck.Requirement{
+			{Before: "log0", After: "data0"},
+			{Before: "log1", After: "data1"},
+		},
+	})
+	wantClasses(t, rep,
+		[2]string{"redundant-barrier", "info"},
+		[2]string{"redundant-barrier", "info"})
+	f := rep.Findings[0]
+	if f.Contributed != 2 || f.Required != 1 || f.Excess != 1 {
+		t.Errorf("edge counts = %d/%d/%d, want 2/1/1", f.Contributed, f.Required, f.Excess)
+	}
+	if !strings.Contains(f.Suggestion, "NewStrand") || !strings.Contains(f.Suggestion, "JoinStrand") {
+		t.Errorf("suggestion = %q", f.Suggestion)
+	}
+}
+
+func TestStrandMisuseJoinWithoutNew(t *testing.T) {
+	rep := persistcheck.AnalyzeProgram("js-no-ns", pmo.Program{{
+		pmo.St(0, 1), pmo.JS(), pmo.St(1, 1),
+	}})
+	wantClasses(t, rep, [2]string{"strand-misuse", "warn"})
+	if !strings.Contains(rep.Findings[0].Message, "no preceding NewStrand") {
+		t.Errorf("message = %q", rep.Findings[0].Message)
+	}
+}
+
+func TestStrandMisuseBarrierOnEmptyStrand(t *testing.T) {
+	rep := persistcheck.AnalyzeProgram("pb-empty-strand", pmo.Program{{
+		pmo.St(0, 1), pmo.NS(), pmo.PB(), pmo.St(1, 1), pmo.JS(),
+	}})
+	wantClasses(t, rep, [2]string{"strand-misuse", "warn"})
+	if !strings.Contains(rep.Findings[0].Message, "empty strand") {
+		t.Errorf("message = %q", rep.Findings[0].Message)
+	}
+}
+
+func TestStrandMisuseDegeneratePair(t *testing.T) {
+	rep := persistcheck.AnalyzeProgram("ns-js", pmo.Program{{
+		pmo.St(0, 1), pmo.NS(), pmo.JS(), pmo.St(1, 1),
+	}})
+	wantClasses(t, rep, [2]string{"strand-misuse", "warn"})
+	if !strings.Contains(rep.Findings[0].Message, "degenerate NewStrand;JoinStrand") {
+		t.Errorf("message = %q", rep.Findings[0].Message)
+	}
+}
+
+func TestDurabilityPointNotFlaggedRedundant(t *testing.T) {
+	// A trailing SFENCE is a durability point (drain before return),
+	// not a redundant barrier, even though it orders no store pair.
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "durability-point",
+		Ops:  []isa.Op{st(0, "a"), clwb(0), sfence()},
+	})
+	wantClasses(t, rep)
+}
+
+func TestPersistAtVisibility(t *testing.T) {
+	// eADR semantics: no flushes, no barriers, yet every store persists
+	// and same-thread pairs are ordered.
+	rep := analyzeT(t, persistcheck.Stream{
+		Name:                "eadr",
+		Ops:                 []isa.Op{st(0, "a"), st(1, "b")},
+		Requires:            []persistcheck.Requirement{{Before: "a", After: "b"}},
+		PersistAtVisibility: true,
+	})
+	wantClasses(t, rep)
+	if rep.MustEdges != 1 {
+		t.Errorf("MustEdges = %d, want 1", rep.MustEdges)
+	}
+}
+
+func TestNonPMOpsIgnored(t *testing.T) {
+	dram := isa.Op{Kind: isa.OpStore, Addr: uint64(mem.DRAMBase + 0x40), Size: 8}
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "dram",
+		Ops:  []isa.Op{dram, st(0, "a"), clwb(0), dram},
+	})
+	if rep.Stores != 1 {
+		t.Errorf("Stores = %d, want 1 (DRAM stores dropped)", rep.Stores)
+	}
+	wantClasses(t, rep)
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := persistcheck.AnalyzeStream(persistcheck.Stream{
+		Name:     "unknown-label",
+		Ops:      []isa.Op{st(0, "a"), clwb(0)},
+		Requires: []persistcheck.Requirement{{Before: "a", After: "nope"}},
+	}); err == nil || !strings.Contains(err.Error(), "unknown store label") {
+		t.Errorf("unknown label: err = %v", err)
+	}
+	if _, err := persistcheck.AnalyzeStream(persistcheck.Stream{
+		Name:     "dup-label",
+		Ops:      []isa.Op{st(0, "a"), clwb(0), st(1, "a"), clwb(1), st(2, "b"), clwb(2)},
+		Requires: []persistcheck.Requirement{{Before: "a", After: "b"}},
+	}); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("dup label: err = %v", err)
+	}
+}
+
+func TestParseSeverity(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want persistcheck.Severity
+	}{{"info", persistcheck.SevInfo}, {"warn", persistcheck.SevWarn}, {"error", persistcheck.SevError}} {
+		got, err := persistcheck.ParseSeverity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := persistcheck.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) succeeded, want error")
+	}
+}
+
+func TestGoldenReportString(t *testing.T) {
+	rep := analyzeT(t, persistcheck.Stream{
+		Name: "golden",
+		Ops:  []isa.Op{st(0, "log"), clwb(0), st(1, "data"), clwb(1)},
+		Requires: []persistcheck.Requirement{
+			{Before: "log", After: "data", Reason: "update needs its log"},
+		},
+	})
+	want := `persistcheck: golden: 1 finding (1 error, 0 warnings, 0 info)
+  [error] t0#2 ST "data": missing-ordering: no persist-order path from "log": a crash can persist "data" without "log" (update needs its log)
+  summary: 1 threads, 2 stores, 0 barriers (0 stalling), 0 must-persist-before edges (1 required)
+`
+	if got := rep.String(); got != want {
+		t.Errorf("report mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGoldenCleanReportString(t *testing.T) {
+	rep := persistcheck.AnalyzeProgram("clean", pmo.Program{{
+		pmo.St(0, 1), pmo.PB(), pmo.St(1, 1),
+	}})
+	want := `persistcheck: clean: 0 findings (0 errors, 0 warnings, 0 info)
+  summary: 1 threads, 2 stores, 1 barrier (0 stalling), 1 must-persist-before edges (0 required)
+`
+	if got := rep.String(); got != want {
+		t.Errorf("report mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRelaxationVs(t *testing.T) {
+	base := &persistcheck.Report{StallBarriers: 4, MustEdges: 24, Barriers: 4}
+	r := &persistcheck.Report{StallBarriers: 1, MustEdges: 21, Barriers: 7}
+	rx := r.RelaxationVs(base, "strandweaver")
+	if rx.BarriersEliminated != 3 || rx.EdgesRemoved != 3 || rx.Design != "strandweaver" {
+		t.Errorf("relaxation = %+v", rx)
+	}
+}

@@ -1,0 +1,42 @@
+package persistcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the report in the lint CLI's fixed text format. The
+// format is golden-tested; keep it deterministic (findings are already
+// sorted by thread, index, class).
+func (r *Report) String() string {
+	errs, warns, infos := r.Counts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "persistcheck: %s: %s (%d error%s, %d warning%s, %d info)\n",
+		r.Name, countNoun(len(r.Findings), "finding"),
+		errs, plural(errs), warns, plural(warns), infos)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  [%s] t%d#%d %s: %s: %s\n", f.Severity, f.Thread, f.Index, f.Op, f.Class, f.Message)
+		if f.Excess > 0 {
+			fmt.Fprintf(&b, "          edges: %d contributed, %d required, %d relaxable\n",
+				f.Contributed, f.Required, f.Excess)
+		}
+		if f.Suggestion != "" {
+			fmt.Fprintf(&b, "          suggestion: %s\n", f.Suggestion)
+		}
+	}
+	fmt.Fprintf(&b, "  summary: %d threads, %s, %s (%d stalling), %d must-persist-before edges (%d required)\n",
+		r.Threads, countNoun(r.Stores, "store"), countNoun(r.Barriers, "barrier"),
+		r.StallBarriers, r.MustEdges, r.RequiredEdges)
+	return b.String()
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+func countNoun(n int, noun string) string {
+	return fmt.Sprintf("%d %s%s", n, noun, plural(n))
+}

@@ -99,11 +99,97 @@ type event struct {
 	vmoIdx int
 }
 
+// StoreID names one store instance of a Program by its thread and its
+// index in that thread's op sequence. It is the currency of the model's
+// introspection API (AllowedPersistSets) and of the static analyzer's
+// must-persist-before edges (internal/persistcheck).
+type StoreID struct {
+	Thread int
+	Index  int
+}
+
+func (id StoreID) String() string { return fmt.Sprintf("t%d#%d", id.Thread, id.Index) }
+
+// PersistSet is one model-allowed crash cut: the set of stores whose
+// persists landed before the crash.
+type PersistSet map[StoreID]bool
+
+// Key renders a canonical string for set membership and diagnostics.
+func (s PersistSet) Key() string {
+	ids := make([]StoreID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Thread != ids[j].Thread {
+			return ids[i].Thread < ids[j].Thread
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(id.String())
+	}
+	return b.String()
+}
+
 // AllowedStates returns every crash state reachable under some
 // interleaving and some PMO-downward-closed persist set. Programs must
 // stay small (the enumeration is exponential); litmus tests use at most
 // ~12 operations.
 func AllowedStates(p Program) map[string]State {
+	out := make(map[string]State)
+	forEachInterleaving(p, func(inter []event) {
+		for key, st := range statesOfInterleaving(p, inter) {
+			out[key] = st
+		}
+	})
+	return out
+}
+
+// AllowedPersistSets enumerates every crash cut the model allows: for
+// each interleaving, every PMO-downward-closed subset of the program's
+// persists, identified by StoreID. The result is deduplicated across
+// interleavings and sorted by canonical key, so it is deterministic.
+// This is the model-side half of the static/dynamic differential check:
+// a static must-persist-before edge a->b is sound iff no allowed set
+// contains b without a.
+func AllowedPersistSets(p Program) []PersistSet {
+	seen := make(map[string]PersistSet)
+	forEachInterleaving(p, func(inter []event) {
+		nodes, ord := orderOfInterleaving(p, inter)
+		forEachDownwardClosedCut(nodes, ord, func(nodes []event, persists []int, mask int) {
+			set := make(PersistSet)
+			for bi, i := range persists {
+				if mask&(1<<bi) != 0 {
+					e := nodes[i]
+					set[StoreID{Thread: e.thread, Index: e.progIdx}] = true
+				}
+			}
+			key := set.Key()
+			if _, dup := seen[key]; !dup {
+				seen[key] = set
+			}
+		})
+	})
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]PersistSet, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// forEachInterleaving visits every total visibility order (interleaving
+// preserving each thread's program order) of the program.
+func forEachInterleaving(p Program, visit func(inter []event)) {
 	total := 0
 	for _, t := range p {
 		total += len(t)
@@ -111,7 +197,6 @@ func AllowedStates(p Program) map[string]State {
 	if total > 16 {
 		panic(fmt.Sprintf("pmo: program too large for exhaustive checking (%d ops)", total))
 	}
-	out := make(map[string]State)
 	idx := make([]int, len(p))
 	var inter []event
 	var rec func()
@@ -129,18 +214,16 @@ func AllowedStates(p Program) map[string]State {
 			}
 		}
 		if done {
-			for key, st := range statesOfInterleaving(p, inter) {
-				out[key] = st
-			}
+			visit(inter)
 		}
 	}
 	rec()
-	return out
 }
 
-// statesOfInterleaving computes the allowed crash states for one total
+// orderOfInterleaving builds the PMO nodes (memory events) and the
+// prescribed persist-order matrix of Equations 1-4 for one total
 // visibility order.
-func statesOfInterleaving(p Program, inter []event) map[string]State {
+func orderOfInterleaving(p Program, inter []event) ([]event, [][]bool) {
 	// Collect memory events (PMO nodes).
 	var nodes []event
 	for _, e := range inter {
@@ -202,17 +285,20 @@ func statesOfInterleaving(p Program, inter []event) map[string]State {
 			}
 		}
 	}
-	// Persist indices.
+	return nodes, ord
+}
+
+// forEachDownwardClosedCut enumerates the valid crash cuts of one
+// interleaving: subset S (a bitmask over the persist indices) is valid
+// iff for every included persist, every PMO-smaller persist is
+// included.
+func forEachDownwardClosedCut(nodes []event, ord [][]bool, visit func(nodes []event, persists []int, mask int)) {
 	var persists []int
 	for i, e := range nodes {
 		if e.op.Kind == KStore {
 			persists = append(persists, i)
 		}
 	}
-	out := make(map[string]State)
-	// Enumerate downward-closed persist subsets: subset S is a valid
-	// crash cut iff for every included persist, every PMO-smaller persist
-	// is included.
 	for mask := 0; mask < 1<<len(persists); mask++ {
 		ok := true
 		for bi, i := range persists {
@@ -229,9 +315,18 @@ func statesOfInterleaving(p Program, inter []event) map[string]State {
 				break
 			}
 		}
-		if !ok {
-			continue
+		if ok {
+			visit(nodes, persists, mask)
 		}
+	}
+}
+
+// statesOfInterleaving computes the allowed crash states for one total
+// visibility order.
+func statesOfInterleaving(p Program, inter []event) map[string]State {
+	nodes, ord := orderOfInterleaving(p, inter)
+	out := make(map[string]State)
+	forEachDownwardClosedCut(nodes, ord, func(nodes []event, persists []int, mask int) {
 		st := make(State)
 		for bi, i := range persists {
 			if mask&(1<<bi) == 0 {
@@ -240,14 +335,12 @@ func statesOfInterleaving(p Program, inter []event) map[string]State {
 			e := nodes[i]
 			// Strong persist atomicity makes same-location persists
 			// visibility-ordered; the state holds the latest included one.
-			cur, seen := st[e.op.Loc]
-			_ = cur
-			if !seen || laterSameLoc(nodes, persists, mask, e) {
+			if _, seen := st[e.op.Loc]; !seen || laterSameLoc(nodes, persists, mask, e) {
 				st[e.op.Loc] = e.op.Val
 			}
 		}
 		out[st.Key()] = st
-	}
+	})
 	return out
 }
 

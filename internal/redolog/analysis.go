@@ -1,0 +1,109 @@
+package redolog
+
+import (
+	"fmt"
+
+	"strandweaver/internal/backend"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/persistcheck"
+)
+
+// This file is the redo log's emit-for-analysis mode: it renders the
+// ISA instruction stream one transaction issues — Begin, `writes`
+// buffered Stores, Commit, GroupCommit — under a given design's
+// ordering plan, together with the persist-order requirements behind
+// the recipe's crash-consistency argument (entries before the commit
+// record, the commit record before the in-place updates, everything
+// durable before log reclaim). The static analyzer checks the
+// requirements against the stream without simulating it.
+//
+// As with the undo-log stream, an entry's field stores collapse to one
+// representative store per log line — the analyzer works at cache-line
+// granularity.
+
+// AnalysisStream returns the redo-log recipe stream for a design. The
+// plan usually comes from backend.PlanFor(d).
+func AnalysisStream(d hwdesign.Design, plan backend.OrderingPlan, writes int) persistcheck.Stream {
+	if writes < 1 {
+		writes = 1
+	}
+	bufBase := mem.PMBase + bufOffset
+	dataBase := mem.PMBase + mem.Addr(8)<<20
+	entryAddr := func(i int) mem.Addr { return bufBase + mem.Addr(i)*mem.LineSize }
+	dataAddr := func(i int) mem.Addr { return dataBase + mem.Addr(i)*mem.LineSize }
+
+	var ops []isa.Op
+	emit := func(k isa.OpKind, addr mem.Addr, label string) {
+		if k == isa.OpNone {
+			return
+		}
+		ops = append(ops, isa.Op{Kind: k, Thread: 0, Addr: uint64(addr), Size: 8, Label: label})
+	}
+	var reqs []persistcheck.Requirement
+
+	// Begin: a fresh strand per transaction.
+	emit(plan.BeginPair, 0, "")
+
+	// Tx.Store x writes: redo entries drain concurrently, no barriers
+	// between them.
+	for i := 0; i < writes; i++ {
+		emit(isa.OpStore, entryAddr(i), fmt.Sprintf("redo%d", i))
+		emit(isa.OpCLWB, entryAddr(i), "")
+	}
+
+	// Commit: the single ordering point puts every entry before the
+	// commit record, then the in-place updates behind the record.
+	emit(plan.LogToUpdate, 0, "")
+	rec := "commit-rec"
+	emit(isa.OpStore, entryAddr(writes), rec)
+	emit(isa.OpCLWB, entryAddr(writes), "")
+	for i := 0; i < writes; i++ {
+		reqs = append(reqs, persistcheck.Requirement{
+			Before: fmt.Sprintf("redo%d", i), After: rec,
+			Reason: "a commit record without its redo entries replays a truncated transaction",
+		})
+	}
+	emit(plan.LogToUpdate, 0, "")
+	for i := 0; i < writes; i++ {
+		data := fmt.Sprintf("data%d", i)
+		emit(isa.OpStore, dataAddr(i), data)
+		emit(isa.OpCLWB, dataAddr(i), "")
+		reqs = append(reqs, persistcheck.Requirement{
+			Before: rec, After: data,
+			Reason: "an in-place update persisting before its commit record cannot be rolled back (redo logs only roll forward)",
+		})
+	}
+
+	// GroupCommit: durable point, then invalidate the reclaimed entries
+	// (including the commit record's line) and advance the head.
+	emit(plan.Durable, 0, "")
+	emit(plan.BeginPair, 0, "")
+	for i := 0; i <= writes; i++ {
+		inv := fmt.Sprintf("inv%d", i)
+		emit(isa.OpStore, entryAddr(i), inv)
+		emit(isa.OpCLWB, entryAddr(i), "")
+		for j := 0; j < writes; j++ {
+			reqs = append(reqs, persistcheck.Requirement{
+				Before: fmt.Sprintf("data%d", j), After: inv,
+				Reason: "reclaiming the log before the in-place updates are durable loses the only copy of the data",
+			})
+		}
+	}
+	emit(isa.OpStore, DescAddr(0)+mem.Addr(descHead), "head")
+	emit(isa.OpCLWB, DescAddr(0), "")
+	for j := 0; j < writes; j++ {
+		reqs = append(reqs, persistcheck.Requirement{
+			Before: fmt.Sprintf("data%d", j), After: "head",
+			Reason: "advancing the head past entries whose updates are not durable abandons them",
+		})
+	}
+
+	return persistcheck.Stream{
+		Name:                fmt.Sprintf("redolog/%s", d),
+		Ops:                 ops,
+		Requires:            reqs,
+		PersistAtVisibility: d.PersistAtVisibility(),
+	}
+}

@@ -81,7 +81,7 @@ func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
 	errs := make([]error, len(cells))
 	metrics := make([]CellMetrics, len(cells))
 	ran := make([]bool, len(cells))
-	start := time.Now()
+	start := time.Now() //strandvet:ok wall time feeds only the metrics side channel, never results
 
 	if n <= 1 {
 		for i := range cells {
@@ -156,7 +156,7 @@ func runCell[T any](cells []Cell[T], i int, results []T, errs []error, metrics [
 	m := &metrics[i]
 	m.Key = cells[i].Key
 	m.Index = i
-	t0 := time.Now()
+	t0 := time.Now() //strandvet:ok per-cell wall time is metrics-only (CellMetrics.WallNS)
 	defer func() {
 		m.WallNS = time.Since(t0).Nanoseconds()
 		if r := recover(); r != nil {

@@ -1,0 +1,99 @@
+package undolog
+
+import (
+	"fmt"
+
+	"strandweaver/internal/backend"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/isa"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/persistcheck"
+)
+
+// This file is the undo log's emit-for-analysis mode: it renders the
+// ISA instruction stream the runtime issues for a representative
+// failure-atomic transaction — `pairs` LoggedStores followed by
+// CommitUpTo — under a given design's ordering plan, together with the
+// persist-order requirements that make the recipe crash-consistent
+// (the correctness argument in CommitUpTo's comment). The static
+// analyzer (internal/persistcheck) checks the requirements against the
+// stream without simulating it; the lint CLI runs this for every
+// registered design.
+//
+// The stream collapses an entry's eight field stores to one
+// representative store per log line — the analyzer works at cache-line
+// granularity, where they are one persist.
+
+// AnalysisStream returns the undo-log recipe stream for a design. The
+// plan usually comes from backend.PlanFor(d).
+func AnalysisStream(d hwdesign.Design, plan backend.OrderingPlan, pairs int) persistcheck.Stream {
+	if pairs < 1 {
+		pairs = 1
+	}
+	bufBase := mem.PMBase + mem.Addr(BufOffset)
+	dataBase := mem.PMBase + mem.Addr(4)<<20
+	tailDRAM := mem.DRAMBase + 0x1000
+	entryAddr := func(i int) mem.Addr { return bufBase + mem.Addr(i)*mem.LineSize }
+	dataAddr := func(i int) mem.Addr { return dataBase + mem.Addr(i)*mem.LineSize }
+
+	var ops []isa.Op
+	emit := func(k isa.OpKind, addr mem.Addr, label string) {
+		if k == isa.OpNone {
+			return
+		}
+		ops = append(ops, isa.Op{Kind: k, Thread: 0, Addr: uint64(addr), Size: 8, Label: label})
+	}
+	var reqs []persistcheck.Requirement
+
+	// LoggedStore x pairs (Figure 5's log_store()).
+	for i := 0; i < pairs; i++ {
+		log := fmt.Sprintf("log%d", i)
+		data := fmt.Sprintf("data%d", i)
+		emit(plan.BeginPair, 0, "")
+		emit(isa.OpLoad, dataAddr(i), "old"+data) // read the prior value
+		emit(isa.OpStore, entryAddr(i), log)      // append the undo entry
+		emit(isa.OpStore, tailDRAM, "")           // volatile tail (DRAM, no persist order)
+		emit(isa.OpCLWB, entryAddr(i), "")        // flush the entry
+		emit(plan.LogToUpdate, 0, "")             // order log before update
+		emit(isa.OpStore, dataAddr(i), data)      // the in-place update
+		emit(isa.OpCLWB, dataAddr(i), "")         // flush the update
+		reqs = append(reqs, persistcheck.Requirement{
+			Before: log, After: data,
+			Reason: "an in-place update without its undo entry cannot be rolled back",
+		})
+	}
+
+	// CommitUpTo (Figure 6a): durable point, marker, invalidations,
+	// head advance. The marker rewrites the terminating entry's line.
+	emit(plan.Durable, 0, "")
+	emit(plan.BeginPair, 0, "")
+	marker := "commit-marker"
+	emit(isa.OpStore, entryAddr(pairs-1), marker)
+	emit(isa.OpCLWB, entryAddr(pairs-1), "")
+	emit(plan.LogToUpdate, 0, "")
+	for i := 0; i < pairs; i++ {
+		inv := fmt.Sprintf("inv%d", i)
+		emit(isa.OpStore, entryAddr(i), inv)
+		emit(isa.OpCLWB, entryAddr(i), "")
+		reqs = append(reqs, persistcheck.Requirement{
+			Before: marker, After: inv,
+			Reason: "an invalidation persisting before the marker lets recovery roll back a half-invalidated batch",
+		})
+	}
+	emit(isa.OpStore, DescAddr(0)+mem.Addr(descHead), "head")
+	emit(isa.OpCLWB, DescAddr(0), "")
+	for i := 0; i < pairs; i++ {
+		reqs = append(reqs, persistcheck.Requirement{
+			Before: fmt.Sprintf("data%d", i), After: marker,
+			Reason: "a persisted marker forbids rollback, so the updates it covers must already be durable",
+		})
+	}
+	emit(plan.RegionEnd, 0, "")
+
+	return persistcheck.Stream{
+		Name:                fmt.Sprintf("undolog/%s", d),
+		Ops:                 ops,
+		Requires:            reqs,
+		PersistAtVisibility: d.PersistAtVisibility(),
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"strandweaver/internal/mem"
 	"strandweaver/internal/palloc"
 	"strandweaver/internal/pds"
+	"strandweaver/internal/persistcheck"
 	"strandweaver/internal/pmo"
 	"strandweaver/internal/redolog"
 	"strandweaver/internal/sim"
@@ -355,6 +356,44 @@ func CheckLitmus(p LitmusProgram, stride uint64) (*LitmusCheckResult, error) {
 // StandardLitmusPrograms returns the Figure 2 litmus shapes plus extra
 // barrier/strand compositions, keyed by name.
 func StandardLitmusPrograms() map[string]LitmusProgram { return litmus.StandardPrograms() }
+
+// StandardLitmusProgramNames returns the StandardLitmusPrograms keys in
+// sorted order — the canonical deterministic iteration order.
+func StandardLitmusProgramNames() []string { return litmus.StandardProgramNames() }
+
+// --- Static persist-order analysis (lint) ---
+
+// LintReport is the static analyzer's structured result for one
+// program or instruction stream.
+type LintReport = persistcheck.Report
+
+// LintFinding is one analyzer diagnostic.
+type LintFinding = persistcheck.Finding
+
+// LintSeverity grades a finding (info, warn, error).
+type LintSeverity = persistcheck.Severity
+
+// LintRelaxation quantifies a recipe's persist ordering against the
+// Intel x86 baseline recipe.
+type LintRelaxation = persistcheck.Relaxation
+
+// Lint severity levels.
+const (
+	LintInfo  = persistcheck.SevInfo
+	LintWarn  = persistcheck.SevWarn
+	LintError = persistcheck.SevError
+)
+
+// ParseLintSeverity parses a severity name ("info", "warn", "error").
+func ParseLintSeverity(s string) (LintSeverity, error) { return persistcheck.ParseSeverity(s) }
+
+// AnalyzeLitmusProgram statically analyzes an abstract litmus program:
+// it builds the prescribed persist-order DAG of the formal model's
+// equations without simulating, and reports redundant barriers and
+// strand misuse.
+func AnalyzeLitmusProgram(name string, p LitmusProgram) *LintReport {
+	return persistcheck.AnalyzeProgram(name, p)
+}
 
 // CheckLitmusWithFaults is CheckLitmus under fault injection: mk is
 // called once per run with the crash cycle (0 for the crash-free run)
