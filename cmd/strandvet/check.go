@@ -115,8 +115,8 @@ func pkgCall(call *ast.CallExpr, pkgName string) (string, bool) {
 }
 
 func (c *checker) checkCall(call *ast.CallExpr) {
-	if fn, ok := pkgCall(call, c.timeName); ok && fn == "Now" {
-		c.report(call.Pos(), "call to %s.Now: measured paths must not read the wall clock (docs/DETERMINISM.md); derive time from simulated cycles or suppress with //strandvet:ok for metrics-only code", c.timeName)
+	if fn, ok := pkgCall(call, c.timeName); ok && (fn == "Now" || fn == "Since" || fn == "Until") {
+		c.report(call.Pos(), "call to %s.%s: measured paths must not read the wall clock (docs/DETERMINISM.md); derive time from simulated cycles or suppress with //strandvet:ok for metrics-only code", c.timeName, fn)
 	}
 	if fn, ok := pkgCall(call, c.randName); ok && !strings.HasPrefix(fn, "New") {
 		c.report(call.Pos(), "call to %s.%s: the global math/rand generator is unseeded shared state (docs/DETERMINISM.md); use a seeded instance from %s.New", c.randName, fn, c.randName)

@@ -44,6 +44,15 @@ func f() clock.Time { return clock.Now() }
 	wantDiags(t, diags, "clock.Now")
 }
 
+func TestFlagsTimeSinceAndUntil(t *testing.T) {
+	diags := runCheck(t, `package p
+import "time"
+func f(t0 time.Time) int64 { return time.Since(t0).Nanoseconds() }
+func g(t0 time.Time) time.Duration { return time.Until(t0) }
+`)
+	wantDiags(t, diags, "time.Since", "time.Until")
+}
+
 func TestAllowsOtherTimeFunctions(t *testing.T) {
 	diags := runCheck(t, `package p
 import "time"

@@ -2,12 +2,13 @@
 // the docs/DETERMINISM.md rules that keep results byte-identical
 // across runs and worker counts, over the packages where those rules
 // are load-bearing (internal/sim, internal/harness, internal/sweep,
-// internal/litmus).
+// internal/litmus, internal/faultinject, internal/fuzzsched).
 //
 // Rules (non-test files only):
 //
-//   - no wall-clock reads: calls to time.Now are flagged — measured
-//     paths must derive time from simulated cycles;
+//   - no wall-clock reads: calls to time.Now, time.Since and
+//     time.Until are flagged — measured paths (and fuzz scheduling)
+//     must derive time from simulated cycles;
 //   - no global RNG: calls to math/rand package-level functions
 //     (rand.Intn, rand.Float64, ...) are flagged — all randomness must
 //     flow from seeded, instance-local generators (constructors like
@@ -39,6 +40,8 @@ var defaultDirs = []string{
 	"internal/harness",
 	"internal/sweep",
 	"internal/litmus",
+	"internal/faultinject",
+	"internal/fuzzsched",
 }
 
 func main() {

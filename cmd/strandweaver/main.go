@@ -49,6 +49,14 @@ type options struct {
 	memProfile   string
 	lintSeverity string
 	lintJSON     bool
+
+	fuzzSchedules int
+	fuzzDuration  time.Duration
+	fuzzTargets   []string
+	fuzzMutant    string
+	fuzzRepro     string
+	fuzzMinimize  bool
+	fuzzOut       string
 }
 
 // workers resolves the -parallel/-serial pair into a sweep worker
@@ -62,7 +70,7 @@ func (o options) workers() int {
 
 var commands = []string{
 	"table2", "fig7", "fig8", "fig9", "fig10", "experiments",
-	"litmus", "lint", "crash", "torture", "ablation", "all",
+	"litmus", "lint", "crash", "torture", "fuzz", "ablation", "all",
 }
 
 // parseArgs parses a command line (without the program name) into
@@ -97,12 +105,22 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	fs.StringVar(&o.lintSeverity, "severity", "error", "minimum finding severity for a non-zero exit (lint): info, warn, error")
-	fs.BoolVar(&o.lintJSON, "json", false, "emit reports and relaxation metrics as JSON (lint)")
+	fs.BoolVar(&o.lintJSON, "json", false, "emit reports and relaxation metrics as JSON (lint, fuzz)")
+	fs.IntVar(&o.fuzzSchedules, "schedules", 256, "fuzz schedule budget (0 = unbounded, requires -duration)")
+	fs.DurationVar(&o.fuzzDuration, "duration", 0, "fuzz wall-clock bound, checked between batches (0 = schedule budget only)")
+	targetList := fs.String("target", "", "comma-separated fuzz targets: undolog, redolog, or a benchmark name (default undolog,redolog)")
+	fs.StringVar(&o.fuzzMutant, "mutate", "", "seeded mutant for fuzz conviction runs: no-data-flush")
+	fs.StringVar(&o.fuzzRepro, "repro", "", "replay this repro file instead of searching (fuzz)")
+	fs.BoolVar(&o.fuzzMinimize, "minimize", false, "with -repro: shrink the repro to its minimal form and print it (fuzz)")
+	fs.StringVar(&o.fuzzOut, "out", "", "directory to write corpus and violation repro files (fuzz)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return o, err
 	}
 	if *benchList != "" {
 		o.benchmarks = strings.Split(*benchList, ",")
+	}
+	if *targetList != "" {
+		o.fuzzTargets = strings.Split(*targetList, ",")
 	}
 	for _, name := range strings.Split(*designList, ",") {
 		if name = strings.TrimSpace(name); name == "" {
@@ -157,6 +175,33 @@ func validate(o options) error {
 	if o.cmd == "lint" {
 		if _, err := sw.ParseLintSeverity(o.lintSeverity); err != nil {
 			return err
+		}
+	}
+	if o.cmd == "fuzz" {
+		if o.fuzzSchedules < 0 {
+			return fmt.Errorf("-schedules must be non-negative (got %d)", o.fuzzSchedules)
+		}
+		if o.fuzzDuration < 0 {
+			return fmt.Errorf("-duration must be non-negative (got %v)", o.fuzzDuration)
+		}
+		if o.fuzzSchedules == 0 && o.fuzzDuration == 0 && o.fuzzRepro == "" {
+			return fmt.Errorf("-schedules 0 (unbounded) requires -duration")
+		}
+		if o.fuzzMinimize && o.fuzzRepro == "" {
+			return fmt.Errorf("-minimize requires -repro FILE")
+		}
+		if o.fuzzMutant != "" && o.fuzzMutant != sw.FuzzMutantNoDataFlush {
+			return fmt.Errorf("unknown mutant %q (valid: %s)", o.fuzzMutant, sw.FuzzMutantNoDataFlush)
+		}
+		valid := append([]string{sw.FuzzTargetUndolog, sw.FuzzTargetRedolog}, sw.BenchmarkNames()...)
+		for _, tgt := range o.fuzzTargets {
+			ok := false
+			for _, v := range valid {
+				ok = ok || tgt == v
+			}
+			if !ok {
+				return fmt.Errorf("unknown fuzz target %q (valid: %s)", tgt, strings.Join(valid, ", "))
+			}
 		}
 	}
 	valid := sw.BenchmarkNames()
@@ -239,6 +284,8 @@ func main() {
 		err = runCrash(opt, o.crashes)
 	case "torture":
 		err = runTorture(o, collect("torture"))
+	case "fuzz":
+		err = runFuzz(o, collect("fuzz"))
 	case "ablation":
 		opt.Metrics = collect("ablation")
 		err = runAblation(opt)
@@ -358,6 +405,9 @@ experiments:
   crash    crash-injection + recovery + invariant verification sweep
   torture  fault-injection torture harness: torn persists, PM media
            faults, crash-during-recovery convergence
+  fuzz     coverage-guided fault-schedule search over the recovery
+           paths; violations are shrunk to minimal replayable repro
+           files (exits non-zero when any are found)
   ablation design-choice ablations: undo vs redo logging, persist queue
            depth, HOPS buffer capacity, CLWB vs CLFLUSHOPT
   all      everything above
@@ -370,6 +420,8 @@ profiling:   -cpuprofile FILE -memprofile FILE (pprof format; see
              README "Running sweeps and profiling")
 torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
 lint flags:    -severity LEVEL (info, warn, error) -json
+fuzz flags:    -schedules N -duration D -target LIST -mutate NAME
+               -repro FILE [-minimize] -out DIR -json
 `)
 }
 

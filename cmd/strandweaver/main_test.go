@@ -135,3 +135,46 @@ func TestTortureDefaultsAreScaledDown(t *testing.T) {
 			e.threads, e.ops, e.crashes)
 	}
 }
+
+func TestFuzzFlagValidation(t *testing.T) {
+	// Defaults are valid (covered by TestValidateAcceptsDefaults too).
+	if err := validate(parse(t, "fuzz")); err != nil {
+		t.Fatalf("fuzz defaults rejected: %v", err)
+	}
+	good := [][]string{
+		{"fuzz", "-schedules", "32", "-target", "undolog"},
+		{"fuzz", "-target", "undolog,redolog,queue"},
+		{"fuzz", "-mutate", "no-data-flush"},
+		{"fuzz", "-schedules", "0", "-duration", "5s"},
+		{"fuzz", "-repro", "x.repro", "-minimize"},
+		{"fuzz", "-schedules", "0", "-repro", "x.repro"},
+	}
+	for _, args := range good {
+		if err := validate(parse(t, args...)); err != nil {
+			t.Errorf("validate rejected %v: %v", args, err)
+		}
+	}
+	bad := [][]string{
+		{"fuzz", "-schedules", "-1"},
+		{"fuzz", "-schedules", "0"}, // unbounded without -duration
+		{"fuzz", "-duration", "-3s"},
+		{"fuzz", "-minimize"}, // -minimize without -repro
+		{"fuzz", "-mutate", "nosuch"},
+		{"fuzz", "-target", "undolog,nosuch"},
+	}
+	for _, args := range bad {
+		if err := validate(parse(t, args...)); err == nil {
+			t.Errorf("validate accepted %v", args)
+		}
+	}
+
+	// Target and mutant errors must name the offender and the valid set.
+	err := validate(parse(t, "fuzz", "-target", "nosuch"))
+	if err == nil || !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "undolog") {
+		t.Errorf("target error unhelpful: %v", err)
+	}
+	err = validate(parse(t, "fuzz", "-mutate", "bogus"))
+	if err == nil || !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), sw.FuzzMutantNoDataFlush) {
+		t.Errorf("mutant error unhelpful: %v", err)
+	}
+}

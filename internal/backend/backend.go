@@ -10,6 +10,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 
 	"strandweaver/internal/cache"
@@ -194,11 +195,16 @@ func Registered(d hwdesign.Design) bool {
 	return ok
 }
 
+// ErrUnknownDesign reports a design with no registered backend
+// implementation. New and PlanFor wrap it with the design name; match
+// with errors.Is.
+var ErrUnknownDesign = errors.New("backend: no implementation registered for design")
+
 // New builds the backend implementing design d.
 func New(d hwdesign.Design, deps Deps) (Backend, error) {
 	r, ok := registry[d]
 	if !ok {
-		return nil, fmt.Errorf("backend: no implementation registered for design %s", d)
+		return nil, fmt.Errorf("%w %s", ErrUnknownDesign, d)
 	}
 	return r.mk(deps), nil
 }
@@ -210,7 +216,7 @@ func New(d hwdesign.Design, deps Deps) (Backend, error) {
 func PlanFor(d hwdesign.Design) (OrderingPlan, error) {
 	r, ok := registry[d]
 	if !ok {
-		return OrderingPlan{}, fmt.Errorf("backend: no implementation registered for design %s", d)
+		return OrderingPlan{}, fmt.Errorf("%w %s", ErrUnknownDesign, d)
 	}
 	return r.plan, nil
 }

@@ -126,10 +126,21 @@ func TestIssueRejectsNonOrderingOps(t *testing.T) {
 }
 
 // TestNewUnknownDesign: constructing a backend for an unregistered
-// design is an error, not a panic.
+// design is an error, not a panic, and it matches the typed
+// ErrUnknownDesign sentinel from both New and PlanFor.
 func TestNewUnknownDesign(t *testing.T) {
-	if _, err := backend.New(hwdesign.Design(250), backend.Deps{}); err == nil {
-		t.Error("backend.New accepted an unregistered design")
+	_, err := backend.New(hwdesign.Design(250), backend.Deps{})
+	if err == nil {
+		t.Fatal("backend.New accepted an unregistered design")
+	}
+	if !errors.Is(err, backend.ErrUnknownDesign) {
+		t.Errorf("New err = %v, want ErrUnknownDesign", err)
+	}
+	if _, err := backend.PlanFor(hwdesign.Design(250)); !errors.Is(err, backend.ErrUnknownDesign) {
+		t.Errorf("PlanFor err = %v, want ErrUnknownDesign", err)
+	}
+	if _, err := backend.PlanFor(hwdesign.StrandWeaver); err != nil {
+		t.Errorf("PlanFor(StrandWeaver) = %v, want nil", err)
 	}
 }
 

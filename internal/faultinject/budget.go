@@ -12,16 +12,36 @@ import (
 // write budget; CheckConvergence sweeps budgets and asserts the
 // interrupted-then-rerun image converges to the uninterrupted one.
 
+// RecoveryPanicError wraps a panic that escaped a recovery pass run
+// under RunToPowerCut — any panic other than the expected mem.PowerCut.
+// Adversarial crash images (torn log entries, fuzzer-generated fault
+// schedules) can drive recovery code into states its authors never
+// reached; converting the panic into a typed error lets the fuzz
+// harness and KeepGoing sweeps record the failure and keep searching
+// instead of crashing the process.
+type RecoveryPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *RecoveryPanicError) Error() string {
+	return fmt.Sprintf("faultinject: recovery panicked: %v", e.Value)
+}
+
 // RunToPowerCut runs fn with img's write budget armed at n mutations.
 // If the budget is exhausted mid-run the power cut unwinds fn and
-// RunToPowerCut reports cut=true; err is fn's error otherwise. The
-// budget is disarmed on return either way.
+// RunToPowerCut reports cut=true; err is fn's error otherwise. A panic
+// from fn other than the power cut is returned as a
+// *RecoveryPanicError rather than re-raised, so adversarial images
+// cannot take down the caller. The budget is disarmed on return either
+// way.
 func RunToPowerCut(img *mem.Image, n int, fn func() error) (cut bool, err error) {
 	defer func() {
 		img.DisarmWriteBudget()
 		if r := recover(); r != nil {
 			if _, ok := r.(mem.PowerCut); !ok {
-				panic(r)
+				err = &RecoveryPanicError{Value: r}
+				return
 			}
 			cut = true
 		}

@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"strandweaver/internal/mem"
+)
+
+// TestRunToPowerCutConvertsForeignPanic: a panic other than the power
+// cut (the kind an adversarial crash image can drive recovery into)
+// comes back as a typed *RecoveryPanicError, not a process crash.
+func TestRunToPowerCutConvertsForeignPanic(t *testing.T) {
+	img := mem.NewImage()
+	cut, err := RunToPowerCut(img, 100, func() error {
+		panic("index out of range in recovery")
+	})
+	if cut {
+		t.Error("foreign panic misreported as a power cut")
+	}
+	var rp *RecoveryPanicError
+	if !errors.As(err, &rp) {
+		t.Fatalf("err = %T %v, want *RecoveryPanicError", err, err)
+	}
+	if rp.Value != "index out of range in recovery" {
+		t.Errorf("panic value = %v, want original payload", rp.Value)
+	}
+	// The budget must be disarmed even on the panic path: further
+	// writes are unlimited.
+	for i := 0; i < 1000; i++ {
+		img.Write64(mem.PMBase+mem.Addr(i)*8, uint64(i))
+	}
+}
+
+// TestRunToPowerCutStillReportsCut pins the happy path after the
+// conversion: a genuine budget exhaustion still reports cut=true with
+// no error.
+func TestRunToPowerCutStillReportsCut(t *testing.T) {
+	img := mem.NewImage()
+	cut, err := RunToPowerCut(img, 3, func() error {
+		for i := 0; i < 10; i++ {
+			img.Write64(mem.PMBase+mem.Addr(i)*8, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil on a clean cut", err)
+	}
+	if !cut {
+		t.Fatal("budget exhaustion not reported as a cut")
+	}
+	// Exactly the budgeted 3 writes landed; the 4th was cut.
+	for i := 0; i < 4; i++ {
+		want := uint64(1)
+		if i == 3 {
+			want = 0
+		}
+		if got := img.Read64(mem.PMBase + mem.Addr(i)*8); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+}

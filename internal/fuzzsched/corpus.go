@@ -1,0 +1,81 @@
+package fuzzsched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is one corpus member: a schedule that reached a novel
+// coverage key, with the outcome identity Replay verifies.
+type Entry struct {
+	// Genome is the schedule.
+	Genome Genome
+	// CovKey is the coverage key the schedule was first to reach.
+	CovKey uint64
+	// Fingerprint is the schedule's crash-image fingerprint.
+	Fingerprint uint64
+	// Failure is the schedule's violation text ("" for healthy and
+	// beyond-ADR schedules). Recorded so a violating corpus entry's
+	// repro file replays truthfully.
+	Failure string
+	// Schedule is the global execution index at which it was found.
+	Schedule int
+}
+
+// Corpus is the set of coverage-novel schedules, in discovery order.
+// Discovery order is deterministic: schedules are folded in execution
+// order, so the corpus is byte-identical for a given (seed, budget)
+// at any worker count.
+type Corpus struct {
+	Entries []Entry
+	byKey   map[uint64]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{byKey: map[uint64]int{}} }
+
+// Add inserts the entry if its coverage key is novel, reporting
+// whether it was.
+func (c *Corpus) Add(e Entry) bool {
+	if _, dup := c.byKey[e.CovKey]; dup {
+		return false
+	}
+	c.byKey[e.CovKey] = len(c.Entries)
+	c.Entries = append(c.Entries, e)
+	return true
+}
+
+// Len reports the corpus size.
+func (c *Corpus) Len() int { return len(c.Entries) }
+
+// Digest folds the corpus into one determinism check value: FNV-1a
+// over each entry's coverage key, fingerprint and genome identity, in
+// discovery order. Equal digests mean identical corpora.
+func (c *Corpus) Digest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	for _, e := range c.Entries {
+		mix(e.CovKey)
+		mix(e.Fingerprint)
+		for _, b := range []byte(e.Genome.Key()) {
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	return h
+}
+
+// EncodeEntry renders one corpus entry as a replayable repro file
+// (healthy schedules encode with an empty failure).
+func EncodeEntry(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# corpus entry: schedule %d, coverage key %016x\n", e.Schedule, e.CovKey)
+	b.WriteString(EncodeRepro(e.Genome, e.Failure, e.Fingerprint))
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package fuzzsched
+
+import "testing"
+
+func TestCorpusDedupByCoverageKey(t *testing.T) {
+	c := NewCorpus()
+	g := SeedGenome(TargetUndolog)
+	if !c.Add(Entry{Genome: g, CovKey: 1, Fingerprint: 10}) {
+		t.Fatal("first key rejected")
+	}
+	if c.Add(Entry{Genome: g, CovKey: 1, Fingerprint: 20}) {
+		t.Fatal("duplicate coverage key accepted")
+	}
+	if !c.Add(Entry{Genome: g, CovKey: 2, Fingerprint: 10}) {
+		t.Fatal("novel key rejected (fingerprint must not participate in novelty)")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("corpus size %d, want 2", c.Len())
+	}
+}
+
+func TestCorpusDigestOrderSensitive(t *testing.T) {
+	g := SeedGenome(TargetUndolog)
+	a, b := NewCorpus(), NewCorpus()
+	a.Add(Entry{Genome: g, CovKey: 1})
+	a.Add(Entry{Genome: g, CovKey: 2})
+	b.Add(Entry{Genome: g, CovKey: 2})
+	b.Add(Entry{Genome: g, CovKey: 1})
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest ignores discovery order")
+	}
+	c := NewCorpus()
+	c.Add(Entry{Genome: g, CovKey: 1})
+	c.Add(Entry{Genome: g, CovKey: 2})
+	if a.Digest() != c.Digest() {
+		t.Fatal("identical corpora digest differently")
+	}
+}
+
+func TestCoverageKeySeparatesClassesAndTargets(t *testing.T) {
+	base := Coverage{TornScrubbed: 3, Actions: 8, StateSig: 2}
+	viol := base
+	viol.Class = ClassViolation
+	if base.Key(TargetUndolog) == viol.Key(TargetUndolog) {
+		t.Fatal("class does not separate coverage keys")
+	}
+	if base.Key(TargetUndolog) == base.Key(TargetRedolog) {
+		t.Fatal("target does not separate coverage keys")
+	}
+
+	// Bucketization: nearby counts collapse, order-of-magnitude jumps
+	// separate.
+	small, smallish, big := base, base, base
+	small.Actions = 8
+	smallish.Actions = 9
+	big.Actions = 1024
+	if small.Key(TargetUndolog) != smallish.Key(TargetUndolog) {
+		t.Fatal("adjacent counts should share a bucket")
+	}
+	if small.Key(TargetUndolog) == big.Key(TargetUndolog) {
+		t.Fatal("order-of-magnitude jump should change the key")
+	}
+}

@@ -1,0 +1,97 @@
+package fuzzsched
+
+// The feedback signal. A schedule's interestingness is judged by the
+// recovery path it drives, not by the schedule's own shape: the
+// counters recovery already reports (checksum scrubs, commits
+// finished/replayed, rollback and replay branch executions), the
+// fault injector's landed/torn/dropped line outcomes, how many
+// crash-during-recovery cuts actually fired, and a small structural
+// signature of the recovered image. Counters are log2-bucketized so
+// the key space stays bounded: a schedule is novel when it flips a
+// branch class or moves a counter to a new magnitude, not when it
+// jiggles an exact count.
+
+// Outcome classes (Coverage.Class).
+const (
+	// ClassOK: recovery succeeded and the invariant held.
+	ClassOK = iota
+	// ClassViolation: the invariant broke or recovery diverged — a bug
+	// (or a convicted mutant).
+	ClassViolation
+	// ClassBeyondADR: the invariant broke under TearAccepted, which
+	// violates the hardware contract by construction; coverage signal,
+	// never a Violation.
+	ClassBeyondADR
+	// ClassRecoveryError: recovery itself returned an error (implausible
+	// descriptor, panic converted by RunToPowerCut).
+	ClassRecoveryError
+)
+
+// Coverage is one executed schedule's feedback sample.
+type Coverage struct {
+	// Class is the outcome class (Class*).
+	Class uint8
+	// TornScrubbed counts log entries discarded by checksum scrub;
+	// Actions counts rollbacks (undo) or replays (redo);
+	// CommitsFinished counts finished/committed transactions;
+	// Invalidated counts invalidated entries or discarded transactions.
+	TornScrubbed    int
+	Actions         int
+	CommitsFinished int
+	Invalidated     int
+	// Fault-injection outcomes at the crash boundary.
+	TornLines    uint64
+	LandedLines  uint64
+	DroppedLines uint64
+	AcceptedTorn uint64
+	// CutsObserved counts crash-during-recovery power cuts that fired
+	// (0..2 with the nested budget).
+	CutsObserved int
+	// StateSig is a small structural signature of the recovered image
+	// (distinct generations present and whether any cell was
+	// unrecognisable; 0 for workload targets, whose shape lives in the
+	// recovery counters).
+	StateSig uint8
+}
+
+// bucket maps a counter to its log2 magnitude class, capped at 15.
+func bucket(n uint64) uint64 {
+	b := uint64(0)
+	for n > 0 && b < 15 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// targetBits hashes the target name into the key so equal counter
+// shapes on different targets stay distinct.
+func targetBits(target string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(target); i++ {
+		h ^= uint64(target[i])
+		h *= 1099511628211
+	}
+	return h & 0xff
+}
+
+// Key packs the sample into the corpus novelty key.
+func (c Coverage) Key(target string) uint64 {
+	k := uint64(c.Class) & 0x7
+	k |= bucket(uint64(c.TornScrubbed)) << 3
+	k |= bucket(uint64(c.Actions)) << 7
+	k |= bucket(uint64(c.CommitsFinished)) << 11
+	k |= bucket(uint64(c.Invalidated)) << 15
+	k |= bucket(c.TornLines) << 19
+	k |= bucket(c.LandedLines) << 23
+	k |= bucket(c.DroppedLines) << 27
+	k |= bucket(c.AcceptedTorn) << 31
+	cuts := uint64(c.CutsObserved)
+	if cuts > 3 {
+		cuts = 3
+	}
+	k |= cuts << 35
+	k |= uint64(c.StateSig&0xf) << 37
+	k |= targetBits(target) << 41
+	return k
+}

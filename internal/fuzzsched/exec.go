@@ -1,0 +1,483 @@
+package fuzzsched
+
+import (
+	"fmt"
+
+	"strandweaver/internal/config"
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/faultinject"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/redolog"
+	"strandweaver/internal/sim"
+	"strandweaver/internal/undolog"
+	"strandweaver/internal/workloads"
+)
+
+// ExecOptions bounds one schedule execution.
+type ExecOptions struct {
+	// EventBudget arms the sim-engine watchdog on every run (0 uses
+	// DefaultEventBudget): a schedule that livelocks the simulator
+	// degrades into a typed error instead of hanging the search.
+	EventBudget uint64
+	// CycleLimit bounds each run in simulated time (0 uses a default).
+	CycleLimit sim.Cycle
+}
+
+// DefaultEventBudget is the per-run watchdog arming used when
+// ExecOptions does not override it.
+const DefaultEventBudget = 50_000_000
+
+func (o ExecOptions) withDefaults() ExecOptions {
+	if o.EventBudget == 0 {
+		o.EventBudget = DefaultEventBudget
+	}
+	if o.CycleLimit == 0 {
+		o.CycleLimit = 2_000_000_000
+	}
+	return o
+}
+
+// Outcome is one executed schedule's result.
+type Outcome struct {
+	// End is the crash-free run length; CrashAt the injected crash
+	// cycle derived from the genome's CrashFrac.
+	End     sim.Cycle
+	CrashAt sim.Cycle
+	// Violation is non-empty when the schedule broke an invariant or
+	// recovery diverged — except under TearAccepted, where the same
+	// failures set BeyondADR instead (the genome violated the hardware
+	// contract, so breakage is expected, and is coverage, not a bug).
+	Violation string
+	BeyondADR bool
+	// Fingerprint identifies the crash image (byte-for-byte replay
+	// checks compare it).
+	Fingerprint uint64
+	// Cov is the schedule's coverage sample.
+	Cov Coverage
+}
+
+// recStats is the recovery-path counter slice shared by both engines.
+type recStats struct {
+	scrubbed    int
+	actions     int
+	commits     int
+	invalidated int
+}
+
+// runSpec adapts one target to the generic crash-and-recover driver.
+type runSpec struct {
+	threads int
+	build   func() (*machine.System, []machine.Worker, error)
+	recover func(img *mem.Image) (recStats, error)
+	verify  func(img *mem.Image) error
+	sig     func(img *mem.Image) uint8
+}
+
+// Direct-target geometry: per-thread groups of generation cells whose
+// invariant is all-or-nothing — after recovery, each thread's cells
+// must all carry the same generation.
+const directCells = 4
+
+func directCellAddr(t, i int) mem.Addr {
+	return mem.PMBase + undolog.HeapOffset + mem.Addr(t*directCells+i)*mem.LineSize
+}
+
+func directGenVal(t, g, i int) uint64 {
+	return uint64(g)*1000 + uint64(t)*100 + uint64(i) + 1
+}
+
+// directVerify checks every thread's cell group sits at one single
+// generation in [0, ops].
+func directVerify(img *mem.Image, threads, ops int) error {
+	for t := 0; t < threads; t++ {
+		found := false
+		for g := 0; g <= ops && !found; g++ {
+			ok := true
+			for i := 0; i < directCells; i++ {
+				if img.Read64(directCellAddr(t, i)) != directGenVal(t, g, i) {
+					ok = false
+					break
+				}
+			}
+			found = ok
+		}
+		if !found {
+			vals := make([]uint64, directCells)
+			for i := range vals {
+				vals[i] = img.Read64(directCellAddr(t, i))
+			}
+			return fmt.Errorf("thread %d cells torn across generations: %v", t, vals)
+		}
+	}
+	return nil
+}
+
+// directSig folds the recovered image's generation structure into a
+// 4-bit signature: how many distinct generations appear across cells
+// (capped at 7) and whether any cell held an unrecognisable value.
+func directSig(img *mem.Image, threads, ops int) uint8 {
+	gens := map[int]bool{}
+	unknown := false
+	for t := 0; t < threads; t++ {
+		for i := 0; i < directCells; i++ {
+			v := img.Read64(directCellAddr(t, i))
+			matched := false
+			for g := 0; g <= ops; g++ {
+				if v == directGenVal(t, g, i) {
+					gens[g] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				unknown = true
+			}
+		}
+	}
+	n := len(gens)
+	if n > 7 {
+		n = 7
+	}
+	sig := uint8(n)
+	if unknown {
+		sig |= 1 << 3
+	}
+	return sig
+}
+
+// seedDirectCells writes generation-0 contents host-side (both
+// images) and warms the lines.
+func seedDirectCells(sys *machine.System, threads int) {
+	for t := 0; t < threads; t++ {
+		for i := 0; i < directCells; i++ {
+			a := directCellAddr(t, i)
+			sys.Mem.Volatile.Write64(a, directGenVal(t, 0, i))
+			sys.Mem.Persistent.Write64(a, directGenVal(t, 0, i))
+			sys.Hier.Preload(mem.LineAddr(a))
+		}
+	}
+}
+
+// buildSpec lowers a genome's target to its runSpec.
+func buildSpec(g Genome) (runSpec, error) {
+	switch g.Target {
+	case TargetUndolog:
+		return undologSpec(g), nil
+	case TargetRedolog:
+		return redologSpec(g), nil
+	default:
+		if _, err := workloads.Find(g.Target); err != nil {
+			return runSpec{}, fmt.Errorf("fuzzsched: unknown target %q: %w", g.Target, err)
+		}
+		return workloadSpec(g), nil
+	}
+}
+
+// undologSpec is the direct undo-log generation workload. Each thread
+// drives its own cell group through Ops generations of undo-logged
+// stores with a commit per generation; the MutantNoDataFlush variant
+// deletes the data CLWB, which the search must convict.
+func undologSpec(g Genome) runSpec {
+	threads := g.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	ops := g.Ops
+	if ops < 1 {
+		ops = 1
+	}
+	mutant := g.Mutant == MutantNoDataFlush
+	return runSpec{
+		threads: threads,
+		build: func() (*machine.System, []machine.Worker, error) {
+			cfg := config.Default()
+			if threads > cfg.Cores {
+				cfg.Cores = threads
+			}
+			sys, err := machine.New(cfg, hwdesign.StrandWeaver)
+			if err != nil {
+				return nil, nil, err
+			}
+			seedDirectCells(sys, threads)
+			logs := undolog.Init(sys, threads, 64)
+			ws := make([]machine.Worker, threads)
+			for t := 0; t < threads; t++ {
+				t := t
+				l := logs.PerThread[t]
+				ws[t] = func(c *cpu.Core) {
+					for gen := 1; gen <= ops; gen++ {
+						for i := 0; i < directCells; i++ {
+							addr := directCellAddr(t, i)
+							val := directGenVal(t, gen, i)
+							if mutant {
+								// LoggedStore with the data flush deleted
+								// (the seeded Figure 5 mutant).
+								undolog.BeginPair(c)
+								old := c.Load64(addr)
+								l.AppendStore(c, addr, old)
+								undolog.LogToUpdate(c)
+								c.Store64(addr, val)
+							} else {
+								l.LoggedStore(c, addr, val)
+							}
+						}
+						l.CommitUpTo(c, l.Tail())
+					}
+					c.DrainAll()
+				}
+			}
+			return sys, ws, nil
+		},
+		recover: func(img *mem.Image) (recStats, error) {
+			rep, err := undolog.Recover(img, threads)
+			if err != nil {
+				return recStats{}, err
+			}
+			return recStats{
+				scrubbed:    rep.TornDiscarded,
+				actions:     len(rep.RolledBack),
+				commits:     rep.CommitsFinished,
+				invalidated: rep.EntriesInvalidated,
+			}, nil
+		},
+		verify: func(img *mem.Image) error { return directVerify(img, threads, ops) },
+		sig:    func(img *mem.Image) uint8 { return directSig(img, threads, ops) },
+	}
+}
+
+// redologSpec is the direct redo-log generation workload
+// (single-threaded by construction, mirroring the torture harness):
+// one transaction per generation, a group commit mid-run.
+func redologSpec(g Genome) runSpec {
+	ops := g.Ops
+	if ops < 1 {
+		ops = 1
+	}
+	return runSpec{
+		threads: 1,
+		build: func() (*machine.System, []machine.Worker, error) {
+			cfg := config.Default()
+			cfg.Cores = 1
+			sys, err := machine.New(cfg, hwdesign.StrandWeaver)
+			if err != nil {
+				return nil, nil, err
+			}
+			seedDirectCells(sys, 1)
+			logs := redolog.Init(sys, 1, 64)
+			l := logs.PerThread[0]
+			w := func(c *cpu.Core) {
+				for gen := 1; gen <= ops; gen++ {
+					tx := l.Begin(c)
+					for i := 0; i < directCells; i++ {
+						tx.Store(directCellAddr(0, i), directGenVal(0, gen, i))
+					}
+					tx.Commit()
+					if ops >= 2 && gen == ops/2 {
+						l.GroupCommit(c)
+					}
+				}
+				c.DrainAll()
+			}
+			return sys, []machine.Worker{w}, nil
+		},
+		recover: func(img *mem.Image) (recStats, error) {
+			rep, err := redolog.Recover(img, 1)
+			if err != nil {
+				return recStats{}, err
+			}
+			return recStats{
+				scrubbed:    rep.TornDiscarded,
+				actions:     len(rep.Replayed),
+				commits:     rep.CommittedTxs,
+				invalidated: rep.DiscardedTxs,
+			}, nil
+		},
+		verify: func(img *mem.Image) error { return directVerify(img, 1, ops) },
+		sig:    func(img *mem.Image) uint8 { return directSig(img, 1, ops) },
+	}
+}
+
+// workloadSpec runs a Table II persistent data structure through the
+// TXN language runtime (undo-log recovery), with the genome's
+// FaultSeed doubling as the workload's operation-mix seed.
+func workloadSpec(g Genome) runSpec {
+	threads := g.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	ops := g.Ops
+	if ops < 1 {
+		ops = 1
+	}
+	var inst workloads.Instance
+	return runSpec{
+		threads: threads,
+		build: func() (*machine.System, []machine.Worker, error) {
+			cfg := config.Default()
+			if threads > cfg.Cores {
+				cfg.Cores = threads
+			}
+			sys, err := machine.New(cfg, hwdesign.StrandWeaver)
+			if err != nil {
+				return nil, nil, err
+			}
+			rt := langmodel.New(sys, langmodel.TXN, threads, langmodel.DefaultOptions())
+			f, err := workloads.Find(g.Target)
+			if err != nil {
+				return nil, nil, err
+			}
+			inst = f.New(workloads.Params{Threads: threads, OpsPerThread: ops, Seed: int64(g.FaultSeed)})
+			inst.Setup(sys, rt)
+			ws := make([]machine.Worker, threads)
+			for i := range ws {
+				ws[i] = inst.Worker(i)
+			}
+			return sys, ws, nil
+		},
+		recover: func(img *mem.Image) (recStats, error) {
+			rep, err := undolog.Recover(img, threads)
+			if err != nil {
+				return recStats{}, err
+			}
+			return recStats{
+				scrubbed:    rep.TornDiscarded,
+				actions:     len(rep.RolledBack),
+				commits:     rep.CommitsFinished,
+				invalidated: rep.EntriesInvalidated,
+			}, nil
+		},
+		verify: func(img *mem.Image) error { return inst.Verify(img) },
+		sig:    func(img *mem.Image) uint8 { return 0 },
+	}
+}
+
+// Execute runs one schedule: a crash-free run to measure the
+// schedule's length, a crashed run at the genome's crash fraction, a
+// crash image under the genome's fault plan, recovery (optionally
+// interrupted at the genome's write budgets) and the invariant check.
+// The returned error is an infrastructure failure (a build error or a
+// wedged crash-free run); schedule-found failures land in
+// Outcome.Violation / Outcome.BeyondADR instead.
+func Execute(g Genome, o ExecOptions) (*Outcome, error) {
+	o = o.withDefaults()
+	spec, err := buildSpec(g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Crash-free run: measures the schedule length and validates the
+	// workload completes under the watchdog.
+	sys, ws, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	faultinject.New(g.Plan()).Arm(sys)
+	sys.SetWatchdog(o.EventBudget)
+	end, err := sys.Run(ws, o.CycleLimit)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzsched: %s crash-free run: %w", g.Target, err)
+	}
+
+	// Crashed run at the genome's crash fraction.
+	crashAt := sim.Cycle(1 + uint64(end-1)*uint64(g.CrashFrac&0xffff)/65536)
+	sys, ws, err = spec.build()
+	if err != nil {
+		return nil, err
+	}
+	fi := faultinject.New(g.Plan())
+	fi.Arm(sys)
+	sys.SetWatchdog(o.EventBudget)
+	sys.RunAt(crashAt, sys.Abandon)
+	_, _ = sys.Run(ws, o.CycleLimit) // stopped engine: error expected
+	crash := fi.CrashImage(sys)
+
+	out := &Outcome{End: end, CrashAt: crashAt, Fingerprint: crash.Fingerprint()}
+	fst := fi.Stats()
+	out.Cov = Coverage{
+		TornLines:    fst.TornLines,
+		LandedLines:  fst.LandedLines,
+		DroppedLines: fst.DroppedLines,
+		AcceptedTorn: fst.AcceptedTorn,
+	}
+	// fail records an invariant or recovery failure. Under TearAccepted
+	// the genome broke the hardware contract by construction, so the
+	// failure is coverage (BeyondADR), never a Violation. failed drives
+	// the early returns below regardless of classification.
+	failed := false
+	fail := func(class uint8, format string, args ...any) {
+		failed = true
+		msg := fmt.Sprintf(format, args...)
+		if g.TearAccepted {
+			out.BeyondADR = true
+			if out.Cov.Class == ClassOK {
+				out.Cov.Class = ClassBeyondADR
+			}
+			return
+		}
+		out.Cov.Class = class
+		if out.Violation == "" {
+			out.Violation = fmt.Sprintf("%s crash@%d/%d: %s", g.Target, crashAt, end, msg)
+		}
+	}
+
+	// Uninterrupted recovery + invariant check.
+	golden := crash.Clone()
+	rs, rerr := spec.recover(golden)
+	if rerr != nil {
+		fail(ClassRecoveryError, "recovery failed: %v", rerr)
+		return out, nil
+	}
+	out.Cov.TornScrubbed = rs.scrubbed
+	out.Cov.Actions = rs.actions
+	out.Cov.CommitsFinished = rs.commits
+	out.Cov.Invalidated = rs.invalidated
+	out.Cov.StateSig = spec.sig(golden)
+	if verr := spec.verify(golden); verr != nil {
+		fail(ClassViolation, "invariant broken after recovery: %v", verr)
+		return out, nil
+	}
+
+	// Crash-during-recovery at the genome's write budgets: interrupt,
+	// optionally interrupt the re-run too, then finish and require
+	// convergence with the uninterrupted pass.
+	if g.RecoveryCut >= 0 {
+		img := crash.Clone()
+		step := func(budget int) bool {
+			cut, err := faultinject.RunToPowerCut(img, budget, func() error {
+				_, err := spec.recover(img)
+				return err
+			})
+			if err != nil {
+				fail(ClassRecoveryError, "interrupted recovery (budget %d) failed: %v", budget, err)
+				return false
+			}
+			if cut {
+				out.Cov.CutsObserved++
+			}
+			return cut
+		}
+		cut := step(g.RecoveryCut)
+		if failed {
+			return out, nil
+		}
+		if cut && g.RecoveryCut2 >= 0 {
+			step(g.RecoveryCut2)
+			if failed {
+				return out, nil
+			}
+		}
+		if _, err := spec.recover(img); err != nil {
+			fail(ClassRecoveryError, "recovery re-run after cut failed: %v", err)
+			return out, nil
+		}
+		if !img.Equal(golden) {
+			fail(ClassViolation, "interrupted-then-rerun recovery diverges from uninterrupted pass (budget %d/%d)",
+				g.RecoveryCut, g.RecoveryCut2)
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,389 @@
+// Package fuzzsched is a deterministic, coverage-guided search over
+// fault schedules: where the torture harness (internal/harness)
+// samples crash cycles and fault plans uniformly from a seed, this
+// package breeds them. A schedule genome encodes every axis of one
+// crash-and-recover experiment — crash point, torn-word probabilities,
+// media-fault seeds, the beyond-ADR TearAccepted mode, and nested
+// crash-during-recovery write budgets; mutation operators perturb each
+// axis; and the feedback signal is the recovery path itself (checksum
+// scrubs, commits finished, rollback/replay counts in
+// undolog/redolog) plus a structural signature of the recovered
+// image. Schedules that reach novel recovery behavior enter a corpus
+// persisted as replayable repro files, and invariant violations are
+// automatically shrunk to minimal self-contained repros.
+//
+// Everything is deterministic: mutations are drawn from one seeded
+// splitmix64 stream in a fixed order, each genome's execution is a
+// self-contained seeded simulation, and outcomes are folded in
+// schedule order — so the same seed and schedule budget reproduce the
+// identical corpus, violations and repro files at any worker count.
+// Wall-clock time never steers the search (enforced by strandvet);
+// the optional deadline is injected by the CLI and only bounds how
+// many schedules run.
+package fuzzsched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"strandweaver/internal/faultinject"
+)
+
+// Targets a genome can drive. The direct targets exercise the logging
+// engines through hand-rolled generation workloads whose invariant is
+// all-or-nothing per generation; the workload targets run the Table II
+// persistent data structures through the TXN language runtime.
+const (
+	// TargetUndolog is the direct undo-log generation workload.
+	TargetUndolog = "undolog"
+	// TargetRedolog is the direct redo-log generation workload.
+	TargetRedolog = "redolog"
+)
+
+// MutantNoDataFlush names the seeded mutant: the data CLWB of the
+// undo-logged store sequence (Figure 5 line 4's flush) is deleted, so
+// in-place updates reach PM only by cache-eviction luck. The fuzzer
+// must convict it: a crash mid-generation after a later generation's
+// log entry persisted rolls logged cells back to values whose
+// unlogged neighbours never persisted, tearing the generation
+// invariant.
+const MutantNoDataFlush = "no-data-flush"
+
+// Genome is one fault schedule: every input of one crash-and-recover
+// experiment, encoded so that mutation, persistence and replay all
+// operate on the same value. The zero Genome is not valid; start from
+// SeedGenome.
+type Genome struct {
+	// Target selects the workload (TargetUndolog, TargetRedolog, or a
+	// workloads registry name such as "queue" run through the TXN
+	// runtime).
+	Target string
+	// Threads is the worker-thread count (direct targets honour it;
+	// TargetRedolog is single-threaded by construction).
+	Threads int
+	// Ops is the per-thread generation/operation count.
+	Ops int
+	// CrashFrac positions the crash cycle as a fraction of the
+	// crash-free run length, in units of 1/65536 (0 crashes at cycle 1,
+	// 65535 just before the end).
+	CrashFrac uint32
+	// Torn enables the submission-stream power cut with per-word tears;
+	// DropProbMilli is the per-word drop probability in 1/1000 units.
+	Torn          bool
+	DropProbMilli int
+	// TearAccepted tears accepted-but-undrained lines (beyond-ADR
+	// torture; violations under it are contract breakage, not bugs).
+	TearAccepted bool
+	// Media fault knobs, in 1/1000 units plus a delay magnitude.
+	MediaFaultMilli  int
+	MediaDelayMilli  int
+	MediaDelayCycles uint64
+	// FaultSeed seeds the injector's draw stream.
+	FaultSeed uint64
+	// RecoveryCut, when >= 0, interrupts the first recovery pass after
+	// that many image mutations (crash during recovery), then re-runs
+	// recovery; RecoveryCut2, when >= 0, interrupts the re-run too
+	// (nested crash-during-recovery). Both require convergence with the
+	// uninterrupted pass.
+	RecoveryCut  int
+	RecoveryCut2 int
+	// Mutant injects a deliberate bug into the target's write path
+	// ("" = none; MutantNoDataFlush on the undolog target).
+	Mutant string
+}
+
+// SeedGenome returns the corpus seed schedule for a target: small,
+// crash mid-run, mild tearing, no nested cuts.
+func SeedGenome(target string) Genome {
+	return Genome{
+		Target:        target,
+		Threads:       1,
+		Ops:           4,
+		CrashFrac:     1 << 15, // mid-run
+		Torn:          true,
+		DropProbMilli: 500,
+		FaultSeed:     1,
+		RecoveryCut:   -1,
+		RecoveryCut2:  -1,
+	}
+}
+
+// Plan lowers the genome's fault axes to an injector plan.
+func (g Genome) Plan() faultinject.Plan {
+	return faultinject.Plan{
+		Seed:             g.FaultSeed,
+		TornPersists:     g.Torn,
+		DropProb:         float64(g.DropProbMilli) / 1000,
+		TearAccepted:     g.TearAccepted,
+		MediaFaultProb:   float64(g.MediaFaultMilli) / 1000,
+		MediaDelayProb:   float64(g.MediaDelayMilli) / 1000,
+		MediaDelayCycles: g.MediaDelayCycles,
+	}
+}
+
+// Key renders the genome as a stable one-line identity (also the
+// corpus dedup key for identical schedules).
+func (g Genome) Key() string {
+	var b strings.Builder
+	for i, f := range genomeFields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", f.name, f.get(&g))
+	}
+	return b.String()
+}
+
+// rng is the search's deterministic generator (splitmix64, the same
+// primitive the fault injector and CellSeed use).
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn draws uniformly from [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Mutate returns a copy of g with one axis perturbed, chosen and
+// displaced by draws from r. The target and mutant are hereditary —
+// mutation never crosses them, so per-target corpora stay separable.
+func Mutate(g Genome, r *rng) Genome {
+	m := g
+	switch r.intn(10) {
+	case 0: // crash point: large jump or small nudge
+		if r.intn(2) == 0 {
+			m.CrashFrac = uint32(r.next() & 0xffff)
+		} else {
+			m.CrashFrac = uint32((uint64(m.CrashFrac) + r.next()%1024 - 512) & 0xffff)
+		}
+	case 1: // fault seed: fresh draw stream
+		m.FaultSeed = r.next()
+	case 2: // torn-word mask probability
+		m.Torn = true
+		m.DropProbMilli = r.intn(1001)
+	case 3: // toggle tearing mode entirely
+		m.Torn = !m.Torn
+		if !m.Torn {
+			m.TearAccepted = false
+		}
+	case 4: // beyond-ADR subset tearing
+		m.TearAccepted = !m.TearAccepted
+		if m.TearAccepted {
+			m.Torn = true
+			if m.DropProbMilli == 0 {
+				m.DropProbMilli = 250
+			}
+		}
+	case 5: // media faults / delays
+		m.MediaFaultMilli = r.intn(80)
+		m.MediaDelayMilli = r.intn(120)
+		m.MediaDelayCycles = uint64(r.intn(800))
+	case 6: // workload size
+		m.Ops = 1 + r.intn(6)
+	case 7: // thread count (direct redolog stays serial; see exec)
+		m.Threads = 1 + r.intn(3)
+	case 8: // crash-during-recovery budget
+		if r.intn(3) == 0 {
+			m.RecoveryCut = -1
+		} else {
+			m.RecoveryCut = r.intn(64)
+		}
+	case 9: // nested crash-during-recovery budget
+		if m.RecoveryCut < 0 || r.intn(3) == 0 {
+			m.RecoveryCut2 = -1
+		} else {
+			m.RecoveryCut2 = r.intn(32)
+		}
+	}
+	return m
+}
+
+// --- repro encoding ---
+//
+// A repro file is a self-contained replayable schedule: the genome in
+// "name: value" lines, preceded by a version header and followed by
+// the recorded outcome (failure text and crash-image fingerprint)
+// that Replay verifies byte-for-byte.
+
+// reproHeader versions the repro format.
+const reproHeader = "strandweaver-fuzz-repro v1"
+
+type genomeField struct {
+	name string
+	get  func(*Genome) string
+	set  func(*Genome, string) error
+}
+
+func intField(name string, p func(*Genome) *int) genomeField {
+	return genomeField{
+		name: name,
+		get:  func(g *Genome) string { return strconv.Itoa(*p(g)) },
+		set: func(g *Genome, s string) error {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return err
+			}
+			*p(g) = v
+			return nil
+		},
+	}
+}
+
+func boolField(name string, p func(*Genome) *bool) genomeField {
+	return genomeField{
+		name: name,
+		get:  func(g *Genome) string { return strconv.FormatBool(*p(g)) },
+		set: func(g *Genome, s string) error {
+			v, err := strconv.ParseBool(s)
+			if err != nil {
+				return err
+			}
+			*p(g) = v
+			return nil
+		},
+	}
+}
+
+func u64Field(name string, p func(*Genome) *uint64) genomeField {
+	return genomeField{
+		name: name,
+		get:  func(g *Genome) string { return strconv.FormatUint(*p(g), 10) },
+		set: func(g *Genome, s string) error {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return err
+			}
+			*p(g) = v
+			return nil
+		},
+	}
+}
+
+var genomeFields = []genomeField{
+	{
+		name: "target",
+		get:  func(g *Genome) string { return g.Target },
+		set:  func(g *Genome, s string) error { g.Target = s; return nil },
+	},
+	intField("threads", func(g *Genome) *int { return &g.Threads }),
+	intField("ops", func(g *Genome) *int { return &g.Ops }),
+	{
+		name: "crashfrac",
+		get:  func(g *Genome) string { return strconv.FormatUint(uint64(g.CrashFrac), 10) },
+		set: func(g *Genome, s string) error {
+			v, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return err
+			}
+			g.CrashFrac = uint32(v)
+			return nil
+		},
+	},
+	boolField("torn", func(g *Genome) *bool { return &g.Torn }),
+	intField("dropmilli", func(g *Genome) *int { return &g.DropProbMilli }),
+	boolField("tearaccepted", func(g *Genome) *bool { return &g.TearAccepted }),
+	intField("mediafaultmilli", func(g *Genome) *int { return &g.MediaFaultMilli }),
+	intField("mediadelaymilli", func(g *Genome) *int { return &g.MediaDelayMilli }),
+	u64Field("mediadelaycycles", func(g *Genome) *uint64 { return &g.MediaDelayCycles }),
+	u64Field("faultseed", func(g *Genome) *uint64 { return &g.FaultSeed }),
+	intField("recoverycut", func(g *Genome) *int { return &g.RecoveryCut }),
+	intField("recoverycut2", func(g *Genome) *int { return &g.RecoveryCut2 }),
+	{
+		name: "mutant",
+		get:  func(g *Genome) string { return g.Mutant },
+		set:  func(g *Genome, s string) error { g.Mutant = s; return nil },
+	},
+}
+
+// EncodeRepro renders a genome and its recorded outcome as a repro
+// file. failure may be empty (corpus entries encode healthy
+// schedules; Replay then asserts the schedule still passes).
+func EncodeRepro(g Genome, failure string, fingerprint uint64) string {
+	var b strings.Builder
+	b.WriteString(reproHeader)
+	b.WriteByte('\n')
+	for _, f := range genomeFields {
+		fmt.Fprintf(&b, "%s: %s\n", f.name, f.get(&g))
+	}
+	fmt.Fprintf(&b, "fingerprint: %016x\n", fingerprint)
+	if failure != "" {
+		fmt.Fprintf(&b, "failure: %s\n", failure)
+	}
+	return b.String()
+}
+
+// DecodeRepro parses a repro file back into its genome and recorded
+// outcome.
+func DecodeRepro(text string) (g Genome, failure string, fingerprint uint64, err error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	// Leading comments and blank lines before the header are allowed
+	// (corpus entries carry a provenance comment).
+	for len(lines) > 0 {
+		l := strings.TrimSpace(lines[0])
+		if l == "" || strings.HasPrefix(l, "#") {
+			lines = lines[1:]
+			continue
+		}
+		break
+	}
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != reproHeader {
+		return g, "", 0, fmt.Errorf("fuzzsched: not a repro file (want header %q)", reproHeader)
+	}
+	byName := map[string]genomeField{}
+	for _, f := range genomeFields {
+		byName[f.name] = f
+	}
+	seen := map[string]bool{}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return g, "", 0, fmt.Errorf("fuzzsched: malformed repro line %q", line)
+		}
+		name = strings.TrimSpace(name)
+		val = strings.TrimSpace(val)
+		switch name {
+		case "failure":
+			failure = val
+			continue
+		case "fingerprint":
+			fp, perr := strconv.ParseUint(val, 16, 64)
+			if perr != nil {
+				return g, "", 0, fmt.Errorf("fuzzsched: bad fingerprint %q: %v", val, perr)
+			}
+			fingerprint = fp
+			continue
+		}
+		f, ok := byName[name]
+		if !ok {
+			return g, "", 0, fmt.Errorf("fuzzsched: unknown repro field %q", name)
+		}
+		if err := f.set(&g, val); err != nil {
+			return g, "", 0, fmt.Errorf("fuzzsched: repro field %s: %v", name, err)
+		}
+		seen[name] = true
+	}
+	var missing []string
+	for _, f := range genomeFields {
+		if !seen[f.name] {
+			missing = append(missing, f.name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return g, "", 0, fmt.Errorf("fuzzsched: repro missing fields %v", missing)
+	}
+	return g, failure, fingerprint, nil
+}

@@ -1,0 +1,115 @@
+package fuzzsched
+
+import (
+	"strings"
+	"testing"
+)
+
+// Mutation must stay inside the genome's valid ranges and never touch
+// the hereditary axes (target, mutant).
+func TestMutateStaysValidAndHereditary(t *testing.T) {
+	g := SeedGenome(TargetUndolog)
+	g.Mutant = MutantNoDataFlush
+	r := newRng(42)
+	for i := 0; i < 2000; i++ {
+		g = Mutate(g, r)
+		if g.Target != TargetUndolog {
+			t.Fatalf("mutation %d changed target to %q", i, g.Target)
+		}
+		if g.Mutant != MutantNoDataFlush {
+			t.Fatalf("mutation %d changed mutant to %q", i, g.Mutant)
+		}
+		if g.Threads < 1 || g.Threads > 3 {
+			t.Fatalf("mutation %d: threads %d out of range", i, g.Threads)
+		}
+		if g.Ops < 1 || g.Ops > 6 {
+			t.Fatalf("mutation %d: ops %d out of range", i, g.Ops)
+		}
+		if g.CrashFrac > 0xffff {
+			t.Fatalf("mutation %d: crashfrac %d out of range", i, g.CrashFrac)
+		}
+		if g.DropProbMilli < 0 || g.DropProbMilli > 1000 {
+			t.Fatalf("mutation %d: dropmilli %d out of range", i, g.DropProbMilli)
+		}
+		if g.TearAccepted && !g.Torn {
+			t.Fatalf("mutation %d: TearAccepted without Torn", i)
+		}
+		if g.RecoveryCut < -1 || g.RecoveryCut2 < -1 {
+			t.Fatalf("mutation %d: negative recovery budget beyond -1", i)
+		}
+	}
+}
+
+// Mutation draws must be reproducible: the same parent and rng state
+// yield the same child.
+func TestMutateDeterministic(t *testing.T) {
+	g := SeedGenome(TargetRedolog)
+	a := newRng(9)
+	b := newRng(9)
+	for i := 0; i < 200; i++ {
+		ga, gb := Mutate(g, a), Mutate(g, b)
+		if ga != gb {
+			t.Fatalf("mutation %d diverged: %s vs %s", i, ga.Key(), gb.Key())
+		}
+		g = ga
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	g := SeedGenome(TargetUndolog)
+	g.Mutant = MutantNoDataFlush
+	g.CrashFrac = 12345
+	g.TearAccepted = true
+	g.MediaFaultMilli = 7
+	g.MediaDelayCycles = 99
+	g.RecoveryCut = 5
+	text := EncodeRepro(g, "invariant broken: cells torn", 0xdeadbeefcafe)
+
+	got, failure, fp, err := DecodeRepro(text)
+	if err != nil {
+		t.Fatalf("DecodeRepro: %v", err)
+	}
+	if got != g {
+		t.Fatalf("genome round trip: got %s want %s", got.Key(), g.Key())
+	}
+	if failure != "invariant broken: cells torn" {
+		t.Fatalf("failure round trip: %q", failure)
+	}
+	if fp != 0xdeadbeefcafe {
+		t.Fatalf("fingerprint round trip: %016x", fp)
+	}
+
+	// Encoding is stable: the same inputs render byte-identical text.
+	if again := EncodeRepro(g, "invariant broken: cells torn", 0xdeadbeefcafe); again != text {
+		t.Fatalf("EncodeRepro not stable:\n%s\nvs\n%s", text, again)
+	}
+}
+
+// Corpus entries carry a leading comment line; DecodeRepro must accept
+// them so saved corpus files replay as-is.
+func TestDecodeReproSkipsComments(t *testing.T) {
+	e := Entry{Genome: SeedGenome(TargetRedolog), CovKey: 0x42, Fingerprint: 77, Schedule: 9}
+	text := EncodeEntry(e)
+	if !strings.HasPrefix(text, "#") {
+		t.Fatalf("EncodeEntry missing comment header:\n%s", text)
+	}
+	g, failure, fp, err := DecodeRepro(text)
+	if err != nil {
+		t.Fatalf("DecodeRepro on corpus entry: %v", err)
+	}
+	if g != e.Genome || failure != "" || fp != 77 {
+		t.Fatalf("corpus entry round trip: genome=%s failure=%q fp=%d", g.Key(), failure, fp)
+	}
+}
+
+func TestDecodeReproRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not a repro",
+		"strandweaver-fuzz-repro v1\ntarget=undolog\n", // missing fields
+	} {
+		if _, _, _, err := DecodeRepro(bad); err == nil {
+			t.Fatalf("DecodeRepro accepted %q", bad)
+		}
+	}
+}

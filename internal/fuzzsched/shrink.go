@@ -1,0 +1,166 @@
+package fuzzsched
+
+import "fmt"
+
+// Shrinking: a violating schedule is reduced to a minimal repro by a
+// greedy fixpoint over per-axis simplification rules, in a fixed
+// order. A candidate is accepted when its execution still produces an
+// invariant violation on the same target (the failure text may move —
+// a smaller schedule usually fails at an earlier crash cycle — which
+// is why the repro records the shrunk schedule's own outcome, and
+// Replay verifies that outcome byte-for-byte). The rule order and the
+// deterministic executor make shrinking itself deterministic: the
+// same violating genome always shrinks to the same repro.
+
+// shrinkBudget caps executions per shrink so a pathological schedule
+// cannot stall the search.
+const shrinkBudget = 96
+
+// shrinkRules lists the per-axis simplifications, strongest first.
+// Each returns the simplified genome and whether it changed anything.
+var shrinkRules = []func(Genome) (Genome, bool){
+	// Drop the nested and primary crash-during-recovery budgets.
+	func(g Genome) (Genome, bool) {
+		if g.RecoveryCut2 < 0 {
+			return g, false
+		}
+		g.RecoveryCut2 = -1
+		return g, true
+	},
+	func(g Genome) (Genome, bool) {
+		if g.RecoveryCut < 0 {
+			return g, false
+		}
+		g.RecoveryCut = -1
+		return g, true
+	},
+	// Silence the media fault axes.
+	func(g Genome) (Genome, bool) {
+		if g.MediaFaultMilli == 0 && g.MediaDelayMilli == 0 && g.MediaDelayCycles == 0 {
+			return g, false
+		}
+		g.MediaFaultMilli, g.MediaDelayMilli, g.MediaDelayCycles = 0, 0, 0
+		return g, true
+	},
+	// Fewer threads, then fewer operations (halving, then decrement).
+	func(g Genome) (Genome, bool) {
+		if g.Threads <= 1 {
+			return g, false
+		}
+		g.Threads = 1
+		return g, true
+	},
+	func(g Genome) (Genome, bool) {
+		if g.Ops <= 1 {
+			return g, false
+		}
+		g.Ops = g.Ops / 2
+		if g.Ops < 1 {
+			g.Ops = 1
+		}
+		return g, true
+	},
+	func(g Genome) (Genome, bool) {
+		if g.Ops <= 1 {
+			return g, false
+		}
+		g.Ops--
+		return g, true
+	},
+	// Disable tearing wholesale, else reduce the word-drop probability.
+	func(g Genome) (Genome, bool) {
+		if !g.Torn {
+			return g, false
+		}
+		g.Torn = false
+		g.DropProbMilli = 0
+		return g, true
+	},
+	func(g Genome) (Genome, bool) {
+		if g.DropProbMilli == 0 {
+			return g, false
+		}
+		g.DropProbMilli /= 2
+		return g, true
+	},
+	// Canonicalise the fault seed and snap the crash fraction to a
+	// coarse grid (nearby fractions usually hit the same crash state).
+	func(g Genome) (Genome, bool) {
+		if g.FaultSeed == 1 {
+			return g, false
+		}
+		g.FaultSeed = 1
+		return g, true
+	},
+	func(g Genome) (Genome, bool) {
+		snapped := g.CrashFrac &^ 0xfff
+		if snapped == g.CrashFrac {
+			return g, false
+		}
+		g.CrashFrac = snapped
+		return g, true
+	},
+}
+
+// ShrinkResult is a completed shrink.
+type ShrinkResult struct {
+	// Genome is the minimal violating schedule.
+	Genome Genome
+	// Failure and Fingerprint are the minimal schedule's own recorded
+	// outcome (what Replay verifies).
+	Failure     string
+	Fingerprint uint64
+	// Executions counts schedule runs the shrink consumed.
+	Executions int
+}
+
+// Shrink reduces a violating genome to a minimal repro. The input
+// must violate (Execute yields a non-empty Violation); Shrink returns
+// ok=false when it does not reproduce.
+func Shrink(g Genome, o ExecOptions) (ShrinkResult, bool) {
+	res := ShrinkResult{Genome: g}
+	out, err := Execute(g, o)
+	res.Executions++
+	if err != nil || out.Violation == "" {
+		return res, false
+	}
+	res.Failure = out.Violation
+	res.Fingerprint = out.Fingerprint
+	for progress := true; progress && res.Executions < shrinkBudget; {
+		progress = false
+		for _, rule := range shrinkRules {
+			if res.Executions >= shrinkBudget {
+				break
+			}
+			cand, changed := rule(res.Genome)
+			if !changed {
+				continue
+			}
+			cout, cerr := Execute(cand, o)
+			res.Executions++
+			if cerr != nil || cout.Violation == "" {
+				continue
+			}
+			res.Genome = cand
+			res.Failure = cout.Violation
+			res.Fingerprint = cout.Fingerprint
+			progress = true
+		}
+	}
+	return res, true
+}
+
+// Minimize decodes a repro file, shrinks its schedule to a minimal
+// still-violating form, and re-encodes it. It fails when the input
+// does not violate (there is nothing to minimise).
+func Minimize(text string, o ExecOptions) (string, error) {
+	g, _, _, err := DecodeRepro(text)
+	if err != nil {
+		return "", err
+	}
+	sr, ok := Shrink(g, o)
+	if !ok {
+		return "", fmt.Errorf("fuzzsched: repro does not violate; nothing to minimise")
+	}
+	return EncodeRepro(sr.Genome, sr.Failure, sr.Fingerprint), nil
+}

@@ -116,12 +116,20 @@ func workers(p pmo.Program, rec *primErr) []machine.Worker {
 	return ws
 }
 
-func newSystem(p pmo.Program) *machine.System {
+// newSystem builds the system for one litmus run. It returns an error
+// instead of panicking: Check/CheckWithFaults are public API, and a
+// program wide enough to produce an invalid configuration must surface
+// as a diagnosable error, not a crash.
+func newSystem(p pmo.Program) (*machine.System, error) {
 	cfg := config.Default()
 	if len(p) > cfg.Cores {
 		cfg.Cores = len(p)
 	}
-	return machine.MustNew(cfg, hwdesign.StrandWeaver)
+	s, err := machine.New(cfg, hwdesign.StrandWeaver)
+	if err != nil {
+		return nil, fmt.Errorf("litmus: building system for %d-thread program: %w", len(p), err)
+	}
+	return s, nil
 }
 
 // observedState reads the abstract locations from the persistent image.
@@ -183,7 +191,10 @@ func CheckWithFaults(p pmo.Program, stride uint64, mk func(crashCycle uint64) Fa
 	// Crash-free run (also validates the final state). Media faults and
 	// latency spikes apply here too, so the crash sweep below covers the
 	// fault-stretched schedule.
-	s := newSystem(p)
+	s, err := newSystem(p)
+	if err != nil {
+		return nil, err
+	}
 	if mk != nil {
 		mk(0).Arm(s)
 	}
@@ -203,7 +214,10 @@ func CheckWithFaults(p pmo.Program, stride uint64, mk func(crashCycle uint64) Fa
 	res.States[final.Key()] = uint64(end)
 
 	for at := uint64(1); at <= uint64(end)+1; at += stride {
-		sc := newSystem(p)
+		sc, err := newSystem(p)
+		if err != nil {
+			return res, err
+		}
 		var fi FaultInjector
 		if mk != nil {
 			fi = mk(at)

@@ -4,6 +4,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 
 	"strandweaver/internal/cache"
@@ -14,6 +15,20 @@ import (
 	"strandweaver/internal/pmem"
 	"strandweaver/internal/sim"
 	"strandweaver/internal/trace"
+)
+
+// Run's failure taxonomy. Callers that degrade gracefully (the sweep
+// engine's KeepGoing mode, the fuzz harness) classify failures with
+// errors.Is instead of string matching; sim.ErrBudgetExceeded joins
+// these as the watchdog's sentinel.
+var (
+	// ErrCycleLimit reports that Run's cycle limit elapsed with workers
+	// still running: the simulation made forward progress in simulated
+	// time but did not finish.
+	ErrCycleLimit = errors.New("machine: cycle limit reached with workers still running")
+	// ErrDeadlock reports that the event queue drained with a worker
+	// still blocked: no event will ever wake it.
+	ErrDeadlock = errors.New("machine: simulation quiesced with a worker still blocked (deadlock)")
 )
 
 // System is one simulated machine.
@@ -85,16 +100,28 @@ func (s *System) Run(workers []Worker, limit sim.Cycle) (sim.Cycle, error) {
 		s.Spawn(i, w)
 	}
 	end := s.Eng.Run(limit)
+	if s.Eng.BudgetExceeded() {
+		// Watchdog fired: the event budget bounds even same-cycle
+		// livelocks that a cycle limit cannot catch.
+		return end, fmt.Errorf("machine: %w after %d events at cycle %d",
+			sim.ErrBudgetExceeded, s.Eng.Stats().EventsFired, end)
+	}
 	for _, co := range s.coros {
 		if !co.Done() {
 			if limit != 0 && end >= limit {
-				return end, fmt.Errorf("machine: cycle limit %d reached with workers still running", limit)
+				return end, fmt.Errorf("%w (limit %d)", ErrCycleLimit, limit)
 			}
-			return end, fmt.Errorf("machine: simulation quiesced with a worker still blocked (deadlock)")
+			return end, ErrDeadlock
 		}
 	}
 	return end, nil
 }
+
+// SetWatchdog arms the engine's event-budget watchdog (see
+// sim.Engine.SetEventBudget): if more than events events fire during a
+// subsequent Run, the run stops and returns an error matching
+// sim.ErrBudgetExceeded instead of hanging. 0 disarms.
+func (s *System) SetWatchdog(events uint64) { s.Eng.SetEventBudget(events) }
 
 // RunAt schedules an extra event: fn runs at the absolute cycle at
 // during a subsequent Run (for crash injection).

@@ -18,10 +18,22 @@
 // digests in internal/harness enforce it.
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Cycle is a point in simulated time, measured in CPU cycles.
 type Cycle uint64
+
+// ErrBudgetExceeded is the watchdog's typed failure: the engine fired
+// more events than SetEventBudget allows and stopped itself instead of
+// spinning forever. A cycle limit (Run's limit argument) cannot catch a
+// same-cycle event livelock — a self-perpetuating burst of zero-delay
+// events never advances the clock — so long-running sweeps and the
+// fuzz harness arm the event budget as their hang backstop. Match with
+// errors.Is.
+var ErrBudgetExceeded = errors.New("sim: event budget exceeded (watchdog)")
 
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
@@ -83,7 +95,11 @@ type Engine struct {
 	ringAt   Cycle
 	// stopped is set by Stop; Run returns promptly once set.
 	stopped bool
-	stats   Stats
+	// eventBudget, when non-zero, bounds EventsFired; crossing it sets
+	// budgetHit and stops the engine (the watchdog).
+	eventBudget uint64
+	budgetHit   bool
+	stats       Stats
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -141,6 +157,24 @@ func (e *Engine) ScheduleAt(at Cycle, fn Event) {
 // completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetEventBudget arms the watchdog: once n events have fired in total
+// the engine stops itself and BudgetExceeded reports true. n = 0
+// disarms. The budget is a deterministic function of the event order,
+// so the same simulation trips it at exactly the same event on every
+// run (docs/DETERMINISM.md).
+func (e *Engine) SetEventBudget(n uint64) {
+	e.eventBudget = n
+	if n == 0 || e.stats.EventsFired < n {
+		e.budgetHit = false
+	}
+}
+
+// EventBudget returns the armed budget (0 = disarmed).
+func (e *Engine) EventBudget() uint64 { return e.eventBudget }
+
+// BudgetExceeded reports whether the watchdog stopped the engine.
+func (e *Engine) BudgetExceeded() bool { return e.budgetHit }
+
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
@@ -187,6 +221,14 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.stats.EventsFired++
+	if e.eventBudget != 0 && e.stats.EventsFired >= e.eventBudget {
+		// Watchdog: the budget-crossing event still fires, but stopped
+		// is set first, so even if its callback perpetuates a
+		// same-cycle livelock by scheduling more zero-delay events,
+		// Run's next loop check exits.
+		e.budgetHit = true
+		e.stopped = true
+	}
 	ev.fn()
 	return true
 }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWatchdogStopsSameCycleLivelock arms the event budget against a
+// self-perpetuating zero-delay event: each firing schedules its own
+// successor in the same cycle, so the clock never advances and a cycle
+// limit can never interrupt it. The budget must.
+func TestWatchdogStopsSameCycleLivelock(t *testing.T) {
+	e := NewEngine()
+	e.SetEventBudget(1000)
+	var spin func()
+	fired := 0
+	spin = func() {
+		fired++
+		e.Schedule(0, spin)
+	}
+	e.Schedule(0, spin)
+	end := e.Run(50) // the cycle limit alone would never return
+	if !e.BudgetExceeded() {
+		t.Fatal("BudgetExceeded = false after livelock run")
+	}
+	if end != 0 {
+		t.Errorf("livelock advanced the clock to %d, want 0", end)
+	}
+	if fired != 1000 {
+		t.Errorf("fired %d events, want exactly the budget 1000", fired)
+	}
+	if e.Stats().EventsFired != 1000 {
+		t.Errorf("EventsFired = %d, want 1000", e.Stats().EventsFired)
+	}
+}
+
+// TestWatchdogDeterministicTripPoint runs the same livelock twice and
+// requires the watchdog to trip at the identical event count — the
+// budget is part of the deterministic event order contract.
+func TestWatchdogDeterministicTripPoint(t *testing.T) {
+	run := func() (uint64, Cycle) {
+		e := NewEngine()
+		e.SetEventBudget(777)
+		var spin func()
+		spin = func() {
+			e.Schedule(0, spin)
+			e.Schedule(1, func() {})
+		}
+		e.Schedule(0, spin)
+		end := e.Run(0)
+		if !e.BudgetExceeded() {
+			t.Fatal("watchdog did not trip")
+		}
+		return e.Stats().EventsFired, end
+	}
+	f1, c1 := run()
+	f2, c2 := run()
+	if f1 != f2 || c1 != c2 {
+		t.Errorf("nondeterministic trip: run1 = (%d events, cycle %d), run2 = (%d events, cycle %d)",
+			f1, c1, f2, c2)
+	}
+}
+
+// TestWatchdogDisarmed checks that a zero budget never trips and that
+// finite simulations under a generous budget complete normally.
+func TestWatchdogDisarmed(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(Cycle(i), func() { count++ })
+	}
+	e.Run(0)
+	if e.BudgetExceeded() {
+		t.Error("BudgetExceeded with no budget armed")
+	}
+	if count != 100 {
+		t.Errorf("fired %d, want 100", count)
+	}
+
+	e2 := NewEngine()
+	e2.SetEventBudget(1 << 20)
+	done := 0
+	for i := 0; i < 100; i++ {
+		e2.Schedule(Cycle(i), func() { done++ })
+	}
+	e2.Run(0)
+	if e2.BudgetExceeded() {
+		t.Error("generous budget tripped on a finite simulation")
+	}
+	if done != 100 {
+		t.Errorf("fired %d, want 100", done)
+	}
+	if e2.EventBudget() != 1<<20 {
+		t.Errorf("EventBudget = %d, want %d", e2.EventBudget(), 1<<20)
+	}
+}
+
+// TestWatchdogRearm checks that SetEventBudget(0) disarms and clears a
+// prior trip, and that re-arming above the fired count resets the flag.
+func TestWatchdogRearm(t *testing.T) {
+	e := NewEngine()
+	e.SetEventBudget(5)
+	var spin func()
+	spin = func() { e.Schedule(0, spin) }
+	e.Schedule(0, spin)
+	e.Run(0)
+	if !e.BudgetExceeded() {
+		t.Fatal("watchdog did not trip")
+	}
+	e.SetEventBudget(0)
+	if e.BudgetExceeded() {
+		t.Error("BudgetExceeded still true after disarm")
+	}
+	e.SetEventBudget(1 << 20)
+	if e.BudgetExceeded() {
+		t.Error("BudgetExceeded true after re-arm above fired count")
+	}
+}
+
+// TestErrBudgetExceededIdentity pins the sentinel's errors.Is behavior
+// through a wrap, which is how machine.Run surfaces it.
+func TestErrBudgetExceededIdentity(t *testing.T) {
+	wrapped := errors.Join(ErrBudgetExceeded)
+	if !errors.Is(wrapped, ErrBudgetExceeded) {
+		t.Error("wrapped ErrBudgetExceeded does not match errors.Is")
+	}
+}

@@ -20,11 +20,64 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 )
+
+// ErrCellTimeout is the sentinel inside a timed-out cell's error: the
+// cell exceeded Options.CellTimeout on the wall clock and was
+// abandoned. Match with errors.Is.
+var ErrCellTimeout = errors.New("sweep: cell timed out")
+
+// CellError is one cell's failure, carrying enough identity to act on
+// it without re-deriving indices from error strings. Unwrap exposes
+// the cell body's underlying error for errors.Is/As.
+type CellError struct {
+	// Index and Key identify the failed cell.
+	Index int
+	Key   string
+	// Err is the cell's underlying failure.
+	Err error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("sweep: cell %d %q: %v", e.Index, e.Key, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellErrors aggregates every failure of a KeepGoing sweep, in cell
+// order. Run returns it (as error) when at least one cell failed;
+// callers recover the per-cell detail with errors.As.
+type CellErrors struct {
+	Errs []*CellError
+}
+
+func (e *CellErrors) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d cells failed:", len(e.Errs))
+	for _, ce := range e.Errs {
+		b.WriteString("\n\t")
+		b.WriteString(ce.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-cell failures to errors.Is/As.
+func (e *CellErrors) Unwrap() []error {
+	out := make([]error, len(e.Errs))
+	for i, ce := range e.Errs {
+		out[i] = ce
+	}
+	return out
+}
 
 // Options configures one sweep.
 type Options struct {
@@ -36,6 +89,23 @@ type Options struct {
 	// (appended in cell order). Observability only: wall times and
 	// worker assignments in the report are not deterministic.
 	Report *Report
+	// KeepGoing runs every cell even after failures. Each failed cell
+	// degrades into its CellMetrics.Err entry (partial metrics intact)
+	// and Run's error aggregates all failures as a *CellErrors in cell
+	// order, instead of stopping at the lowest-index failure. Healthy
+	// cells' results are byte-identical either way.
+	KeepGoing bool
+	// CellTimeout, when positive, bounds each cell's wall-clock
+	// execution. A cell that exceeds it is abandoned — its goroutine
+	// leaks until it returns on its own, writing only to private
+	// storage — and reported as a *CellError matching ErrCellTimeout
+	// with a synthetic CellMetrics entry. A wall-clock bound is a
+	// last-resort backstop for code wedged outside the simulator;
+	// prefer the sim engine's deterministic event-budget watchdog
+	// (sim.Engine.SetEventBudget), which fails at the same event on
+	// every run. Timeouts feed only the error/metrics side channel,
+	// never results, so determinism of successful cells is preserved.
+	CellTimeout time.Duration
 }
 
 // workers resolves the pool size.
@@ -71,7 +141,10 @@ type Cell[T any] struct {
 // lowest cell index — the same error a serial run would have stopped
 // at. Results of cells that completed successfully are returned even
 // alongside an error. A panicking cell is converted into an error
-// rather than taking down the process.
+// rather than taking down the process. Under Options.KeepGoing every
+// cell runs regardless of failures and the error is a *CellErrors
+// aggregating them in cell order; Options.CellTimeout additionally
+// bounds each cell's wall time (see Options).
 func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
 	n := o.workers()
 	if n > len(cells) {
@@ -85,9 +158,9 @@ func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
 
 	if n <= 1 {
 		for i := range cells {
-			runCell(cells, i, results, errs, metrics)
+			runCell(o, cells, i, results, errs, metrics)
 			ran[i] = true
-			if errs[i] != nil {
+			if errs[i] != nil && !o.KeepGoing {
 				break
 			}
 		}
@@ -117,10 +190,10 @@ func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
 					if i < 0 {
 						return
 					}
-					runCell(cells, i, results, errs, metrics)
+					runCell(o, cells, i, results, errs, metrics)
 					metrics[i].Worker = worker
 					ran[i] = true
-					if errs[i] != nil {
+					if errs[i] != nil && !o.KeepGoing {
 						mu.Lock()
 						failed = true
 						mu.Unlock()
@@ -134,12 +207,31 @@ func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
 	if o.Report != nil {
 		o.Report.Parallel = o.Parallel
 		o.Report.Workers = n
-		o.Report.WallNS += time.Since(start).Nanoseconds()
+		o.Report.WallNS += time.Since(start).Nanoseconds() //strandvet:ok sweep wall time is metrics-only (Report.WallNS)
 		for i := range metrics {
 			if ran[i] {
 				o.Report.add(metrics[i])
 			}
 		}
+	}
+	if o.KeepGoing {
+		// Aggregate every failure in cell order so callers see the same
+		// error at any worker count.
+		var agg CellErrors
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			ce, ok := err.(*CellError)
+			if !ok {
+				ce = &CellError{Index: i, Key: cells[i].Key, Err: err}
+			}
+			agg.Errs = append(agg.Errs, ce)
+		}
+		if len(agg.Errs) > 0 {
+			return results, &agg
+		}
+		return results, nil
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -151,22 +243,63 @@ func Run[T any](o Options, cells []Cell[T]) ([]T, error) {
 
 // runCell executes one cell, recording its metrics and converting a
 // panic into an error. Each invocation touches only index i of the
-// shared slices, so concurrent invocations never race.
-func runCell[T any](cells []Cell[T], i int, results []T, errs []error, metrics []CellMetrics) {
-	m := &metrics[i]
-	m.Key = cells[i].Key
+// shared slices, so concurrent invocations never race. With a
+// CellTimeout armed, the body runs on its own goroutine against
+// private storage; the shared slices are written exclusively by this
+// (parent) side, so an abandoned cell can never race a later reader.
+func runCell[T any](o Options, cells []Cell[T], i int, results []T, errs []error, metrics []CellMetrics) {
+	if o.CellTimeout <= 0 {
+		cellBody(cells[i], i, &metrics[i], &results[i], &errs[i])
+		return
+	}
+	box := &struct {
+		m   CellMetrics
+		res T
+		err error
+	}{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cellBody(cells[i], i, &box.m, &box.res, &box.err)
+	}()
+	timer := time.NewTimer(o.CellTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		metrics[i] = box.m
+		results[i] = box.res
+		errs[i] = box.err
+	case <-timer.C:
+		// Abandon the cell: synthesize its record and let the orphaned
+		// goroutine finish (or leak) against the private box.
+		m := &metrics[i]
+		m.Key = cells[i].Key
+		m.Index = i
+		m.WallNS = o.CellTimeout.Nanoseconds()
+		errs[i] = &CellError{Index: i, Key: cells[i].Key,
+			Err: fmt.Errorf("%w after %v (cell abandoned)", ErrCellTimeout, o.CellTimeout)}
+		m.Err = errs[i].Error()
+	}
+}
+
+// cellBody is the cell execution core: it fills m, res and errp,
+// recording wall time and converting a panic into an error. Partial
+// metrics the cell folded in before failing (AddRun, AddEngine)
+// survive in m — a failed cell publishes what it measured.
+func cellBody[T any](c Cell[T], i int, m *CellMetrics, res *T, errp *error) {
+	m.Key = c.Key
 	m.Index = i
 	t0 := time.Now() //strandvet:ok per-cell wall time is metrics-only (CellMetrics.WallNS)
 	defer func() {
-		m.WallNS = time.Since(t0).Nanoseconds()
+		m.WallNS = time.Since(t0).Nanoseconds() //strandvet:ok per-cell wall time is metrics-only (CellMetrics.WallNS)
 		if r := recover(); r != nil {
-			errs[i] = fmt.Errorf("sweep: cell %q panicked: %v", cells[i].Key, r)
+			*errp = fmt.Errorf("sweep: cell %q panicked: %v", c.Key, r)
 		}
-		if errs[i] != nil {
-			m.Err = errs[i].Error()
+		if *errp != nil {
+			m.Err = (*errp).Error()
 		}
 	}()
-	results[i], errs[i] = cells[i].Run(m)
+	*res, *errp = c.Run(m)
 }
 
 // CellSeed derives a cell-private RNG seed from a sweep's root seed and

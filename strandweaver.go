@@ -33,6 +33,7 @@ import (
 	"strandweaver/internal/config"
 	"strandweaver/internal/cpu"
 	"strandweaver/internal/faultinject"
+	"strandweaver/internal/fuzzsched"
 	"strandweaver/internal/harness"
 	"strandweaver/internal/hwdesign"
 	"strandweaver/internal/langmodel"
@@ -468,3 +469,48 @@ func Torture(o TortureOptions) (*TortureReport, error) { return harness.Torture(
 func PrintTorture(w io.Writer, o TortureOptions, rep *TortureReport) {
 	harness.PrintTorture(w, o, rep)
 }
+
+// FuzzOptions configures a coverage-guided fault-schedule search
+// (strandweaver fuzz). The search is a pure function of (Seed,
+// Schedules): the Deadline hook is the only wall-clock entry point and
+// only ever stops it early.
+type FuzzOptions = fuzzsched.Options
+
+// FuzzExecOptions bounds one schedule execution (sim event-budget
+// watchdog, cycle limit).
+type FuzzExecOptions = fuzzsched.ExecOptions
+
+// FuzzResult summarises a search: corpus, violations, beyond-ADR
+// coverage and degraded (watchdog-killed) schedules.
+type FuzzResult = fuzzsched.Result
+
+// FuzzViolation is one invariant failure, with its shrunk minimal
+// repro when available.
+type FuzzViolation = fuzzsched.Violation
+
+// FuzzCorpusEntry is one coverage-novel schedule.
+type FuzzCorpusEntry = fuzzsched.Entry
+
+// Fuzz targets and seeded mutants.
+const (
+	FuzzTargetUndolog     = fuzzsched.TargetUndolog
+	FuzzTargetRedolog     = fuzzsched.TargetRedolog
+	FuzzMutantNoDataFlush = fuzzsched.MutantNoDataFlush
+)
+
+// Fuzz runs the coverage-guided fault-schedule search.
+func Fuzz(o FuzzOptions) (*FuzzResult, error) { return fuzzsched.Run(o) }
+
+// FuzzReplay re-executes a repro file and verifies the recorded
+// failure text and crash-image fingerprint byte-for-byte.
+func FuzzReplay(text string, o FuzzExecOptions) error { return fuzzsched.Replay(text, o) }
+
+// FuzzMinimize shrinks a violating repro file to its minimal
+// still-violating form and re-encodes it.
+func FuzzMinimize(text string, o FuzzExecOptions) (string, error) {
+	return fuzzsched.Minimize(text, o)
+}
+
+// FuzzEncodeCorpusEntry renders a corpus entry as a replayable repro
+// file.
+func FuzzEncodeCorpusEntry(e FuzzCorpusEntry) string { return fuzzsched.EncodeEntry(e) }
