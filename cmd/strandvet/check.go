@@ -30,8 +30,9 @@ type checker struct {
 	fset *token.FileSet
 	file *ast.File
 	// timeName and randName are the local names of the "time" and
-	// "math/rand" imports ("" when not imported).
-	timeName, randName string
+	// "math/rand" imports ("" when not imported); simName is the local
+	// name of the internal/sim import.
+	timeName, randName, simName string
 	// suppressed holds the line numbers covered by //strandvet:ok.
 	suppressed map[int]bool
 	diags      []string
@@ -75,6 +76,11 @@ func (c *checker) resolveImports() {
 				name = "rand"
 			}
 			c.randName = name
+		case "strandweaver/internal/sim":
+			if name == "" {
+				name = "sim"
+			}
+			c.simName = name
 		}
 	}
 }
@@ -93,8 +99,60 @@ func (c *checker) visit(n ast.Node) bool {
 		c.checkCall(n)
 	case *ast.RangeStmt:
 		c.checkRange(n)
+	case *ast.TypeSpec:
+		c.checkCheckpointType(n)
 	}
 	return true
+}
+
+// checkCheckpointType enforces the docs/SNAPSHOT.md passive-data rule
+// on checkpoint-carrying struct types (names ending in Checkpoint,
+// Snapshot or State): their fields must not retain behaviour or live
+// simulator references. A func-typed field is a cached thunk whose
+// closure binds the system it was captured from; a chan-typed field is
+// live plumbing; a *sim.Engine field aliases the engine the snapshot
+// was taken on. All three make a restore silently act on the wrong
+// system. Rebuild such state through the owner's alloc path on restore
+// instead, or suppress with //strandvet:ok for a field that is
+// genuinely decoupled.
+func (c *checker) checkCheckpointType(ts *ast.TypeSpec) {
+	name := ts.Name.Name
+	if !strings.HasSuffix(name, "Checkpoint") && !strings.HasSuffix(name, "Snapshot") &&
+		!strings.HasSuffix(name, "State") {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, f := range st.Fields.List {
+		bad := ""
+		ast.Inspect(f.Type, func(n ast.Node) bool {
+			if bad != "" {
+				return false
+			}
+			switch t := n.(type) {
+			case *ast.FuncType:
+				bad = "function-typed"
+			case *ast.ChanType:
+				bad = "channel-typed"
+			case *ast.SelectorExpr:
+				if id, ok := t.X.(*ast.Ident); ok && id.Obj == nil &&
+					c.simName != "" && id.Name == c.simName && t.Sel.Name == "Engine" {
+					bad = c.simName + ".Engine-referencing"
+				}
+			}
+			return true
+		})
+		if bad == "" {
+			continue
+		}
+		fieldName := "embedded"
+		if len(f.Names) > 0 {
+			fieldName = f.Names[0].Name
+		}
+		c.report(f.Pos(), "checkpoint type %s has %s field %s: checkpoints are passive data (docs/SNAPSHOT.md); rebuild bound behaviour through the owner's alloc path on restore", name, bad, fieldName)
+	}
 }
 
 // pkgCall matches a call of the form pkgName.Fn(...) where pkgName is

@@ -176,3 +176,64 @@ func TestDefaultDirsAreClean(t *testing.T) {
 		}
 	}
 }
+
+func TestFlagsFuncFieldInCheckpointType(t *testing.T) {
+	diags := runCheck(t, `package p
+type DrainState struct {
+	Line    uint64
+	retryFn func() bool
+}
+`)
+	wantDiags(t, diags, "function-typed field retryFn")
+}
+
+func TestFlagsChanFieldInSnapshotType(t *testing.T) {
+	diags := runCheck(t, `package p
+type UnitSnapshot struct {
+	acks chan int
+}
+`)
+	wantDiags(t, diags, "channel-typed field acks")
+}
+
+func TestFlagsEngineFieldInCheckpointType(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/sim"
+type Checkpoint struct {
+	Eng *sim.Engine
+}
+`)
+	wantDiags(t, diags, "sim.Engine-referencing field Eng")
+}
+
+func TestAllowsPassiveCheckpointFields(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/sim"
+type CoreState struct {
+	Seq     uint64
+	Eng     sim.EngineState
+	Entries []struct{ Line uint64 }
+	Backend any
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestAllowsFuncFieldsOutsideCheckpointTypes(t *testing.T) {
+	diags := runCheck(t, `package p
+type worker struct {
+	run func() error
+	out chan int
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestCheckpointFieldSuppression(t *testing.T) {
+	diags := runCheck(t, `package p
+type BufferState struct {
+	done func() //strandvet:ok decoupled continuation, rebound on restore
+}
+`)
+	wantDiags(t, diags)
+}

@@ -15,7 +15,12 @@
 //     rand.New and rand.NewSource are fine);
 //   - no map-order output: a `for range` over a map whose body prints
 //     or writes directly is flagged — iteration order would leak into
-//     output; iterate a sorted key slice instead.
+//     output; iterate a sorted key slice instead;
+//   - passive checkpoints: a struct type named *Checkpoint, *Snapshot
+//     or *State must not carry func-typed, chan-typed or sim.Engine
+//     fields — a checkpoint holding behaviour or live simulator
+//     references silently acts on the wrong system after a restore
+//     (docs/SNAPSHOT.md).
 //
 // A finding is suppressed by a `//strandvet:ok` comment on the same
 // line or the line above — the escape hatch for the documented
@@ -34,7 +39,9 @@ import (
 	"strings"
 )
 
-// defaultDirs is the package list the determinism rules cover.
+// defaultDirs is the package list the determinism rules cover. The
+// second group holds the packages with Snapshot/Restore seams, which
+// the passive-checkpoint rule guards.
 var defaultDirs = []string{
 	"internal/sim",
 	"internal/harness",
@@ -42,6 +49,12 @@ var defaultDirs = []string{
 	"internal/litmus",
 	"internal/faultinject",
 	"internal/fuzzsched",
+	"internal/mem",
+	"internal/pmem",
+	"internal/strand",
+	"internal/cpu",
+	"internal/backend",
+	"internal/machine",
 }
 
 func main() {

@@ -60,12 +60,13 @@ func runFuzz(o options, metrics *sw.SweepReport) error {
 	}
 
 	fo := sw.FuzzOptions{
-		Seed:      uint64(o.seed),
-		Schedules: o.fuzzSchedules,
-		Targets:   o.fuzzTargets,
-		Mutant:    o.fuzzMutant,
-		Parallel:  o.workers(),
-		Metrics:   metrics,
+		Seed:       uint64(o.seed),
+		Schedules:  o.fuzzSchedules,
+		Targets:    o.fuzzTargets,
+		Mutant:     o.fuzzMutant,
+		NoSnapshot: o.noSnapshot,
+		Parallel:   o.workers(),
+		Metrics:    metrics,
 	}
 	if o.fuzzSchedules == 0 {
 		fo.Schedules = math.MaxInt32 // unbounded; -duration stops the search

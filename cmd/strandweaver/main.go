@@ -40,6 +40,7 @@ type options struct {
 	maxBudgets   int
 	tearAccepted bool
 	skipLitmus   bool
+	noSnapshot   bool
 	stride       uint64
 	parallel     int
 	serial       bool
@@ -97,6 +98,7 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.IntVar(&o.maxBudgets, "budgets", 96, "max crash-during-recovery budget points per sweep (torture)")
 	fs.BoolVar(&o.tearAccepted, "tear-accepted", false, "add the beyond-ADR plan that tears accepted writes (torture)")
 	fs.BoolVar(&o.skipLitmus, "skip-litmus", false, "skip the litmus phase (torture)")
+	fs.BoolVar(&o.noSnapshot, "no-snapshot", false, "re-simulate every crash prefix from cycle zero instead of forking checkpoints (torture, fuzz); results are byte-identical, only slower")
 	fs.Uint64Var(&o.stride, "stride", 64, "litmus crash-sweep stride in cycles (torture)")
 	fs.IntVar(&o.parallel, "parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	fs.BoolVar(&o.serial, "serial", false, "force serial sweeps (same as -parallel 1)")
@@ -419,9 +421,11 @@ sweep flags: -parallel N (0 = GOMAXPROCS) -serial -metrics-out FILE
 profiling:   -cpuprofile FILE -memprofile FILE (pprof format; see
              README "Running sweeps and profiling")
 torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
+               -no-snapshot (crash-prefix checkpoint forking is the
+               default; see docs/SNAPSHOT.md)
 lint flags:    -severity LEVEL (info, warn, error) -json
 fuzz flags:    -schedules N -duration D -target LIST -mutate NAME
-               -repro FILE [-minimize] -out DIR -json
+               -repro FILE [-minimize] -out DIR -json -no-snapshot
 `)
 }
 
@@ -437,6 +441,7 @@ func runTorture(o options, metrics *sw.SweepReport) error {
 		TearAccepted: o.tearAccepted,
 		SkipLitmus:   o.skipLitmus,
 		LitmusStride: o.stride,
+		NoSnapshot:   o.noSnapshot,
 		Parallel:     o.workers(),
 		Metrics:      metrics,
 	}

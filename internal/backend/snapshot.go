@@ -1,0 +1,121 @@
+// Snapshot/restore for the persist backends. Every registered backend
+// implements Snapshotter; machine.System.Snapshot relies on it. The
+// per-design state types capture counters and the persist-structure
+// contents (via the strand package's own snapshot types) — never
+// closures or queued-op handles, which are the destroyed future under
+// the state-capture contract (docs/SNAPSHOT.md).
+package backend
+
+import "strandweaver/internal/strand"
+
+// Snapshotter is the optional checkpoint seam a backend implements.
+// SnapshotState returns an opaque, self-contained value; RestoreState
+// accepts only a value produced by the same design's SnapshotState.
+// Every design registered in this package implements it — a new
+// backend must too before torture/fuzz snapshot sweeps can cover it
+// (see docs/SNAPSHOT.md, "Extending a new backend").
+type Snapshotter interface {
+	SnapshotState() any
+	RestoreState(any)
+}
+
+// swState is the StrandWeaver backend's checkpoint. The youngest-PB
+// entry handle (lastPB) is a live pointer into the persist queue and
+// is not captured: after restore the gate it implements is vacuously
+// open, which is observable only if a quiescent checkpoint is resumed,
+// never at a crash cut.
+type swState struct {
+	SBU       *strand.BufferUnitState
+	PQ        *strand.PersistQueueState
+	LastPBSeq uint64
+	LastNSSeq uint64
+}
+
+func (b *swBackend) SnapshotState() any {
+	return &swState{
+		SBU:       b.sbu.Snapshot(),
+		PQ:        b.pq.Snapshot(),
+		LastPBSeq: b.lastPBSeq,
+		LastNSSeq: b.lastNSSeq,
+	}
+}
+
+func (b *swBackend) RestoreState(s any) {
+	st := s.(*swState)
+	b.sbu.Restore(st.SBU)
+	b.pq.Restore(st.PQ)
+	b.lastPBSeq, b.lastNSSeq = st.LastPBSeq, st.LastNSSeq
+	b.lastPB = nil
+}
+
+// hopsState is the HOPS backend's checkpoint.
+type hopsState struct {
+	SBU     *strand.BufferUnitState
+	Ofences uint64
+	Dfences uint64
+}
+
+func (b *hopsBackend) SnapshotState() any {
+	return &hopsState{SBU: b.sbu.Snapshot(), Ofences: b.ofences, Dfences: b.dfences}
+}
+
+func (b *hopsBackend) RestoreState(s any) {
+	st := s.(*hopsState)
+	b.sbu.Restore(st.SBU)
+	b.ofences, b.dfences = st.Ofences, st.Dfences
+}
+
+// flushState is the checkpoint of the synchronous-flush backends
+// (intel-x86 and non-atomic share flushBackend). The stashed
+// dispatch (pendingLine/pendingPop) is a callback into the store
+// queue — destroyed future, cleared on restore.
+type flushState struct {
+	Flushes    int
+	Dispatched uint64
+	Sfences    uint64
+}
+
+func (b *flushBackend) SnapshotState() any {
+	return &flushState{Flushes: b.flushes, Dispatched: b.dispatched, Sfences: b.sfences}
+}
+
+func (b *flushBackend) RestoreState(s any) {
+	st := s.(*flushState)
+	b.flushes = st.Flushes
+	b.dispatched, b.sfences = st.Dispatched, st.Sfences
+	b.pendingLine = 0
+	b.pendingPop = nil
+}
+
+// nopqState is the no-persist-queue ablation's checkpoint.
+type nopqState struct {
+	SBU *strand.BufferUnitState
+}
+
+func (b *nopqBackend) SnapshotState() any {
+	return &nopqState{SBU: b.sbu.Snapshot()}
+}
+
+func (b *nopqBackend) RestoreState(s any) {
+	b.sbu.Restore(s.(*nopqState).SBU)
+}
+
+// eadrState is the eADR backend's checkpoint: pure counters. The
+// persist-at-visibility mode bit lives in mem.MachineState; restore
+// re-asserts it anyway so an eADR backend is self-consistent even when
+// restored in isolation.
+type eadrState struct {
+	CLWBsElided    uint64
+	BarriersElided uint64
+	WordsPersisted uint64
+}
+
+func (b *eadrBackend) SnapshotState() any {
+	return &eadrState{CLWBsElided: b.clwbsElided, BarriersElided: b.barriersElided, WordsPersisted: b.wordsPersisted}
+}
+
+func (b *eadrBackend) RestoreState(s any) {
+	st := s.(*eadrState)
+	b.clwbsElided, b.barriersElided, b.wordsPersisted = st.CLWBsElided, st.BarriersElided, st.WordsPersisted
+	b.m.SetPersistAtVisibility(true)
+}

@@ -107,7 +107,11 @@ type Core struct {
 	addResult    uint64
 	addFn        func()
 
-	rng *rand.Rand
+	// rng drives lock backoff jitter; rngDraws counts draws so a
+	// checkpoint restore can replay the generator to the same stream
+	// position (docs/SNAPSHOT.md).
+	rng      *rand.Rand
+	rngDraws uint64
 
 	stats Stats
 }

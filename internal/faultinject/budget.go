@@ -73,12 +73,22 @@ type Convergence struct {
 // the earliest cut points, which are the adversarial ones.
 func CheckConvergence(crash *mem.Image, rec Recoverer, maxBudgets int) (Convergence, error) {
 	var cv Convergence
+	// Dirty-page tracking keeps the sweep's per-budget cost proportional
+	// to what recovery touches, not to the image size: the golden pass
+	// and every interrupted pass record their written pages, each
+	// iteration resets only its own writes back to the crash image, and
+	// equality is decided on the union of the two write sets — every
+	// other page is the crash image's on both sides by construction.
 	golden := crash.Clone()
+	golden.TrackDirty()
 	if err := rec(golden); err != nil {
 		return cv, fmt.Errorf("faultinject: uninterrupted recovery failed: %w", err)
 	}
+	goldenDirty := golden.DirtyPages()
+	golden.StopDirtyTracking()
+	img := crash.Clone()
 	for n := 0; maxBudgets == 0 || n < maxBudgets; n++ {
-		img := crash.Clone()
+		img.TrackDirty()
 		cut, err := RunToPowerCut(img, n, func() error { return rec(img) })
 		if err != nil {
 			return cv, fmt.Errorf("faultinject: recovery under budget %d failed: %w", n, err)
@@ -90,12 +100,15 @@ func CheckConvergence(crash *mem.Image, rec Recoverer, maxBudgets int) (Converge
 				return cv, fmt.Errorf("faultinject: re-run after cut at budget %d failed: %w", n, err)
 			}
 		}
-		if !img.Equal(golden) {
+		dirty := img.DirtyPages()
+		img.StopDirtyTracking()
+		if !img.EqualOn(golden, dirty, goldenDirty) {
 			return cv, fmt.Errorf("faultinject: budget %d: interrupted-then-rerun image diverges from uninterrupted recovery", n)
 		}
 		if !cut {
 			break
 		}
+		img.ResetPagesFrom(crash, dirty)
 	}
 	return cv, nil
 }

@@ -1,0 +1,25 @@
+package faultinject
+
+// InjectorSnapshot captures an injector mid-stream: the splitmix64
+// generator position and the fault counters accumulated so far.
+// Restoring it onto a fresh Injector (built with New from the same
+// Plan) reproduces the remaining draw sequence exactly, which is what
+// keeps a crash image computed after a checkpoint restore byte-
+// identical to one computed on the original run (docs/SNAPSHOT.md).
+type InjectorSnapshot struct {
+	State uint64
+	Stats Stats
+}
+
+// Snapshot captures the injector's generator state and counters.
+func (in *Injector) Snapshot() InjectorSnapshot {
+	return InjectorSnapshot{State: in.state, Stats: in.stats}
+}
+
+// Restore rewinds the injector to a previously captured position. The
+// plan is not part of the snapshot: the caller re-creates the injector
+// from the run's Plan and then restores the stream position onto it.
+func (in *Injector) Restore(s InjectorSnapshot) {
+	in.state = s.State
+	in.stats = s.Stats
+}

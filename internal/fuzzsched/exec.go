@@ -24,6 +24,10 @@ type ExecOptions struct {
 	EventBudget uint64
 	// CycleLimit bounds each run in simulated time (0 uses a default).
 	CycleLimit sim.Cycle
+	// Cache, when non-nil, memoises crash-free run lengths and
+	// crashed-run checkpoints across executions (see ExecCache).
+	// Outcomes are byte-identical with and without it.
+	Cache *ExecCache
 }
 
 // DefaultEventBudget is the per-run watchdog arming used when
@@ -369,29 +373,68 @@ func Execute(g Genome, o ExecOptions) (*Outcome, error) {
 	}
 
 	// Crash-free run: measures the schedule length and validates the
-	// workload completes under the watchdog.
-	sys, ws, err := spec.build()
-	if err != nil {
-		return nil, err
+	// workload completes under the watchdog. The length is determined by
+	// the genome's run-visible signature alone, so a cache hit skips the
+	// run entirely.
+	sig := sigOf(g)
+	var end sim.Cycle
+	cachedEnd := false
+	if o.Cache != nil {
+		end, cachedEnd = o.Cache.end(sig)
 	}
-	faultinject.New(g.Plan()).Arm(sys)
-	sys.SetWatchdog(o.EventBudget)
-	end, err := sys.Run(ws, o.CycleLimit)
-	if err != nil {
-		return nil, fmt.Errorf("fuzzsched: %s crash-free run: %w", g.Target, err)
+	if !cachedEnd {
+		sys, ws, err := spec.build()
+		if err != nil {
+			return nil, err
+		}
+		faultinject.New(g.Plan()).Arm(sys)
+		sys.SetWatchdog(o.EventBudget)
+		end, err = sys.Run(ws, o.CycleLimit)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzsched: %s crash-free run: %w", g.Target, err)
+		}
+		if o.Cache != nil {
+			o.Cache.putEnd(sig, end)
+		}
 	}
 
-	// Crashed run at the genome's crash fraction.
+	// Crashed run at the genome's crash fraction. On a checkpoint hit
+	// the abandoned machine state and the injector's stream position are
+	// restored instead of re-simulated; spec.build still runs so the
+	// recover/verify closures are wired to this schedule's instance.
 	crashAt := sim.Cycle(1 + uint64(end-1)*uint64(g.CrashFrac&0xffff)/65536)
-	sys, ws, err = spec.build()
-	if err != nil {
-		return nil, err
+	var sys *machine.System
+	var fi *faultinject.Injector
+	var hit *execCheckpoint
+	if o.Cache != nil {
+		hit = o.Cache.checkpoint(cpKey{sig, crashAt})
 	}
-	fi := faultinject.New(g.Plan())
-	fi.Arm(sys)
-	sys.SetWatchdog(o.EventBudget)
-	sys.RunAt(crashAt, sys.Abandon)
-	_, _ = sys.Run(ws, o.CycleLimit) // stopped engine: error expected
+	if hit != nil {
+		sys, _, err = spec.build()
+		if err != nil {
+			return nil, err
+		}
+		sys.Restore(hit.cp)
+		fi = faultinject.New(g.Plan())
+		fi.Restore(hit.fi)
+	} else {
+		var ws []machine.Worker
+		sys, ws, err = spec.build()
+		if err != nil {
+			return nil, err
+		}
+		fi = faultinject.New(g.Plan())
+		fi.Arm(sys)
+		sys.SetWatchdog(o.EventBudget)
+		sys.RunAt(crashAt, sys.Abandon)
+		_, _ = sys.Run(ws, o.CycleLimit) // stopped engine: error expected
+		if o.Cache != nil {
+			// Captured after the run returns, before CrashImage draws:
+			// the capture cannot perturb either.
+			o.Cache.putCheckpoint(cpKey{sig, crashAt},
+				&execCheckpoint{cp: sys.Snapshot(), fi: fi.Snapshot()})
+		}
+	}
 	crash := fi.CrashImage(sys)
 
 	out := &Outcome{End: end, CrashAt: crashAt, Fingerprint: crash.Fingerprint()}

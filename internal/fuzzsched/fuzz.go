@@ -40,6 +40,11 @@ type Options struct {
 	MaxShrinks int
 	// Exec bounds each schedule execution (watchdog, cycle limit).
 	Exec ExecOptions
+	// NoSnapshot disables the execution cache (crash-free run lengths
+	// and crashed-run checkpoints shared across schedules). Corpus,
+	// violations and repro files are byte-identical either way — this is
+	// an escape hatch for debugging the snapshot seam.
+	NoSnapshot bool
 	// Metrics, when non-nil, receives per-schedule sweep metrics.
 	// Observability only.
 	Metrics *sweep.Report
@@ -103,6 +108,12 @@ type Result struct {
 	// ExecErrors records infrastructure failures (wedged runs caught by
 	// the watchdog, build errors), in schedule order.
 	ExecErrors []string
+	// SnapshotHits and SnapshotMisses count crashed-run checkpoint
+	// lookups served from / missed by the execution cache (both zero
+	// under NoSnapshot). Observability only: counts are scheduling-
+	// dependent under a parallel search and never influence the corpus.
+	SnapshotHits   uint64
+	SnapshotMisses uint64
 }
 
 // Run executes the search: seed schedules per target, then rounds of
@@ -112,6 +123,11 @@ type Result struct {
 // minimal repros as they are found.
 func Run(o Options) (*Result, error) {
 	o = o.withDefaults()
+	if !o.NoSnapshot && o.Exec.Cache == nil {
+		// One cache for the whole search: batch cells and shrink runs
+		// (Shrink receives o.Exec) all share it.
+		o.Exec.Cache = NewExecCache()
+	}
 	r := newRng(o.Seed)
 	res := &Result{Corpus: NewCorpus()}
 
@@ -209,6 +225,9 @@ func Run(o Options) (*Result, error) {
 			res.Violations = append(res.Violations, v)
 		}
 		res.Executed += len(batch)
+	}
+	if o.Exec.Cache != nil {
+		res.SnapshotHits, res.SnapshotMisses = o.Exec.Cache.Stats()
 	}
 	return res, nil
 }

@@ -1,0 +1,136 @@
+package fuzzsched
+
+import (
+	"sync"
+
+	"strandweaver/internal/faultinject"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/sim"
+)
+
+// Execution caching for the fuzz search.
+//
+// A schedule's simulated runs are fully determined by the genome
+// fields that can reach the machine: the target and its shape
+// (threads, ops, mutant) and the fault plan's run-visible part (the
+// draw-stream seed and the media fault knobs). Everything else —
+// CrashFrac, Torn, DropProbMilli, TearAccepted, RecoveryCut(2) — acts
+// at crash-image time or later, off the simulated machine. Mutation
+// walks those cheap knobs far more often than the expensive ones, so a
+// search re-simulates identical runs constantly; ExecCache memoises
+// them. Cached results are byte-identical to cold execution (the
+// cold-vs-restored contract in docs/SNAPSHOT.md), so corpus coverage
+// keys, fingerprints and violations are unchanged at any hit rate —
+// hits and misses are observability, never coverage.
+
+// execSig identifies the run-visible part of a genome (see above).
+type execSig struct {
+	target           string
+	threads, ops     int
+	mutant           string
+	faultSeed        uint64
+	mediaFaultMilli  int
+	mediaDelayMilli  int
+	mediaDelayCycles uint64
+}
+
+func sigOf(g Genome) execSig {
+	return execSig{
+		target:           g.Target,
+		threads:          g.Threads,
+		ops:              g.Ops,
+		mutant:           g.Mutant,
+		faultSeed:        g.FaultSeed,
+		mediaFaultMilli:  g.MediaFaultMilli,
+		mediaDelayMilli:  g.MediaDelayMilli,
+		mediaDelayCycles: g.MediaDelayCycles,
+	}
+}
+
+// cpKey identifies a crashed-run checkpoint: the run signature plus
+// the crash cycle (different CrashFracs over the same run map to
+// different cut cycles but share the signature and its cached end).
+type cpKey struct {
+	sig     execSig
+	crashAt sim.Cycle
+}
+
+// execCheckpoint is the state pair a checkpoint hit restores: the
+// machine at its abandoned crash cut and the armed injector's stream
+// position. Both are captured after the crashed run returns and before
+// CrashImage draws — zero perturbation of the run itself.
+type execCheckpoint struct {
+	cp *machine.Checkpoint
+	fi faultinject.InjectorSnapshot
+}
+
+// execCacheCap bounds retained checkpoints; past it new checkpoints
+// are simply not stored (machine state for fuzz targets is small, but
+// a long search visits many (signature, cut) pairs). The cap shapes
+// performance only — results are identical at any cap including zero.
+const execCacheCap = 64
+
+// ExecCache memoises crash-free run lengths and crashed-run
+// checkpoints across Execute calls. Safe for concurrent use; share one
+// cache across a search (fuzzsched.Run wires one into its ExecOptions
+// unless Options.NoSnapshot is set).
+type ExecCache struct {
+	mu     sync.Mutex
+	ends   map[execSig]sim.Cycle
+	cps    map[cpKey]*execCheckpoint
+	hits   uint64
+	misses uint64
+}
+
+// NewExecCache returns an empty cache.
+func NewExecCache() *ExecCache {
+	return &ExecCache{
+		ends: make(map[execSig]sim.Cycle),
+		cps:  make(map[cpKey]*execCheckpoint),
+	}
+}
+
+// end returns the cached crash-free run length for sig.
+func (c *ExecCache) end(sig execSig) (sim.Cycle, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	end, ok := c.ends[sig]
+	return end, ok
+}
+
+func (c *ExecCache) putEnd(sig execSig, end sim.Cycle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ends[sig] = end
+}
+
+// checkpoint returns the cached crashed-run state for key, counting
+// the lookup as a hit or miss.
+func (c *ExecCache) checkpoint(key cpKey) *execCheckpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ec := c.cps[key]
+	if ec != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ec
+}
+
+func (c *ExecCache) putCheckpoint(key cpKey, ec *execCheckpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cps) >= execCacheCap {
+		return
+	}
+	c.cps[key] = ec
+}
+
+// Stats reports checkpoint lookup hits and misses. Counts depend on
+// scheduling under a parallel search; results never do.
+func (c *ExecCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

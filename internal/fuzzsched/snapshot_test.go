@@ -1,0 +1,99 @@
+package fuzzsched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExecCacheEquivalence: a cached Execute must reproduce the cold
+// Outcome byte for byte, including across the knobs excluded from the
+// run signature (crash fraction, tearing, recovery cuts), which are
+// exactly the ones a hit short-circuits past.
+func TestExecCacheEquivalence(t *testing.T) {
+	base := SeedGenome(TargetUndolog)
+	variants := []Genome{base}
+	for _, frac := range []uint32{0, 9000, 32768, 50000, 65535} {
+		g := base
+		g.CrashFrac = frac
+		variants = append(variants, g)
+	}
+	{
+		g := base
+		g.Torn = true
+		g.DropProbMilli = 200
+		variants = append(variants, g)
+	}
+	{
+		g := base
+		g.RecoveryCut = 3
+		g.RecoveryCut2 = 1
+		variants = append(variants, g)
+	}
+	{
+		g := base
+		g.TearAccepted = true
+		g.Torn = true
+		variants = append(variants, g)
+	}
+
+	cache := NewExecCache()
+	for i, g := range variants {
+		cold, err := Execute(g, ExecOptions{})
+		if err != nil {
+			t.Fatalf("variant %d cold: %v", i, err)
+		}
+		// Twice through the cache: the first call may miss and capture,
+		// the second must hit; both must equal the cold outcome.
+		for pass := 0; pass < 2; pass++ {
+			warm, err := Execute(g, ExecOptions{Cache: cache})
+			if err != nil {
+				t.Fatalf("variant %d cached pass %d: %v", i, pass, err)
+			}
+			if !reflect.DeepEqual(cold, warm) {
+				t.Errorf("variant %d pass %d: cached outcome differs from cold\ncold: %+v\nwarm: %+v",
+					i, pass, cold, warm)
+			}
+		}
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("no checkpoint hits across repeated executions")
+	}
+}
+
+// TestFuzzSnapshotCorpusEquality: a whole search with the execution
+// cache on and off must produce identical corpora, violations and
+// repro files — the cache may only change how fast the search runs.
+func TestFuzzSnapshotCorpusEquality(t *testing.T) {
+	base := Options{Seed: 11, Schedules: 24, Mutant: MutantNoDataFlush}
+	on, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.NoSnapshot = true
+	cold, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Corpus.Digest() != cold.Corpus.Digest() {
+		t.Errorf("corpus digests differ: snapshot %016x vs cold %016x",
+			on.Corpus.Digest(), cold.Corpus.Digest())
+	}
+	if !reflect.DeepEqual(on.Corpus, cold.Corpus) {
+		t.Error("corpora differ between snapshot and cold searches")
+	}
+	if len(on.Violations) != len(cold.Violations) {
+		t.Fatalf("violation counts differ: %d vs %d", len(on.Violations), len(cold.Violations))
+	}
+	for i := range on.Violations {
+		if on.Violations[i].Repro() != cold.Violations[i].Repro() {
+			t.Errorf("violation %d repro differs between snapshot and cold searches", i)
+		}
+	}
+	if on.SnapshotHits == 0 {
+		t.Error("search with cache on recorded no checkpoint hits")
+	}
+	if cold.SnapshotHits != 0 || cold.SnapshotMisses != 0 {
+		t.Error("NoSnapshot search recorded cache traffic")
+	}
+}

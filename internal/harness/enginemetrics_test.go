@@ -109,3 +109,56 @@ func TestEngineCountersExcludedFromResultJSON(t *testing.T) {
 		t.Error("engine counters leaked into the Result JSON (would change golden digests)")
 	}
 }
+
+// The checkpoint counters must reach the -metrics-out side channel: a
+// serial torture sweep's cells record whether they reused a shared
+// prefix and how many crash cuts were served by checkpoint restores,
+// and the counters must survive into JSON under their pinned keys.
+func TestCheckpointCountersReachCellMetrics(t *testing.T) {
+	rep := sweep.NewReport("test")
+	o := TortureOptions{Seed: 2, Benchmarks: []string{"queue"}, Crashes: 4,
+		SkipLitmus: true, ConvergeEvery: 1000, Parallel: 1, Metrics: rep}
+	if _, err := Torture(o); err != nil {
+		t.Fatal(err)
+	}
+	var hits, misses uint64
+	reused := false
+	for _, cell := range rep.Cells {
+		hits += cell.CheckpointHits
+		misses += cell.CheckpointMisses
+		reused = reused || cell.PrefixReused
+	}
+	if hits == 0 {
+		t.Error("no cell served a crash cut from a checkpoint")
+	}
+	if misses == 0 {
+		t.Error("no cell recorded capturing a prefix")
+	}
+	if !reused {
+		t.Error("no cell reused a prefix built by another cell (media-free plans share one)")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"prefix_reused", "checkpoint_hits", "checkpoint_misses"} {
+		if !bytes.Contains(buf.Bytes(), []byte(key)) {
+			t.Errorf("%q missing from the JSON metrics report", key)
+		}
+	}
+	// With snapshots disabled the counters must stay silent (omitempty):
+	// the cold path records no checkpoint traffic at all.
+	cold := sweep.NewReport("cold")
+	o.Metrics = cold
+	o.NoSnapshot = true
+	if _, err := Torture(o); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := cold.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("checkpoint_")) {
+		t.Error("NoSnapshot sweep leaked checkpoint counters into metrics")
+	}
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"strandweaver/internal/faultinject"
+	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+)
+
+// Crash-prefix checkpointing for the torture sweep.
+//
+// A torture cell sweeps N crash cuts over one (benchmark, fault plan)
+// pair. Without checkpoints every cut re-simulates the whole prefix
+// from cycle zero; with them, a cell simulates the prefix twice — a
+// discovery run to find the crash-free end, then a capture run that
+// snapshots the machine at every cut — and serves all N cuts by
+// restoring checkpoints into a single warm system. The capture run
+// schedules its snapshot events exactly where the cold path schedules
+// its per-cut Abandon (pre-spawn, so harness events carry the lowest
+// sequence numbers at their cycle and fire before same-cycle machine
+// events); since neither kind of harness event perturbs machine state,
+// the captured state at a cut is byte-identical to a cold run
+// abandoned there. docs/SNAPSHOT.md states the full argument.
+//
+// Prefixes are also shared ACROSS cells: a fault plan affects the run
+// itself only through media faults (tear/drop decisions happen at
+// crash-image time, off the simulated machine), so every media-free
+// plan of a benchmark replays the identical prefix and one capture run
+// serves them all. The injector snapshot stored per cut carries the
+// armed injector's counters at that point — all zero for media-free
+// plans, making the stored snapshots plan-independent wherever they
+// are shared.
+
+// prefixCache shares prefix checkpoints across the cells of one
+// torture sweep. Safe for concurrent use; the per-entry once ensures a
+// prefix simulates at most once per sweep no matter how many cells
+// want it.
+type prefixCache struct {
+	mu      sync.Mutex
+	entries map[string]*prefixEntry
+}
+
+func newPrefixCache() *prefixCache {
+	return &prefixCache{entries: make(map[string]*prefixEntry)}
+}
+
+// prefixEntry is one shared prefix: the crash-free run's measurements
+// and the per-cut checkpoints from the capture run.
+type prefixEntry struct {
+	once sync.Once
+	err  error
+
+	// end, freeCtrl and freeEng are the discovery (crash-free) run's
+	// length and statistics; cells fold them into their metrics in
+	// place of running the prefix themselves.
+	end      sim.Cycle
+	freeCtrl pmem.Stats
+	freeEng  sim.Stats
+
+	// cuts[i] is crash point i+1's cycle; cps[i] and fis[i] the machine
+	// checkpoint and armed-injector snapshot captured there.
+	cuts []sim.Cycle
+	cps  []*machine.Checkpoint
+	fis  []faultinject.InjectorSnapshot
+}
+
+// get returns the entry for key, building it (under the entry's once)
+// with build on first use. The bool reports whether this call did the
+// building — false means the prefix was reused from another cell.
+func (pc *prefixCache) get(key string, build func(pe *prefixEntry)) (*prefixEntry, bool) {
+	pc.mu.Lock()
+	pe := pc.entries[key]
+	if pe == nil {
+		pe = &prefixEntry{}
+		pc.entries[key] = pe
+	}
+	pc.mu.Unlock()
+	built := false
+	pe.once.Do(func() {
+		built = true
+		build(pe)
+	})
+	return pe, built
+}
+
+// planRunKey names the part of a fault plan that can influence the
+// simulated run itself. Only media faults perturb the machine; torn
+// and dropped persists are decided at crash-image time against the
+// controller's tracked writes. An armed injector whose media
+// probabilities are zero draws nothing — chance(p) returns without
+// consuming generator state for p <= 0 — so every media-free plan
+// shares one prefix regardless of seed.
+func planRunKey(plan faultinject.Plan) string {
+	if plan.MediaFaultProb <= 0 && plan.MediaDelayProb <= 0 {
+		return "media-free"
+	}
+	return fmt.Sprintf("media/%d/%v/%v/%d",
+		plan.Seed, plan.MediaFaultProb, plan.MediaDelayProb, plan.MediaDelayCycles)
+}
+
+// buildPrefix runs the discovery and capture runs for one prefix.
+// build must return a freshly constructed, un-run system each call;
+// limit is the phase's cycle limit; label names the prefix in errors.
+func buildPrefix(pe *prefixEntry, o TortureOptions, plan faultinject.Plan, limit sim.Cycle, label string,
+	build func() (*machine.System, []machine.Worker, error)) {
+	// Discovery: the crash-free run, exactly as the cold path runs it.
+	sys, ws, err := build()
+	if err != nil {
+		pe.err = err
+		return
+	}
+	faultinject.New(plan).Arm(sys)
+	end, err := sys.Run(ws, limit)
+	if err != nil {
+		pe.err = fmt.Errorf("harness: torture %s crash-free: %w", label, err)
+		return
+	}
+	pe.end = end
+	pe.freeCtrl = sys.Ctrl.Stats()
+	pe.freeEng = sys.Eng.Stats()
+
+	// Capture: re-run the same prefix with a snapshot event at every
+	// cut and an abandon after the last one (nothing past it is
+	// needed). Cuts are nondecreasing and scheduled in order, so at a
+	// shared cycle the captures fire in cut order, each before any
+	// machine event of that cycle — the cold path's Abandon position.
+	sys2, ws2, err := build()
+	if err != nil {
+		pe.err = err
+		return
+	}
+	fi := faultinject.New(plan)
+	fi.Arm(sys2)
+	pe.cuts = make([]sim.Cycle, o.Crashes)
+	pe.cps = make([]*machine.Checkpoint, o.Crashes)
+	pe.fis = make([]faultinject.InjectorSnapshot, o.Crashes)
+	for ci := 1; ci <= o.Crashes; ci++ {
+		i := ci - 1
+		at := crashCycles(o, end, ci)
+		pe.cuts[i] = at
+		sys2.RunAt(at, func() {
+			pe.cps[i] = sys2.Snapshot()
+			pe.fis[i] = fi.Snapshot()
+		})
+	}
+	sys2.RunAt(pe.cuts[o.Crashes-1], sys2.Abandon)
+	_, _ = sys2.Run(ws2, limit) // abandoned at the last cut: error expected
+	for i, cp := range pe.cps {
+		if cp == nil {
+			pe.err = fmt.Errorf("harness: torture %s capture run ended before cut %d (cycle %d)", label, i+1, pe.cuts[i])
+			return
+		}
+	}
+}
+
+// crashOutcome computes one combo's crash image and merged fault
+// statistics from a system positioned at its cut (either a cold run
+// abandoned there or a restored checkpoint). The crash image draws
+// from a fresh per-cut injector — decorrelated across cuts via
+// perRunSeed — while media-fault counters come from the armed run
+// injector, whose draws belong to the (shared) prefix. The two
+// injectors touch disjoint Stats fields, so the merge is exact.
+func crashOutcome(plan faultinject.Plan, crashAt sim.Cycle, sys *machine.System,
+	runStats faultinject.Stats) (crash *mem.Image, fault faultinject.Stats) {
+	fiImg := faultinject.New(perRunSeed(plan, uint64(crashAt)))
+	crash = fiImg.CrashImage(sys)
+	fault = fiImg.Stats()
+	fault.MediaFaults = runStats.MediaFaults
+	fault.MediaDelays = runStats.MediaDelays
+	return crash, fault
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTortureSnapshotEquivalence is the torture-level cold-vs-restored
+// differential: the same sweep with crash-prefix checkpoints on and off
+// must produce deeply equal reports — including ImageDigest, which
+// folds every crash image's byte content in sweep order, so equality
+// means every forked suffix reproduced its cold run byte for byte.
+func TestTortureSnapshotEquivalence(t *testing.T) {
+	grids := []TortureOptions{
+		{Seed: 5, Benchmarks: []string{"queue"}, Crashes: 5, SkipLitmus: true, ConvergeEvery: 2},
+		{Seed: 9, Benchmarks: []string{"queue", "hashmap"}, Crashes: 4, SkipLitmus: true,
+			Threads: 3, OpsPerThread: 20, ConvergeEvery: 3},
+		{Seed: 3, Benchmarks: []string{"queue"}, Crashes: 6, SkipLitmus: true,
+			TearAccepted: true, ConvergeEvery: 1000},
+	}
+	for gi, o := range grids {
+		cold := o
+		cold.NoSnapshot = true
+		rc, err := Torture(cold)
+		if err != nil {
+			t.Fatalf("grid %d cold: %v", gi, err)
+		}
+		rs, err := Torture(o)
+		if err != nil {
+			t.Fatalf("grid %d snapshot: %v", gi, err)
+		}
+		if rc.ImageDigest != rs.ImageDigest {
+			t.Errorf("grid %d: image digests differ: cold %016x vs snapshot %016x",
+				gi, rc.ImageDigest, rs.ImageDigest)
+		}
+		if !reflect.DeepEqual(rc, rs) {
+			t.Errorf("grid %d: cold and snapshot reports differ:\n%+v\n%+v", gi, rc, rs)
+		}
+	}
+}
+
+// TestTortureSnapshotEquivalenceParallel: the equivalence must hold at
+// any worker count — checkpoints are shared across cells, and which
+// cell builds a prefix is scheduling-dependent, but the results must
+// not be.
+func TestTortureSnapshotEquivalenceParallel(t *testing.T) {
+	o := TortureOptions{Seed: 7, Benchmarks: []string{"queue"}, Crashes: 5,
+		SkipLitmus: true, ConvergeEvery: 2}
+	cold := o
+	cold.NoSnapshot = true
+	cold.Parallel = 1
+	rc, err := Torture(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		o.Parallel = workers
+		rs, err := Torture(o)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(rc, rs) {
+			t.Errorf("parallel=%d snapshot report differs from serial cold report", workers)
+		}
+	}
+}
+
+// benchGrid is the BENCH_snapshot.json protocol grid: the
+// experiments-scale torture workload (threads and ops match the
+// harness.Spec defaults used in EXPERIMENTS.md) over the default
+// benchmark set with default convergence cadence. Everything except
+// NoSnapshot is shared between the two benchmark functions below.
+var benchGrid = TortureOptions{Seed: 1, SkipLitmus: true, Parallel: 1,
+	Threads: 8, OpsPerThread: 250, Crashes: 24}
+
+// BenchmarkTortureSnapshot measures the torture sweep with crash-prefix
+// checkpoints (the default). Compare against BenchmarkTortureNoSnapshot
+// with -benchtime=1x for the speedup recorded in BENCH_snapshot.json.
+func BenchmarkTortureSnapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Torture(benchGrid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTortureNoSnapshot measures the same sweep re-simulating
+// every crash prefix from cycle zero.
+func BenchmarkTortureNoSnapshot(b *testing.B) {
+	o := benchGrid
+	o.NoSnapshot = true
+	for i := 0; i < b.N; i++ {
+		if _, err := Torture(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

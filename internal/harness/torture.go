@@ -66,6 +66,12 @@ type TortureOptions struct {
 	// their invariant failures are counted separately, not as
 	// violations.
 	TearAccepted bool
+	// NoSnapshot disables crash-prefix checkpointing and re-simulates
+	// every crash prefix from cycle zero (the pre-checkpoint behavior).
+	// The report is byte-identical either way — the escape hatch exists
+	// for debugging the snapshot seam itself and for the CI equivalence
+	// smoke; see docs/SNAPSHOT.md.
+	NoSnapshot bool
 	// SkipLitmus drops the litmus phase (for quick runs).
 	SkipLitmus bool
 	// LitmusStride is the litmus crash-sweep stride (default 64).
@@ -257,16 +263,22 @@ func Torture(o TortureOptions) (*TortureReport, error) {
 	// Workload and redolog combos are numbered globally in enumeration
 	// order; the every-Nth-combo convergence schedule keys off that
 	// number, so each cell can decide its own convergence sweeps
-	// without a shared counter.
+	// without a shared counter. The prefix cache shares crash-prefix
+	// checkpoints across cells whose plans replay the same run (all
+	// media-free plans of a benchmark); it is the one sanctioned piece
+	// of cross-cell state — a pure memoisation whose entries are
+	// identical no matter which cell builds them, so results stay
+	// byte-identical at any worker count (docs/SNAPSHOT.md).
+	pc := newPrefixCache()
 	for bi, b := range o.Benchmarks {
 		for pi, plan := range plans {
 			base := (bi*len(plans) + pi) * o.Crashes
-			tcells = append(tcells, workloadCell(o, b, pi, plan, base))
+			tcells = append(tcells, workloadCell(o, pc, b, pi, plan, base))
 		}
 	}
 	redoBase := len(o.Benchmarks) * len(plans) * o.Crashes
 	for pi, plan := range plans {
-		tcells = append(tcells, redologCell(o, pi, plan, redoBase+pi*o.Crashes))
+		tcells = append(tcells, redologCell(o, pc, pi, plan, redoBase+pi*o.Crashes))
 	}
 
 	cells := make([]sweep.Cell[*tortureOutcome], len(tcells))
@@ -365,42 +377,28 @@ func crashCycles(o TortureOptions, end sim.Cycle, ci int) sim.Cycle {
 }
 
 // workloadCell sweeps crash cycles over one (pds benchmark, fault plan)
-// pair: a crash-free run to find the schedule length, then one crashed
-// run + recovery + invariant check per crash point.
-func workloadCell(o TortureOptions, bench string, pi int, plan faultinject.Plan, comboBase int) tortureCell {
+// pair. On the checkpoint path (the default) the cell forks every
+// crash cut off a shared prefix: a discovery run finds the schedule
+// length, a capture run snapshots the machine at each cut (both shared
+// with every other media-free plan of the benchmark via the prefix
+// cache), and each cut restores its checkpoint into one warm system.
+// With NoSnapshot set, every cut re-simulates its prefix from cycle
+// zero. Both paths produce byte-identical combo outcomes — the
+// differential tests in snapshot_test.go hold them to that.
+func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan faultinject.Plan, comboBase int) tortureCell {
 	return tortureCell{
 		cell: sweep.Cell[*tortureOutcome]{
 			Key: fmt.Sprintf("workload/%s/plan%d", bench, pi),
 			Run: func(m *sweep.CellMetrics) (*tortureOutcome, error) {
-				sys, _, ws, err := buildWorkload(o, bench)
-				if err != nil {
-					return nil, err
-				}
-				faultinject.New(plan).Arm(sys)
-				end, err := sys.Run(ws, 2_000_000_000)
-				if err != nil {
-					return nil, fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
-				}
-				m.AddRun(uint64(end), sys.Ctrl.Stats())
-				m.AddEngine(sys.Eng.Stats())
-				combos := make([]comboOutcome, 0, o.Crashes)
-				for ci := 1; ci <= o.Crashes; ci++ {
-					crashAt := crashCycles(o, end, ci)
-					sys, inst, ws, err := buildWorkload(o, bench)
-					if err != nil {
-						return nil, err
-					}
-					fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
-					fi.Arm(sys)
-					sys.RunAt(crashAt, sys.Abandon)
-					_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
-					crash := fi.CrashImage(sys)
-					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
-					m.AddEngine(sys.Eng.Stats())
-
+				// comboAt turns a system positioned at its cut — plus the
+				// armed run injector's counters there — into the combo's
+				// outcome: crash image, recovery, invariant check, and the
+				// every-Nth convergence sweep.
+				comboAt := func(ci int, crashAt sim.Cycle, sys *machine.System, inst workloads.Instance, runStats faultinject.Stats) comboOutcome {
+					crash, fault := crashOutcome(plan, crashAt, sys, runStats)
 					co := comboOutcome{
 						fingerprint: crash.Fingerprint(),
-						fault:       fi.Stats(),
+						fault:       fault,
 						ctrl:        sys.Ctrl.Stats(),
 					}
 					co.torn = co.fault.TornLines > 0
@@ -416,8 +414,7 @@ func workloadCell(o TortureOptions, bench string, pi int, plan faultinject.Plan,
 						} else {
 							co.violation = fmt.Sprintf("%s plan %d crash@%d: %v", bench, pi, crashAt, verr)
 						}
-						combos = append(combos, co)
-						continue
+						return co
 					}
 					co.tornDiscarded = rrep.TornDiscarded
 					co.actions = len(rrep.RolledBack)
@@ -434,7 +431,66 @@ func workloadCell(o TortureOptions, bench string, pi int, plan faultinject.Plan,
 						}
 						co.conv = conv
 					}
-					combos = append(combos, co)
+					return co
+				}
+
+				combos := make([]comboOutcome, 0, o.Crashes)
+				if o.NoSnapshot {
+					sys, _, ws, err := buildWorkload(o, bench)
+					if err != nil {
+						return nil, err
+					}
+					faultinject.New(plan).Arm(sys)
+					end, err := sys.Run(ws, 2_000_000_000)
+					if err != nil {
+						return nil, fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
+					}
+					m.AddRun(uint64(end), sys.Ctrl.Stats())
+					m.AddEngine(sys.Eng.Stats())
+					for ci := 1; ci <= o.Crashes; ci++ {
+						crashAt := crashCycles(o, end, ci)
+						sys, inst, ws, err := buildWorkload(o, bench)
+						if err != nil {
+							return nil, err
+						}
+						fi := faultinject.New(plan)
+						fi.Arm(sys)
+						sys.RunAt(crashAt, sys.Abandon)
+						_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
+						m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+						m.AddEngine(sys.Eng.Stats())
+						combos = append(combos, comboAt(ci, crashAt, sys, inst, fi.Stats()))
+					}
+					return &tortureOutcome{combos: combos}, nil
+				}
+
+				pe, built := pc.get("workload|"+bench+"|"+planRunKey(plan), func(pe *prefixEntry) {
+					buildPrefix(pe, o, plan, 2_000_000_000, fmt.Sprintf("%s plan %d", bench, pi),
+						func() (*machine.System, []machine.Worker, error) {
+							sys, _, ws, err := buildWorkload(o, bench)
+							return sys, ws, err
+						})
+				})
+				if pe.err != nil {
+					return nil, pe.err
+				}
+				m.PrefixReused = !built
+				if built {
+					m.CheckpointMisses += uint64(len(pe.cps))
+				}
+				m.AddRun(uint64(pe.end), pe.freeCtrl)
+				m.AddEngine(pe.freeEng)
+				sys, inst, _, err := buildWorkload(o, bench)
+				if err != nil {
+					return nil, err
+				}
+				for ci := 1; ci <= o.Crashes; ci++ {
+					crashAt := pe.cuts[ci-1]
+					sys.Restore(pe.cps[ci-1])
+					m.CheckpointHits++
+					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+					m.AddEngine(pe.cps[ci-1].Eng.Stats)
+					combos = append(combos, comboAt(ci, crashAt, sys, inst, pe.fis[ci-1].Stats))
 				}
 				return &tortureOutcome{combos: combos}, nil
 			},
@@ -528,8 +584,9 @@ func redoVerify(img *mem.Image, gens int) error {
 }
 
 // redologCell sweeps crash cycles over the redo-log engine under one
-// fault plan.
-func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int) tortureCell {
+// fault plan, forking cuts off a shared prefix exactly like
+// workloadCell (NoSnapshot restores the cold re-simulation path).
+func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Plan, comboBase int) tortureCell {
 	const gens = 4
 	build := func() (*machine.System, *redolog.Logs) {
 		cfg := config.Default()
@@ -562,29 +619,11 @@ func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int)
 		cell: sweep.Cell[*tortureOutcome]{
 			Key: fmt.Sprintf("redolog/plan%d", pi),
 			Run: func(m *sweep.CellMetrics) (*tortureOutcome, error) {
-				sys, logs := build()
-				faultinject.New(plan).Arm(sys)
-				end, err := sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
-				if err != nil {
-					return nil, fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
-				}
-				m.AddRun(uint64(end), sys.Ctrl.Stats())
-				m.AddEngine(sys.Eng.Stats())
-				combos := make([]comboOutcome, 0, o.Crashes)
-				for ci := 1; ci <= o.Crashes; ci++ {
-					crashAt := crashCycles(o, end, ci)
-					sys, logs := build()
-					fi := faultinject.New(perRunSeed(plan, uint64(crashAt)))
-					fi.Arm(sys)
-					sys.RunAt(crashAt, sys.Abandon)
-					_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
-					crash := fi.CrashImage(sys)
-					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
-					m.AddEngine(sys.Eng.Stats())
-
+				comboAt := func(ci int, crashAt sim.Cycle, sys *machine.System, runStats faultinject.Stats) comboOutcome {
+					crash, fault := crashOutcome(plan, crashAt, sys, runStats)
 					co := comboOutcome{
 						fingerprint: crash.Fingerprint(),
-						fault:       fi.Stats(),
+						fault:       fault,
 						ctrl:        sys.Ctrl.Stats(),
 					}
 					co.torn = co.fault.TornLines > 0
@@ -600,8 +639,7 @@ func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int)
 						} else {
 							co.violation = fmt.Sprintf("redolog plan %d crash@%d: %v", pi, crashAt, verr)
 						}
-						combos = append(combos, co)
-						continue
+						return co
 					}
 					co.tornDiscarded = rrep.TornDiscarded
 					co.actions = len(rrep.Replayed)
@@ -618,7 +656,57 @@ func redologCell(o TortureOptions, pi int, plan faultinject.Plan, comboBase int)
 						}
 						co.conv = conv
 					}
-					combos = append(combos, co)
+					return co
+				}
+
+				combos := make([]comboOutcome, 0, o.Crashes)
+				if o.NoSnapshot {
+					sys, logs := build()
+					faultinject.New(plan).Arm(sys)
+					end, err := sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
+					if err != nil {
+						return nil, fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
+					}
+					m.AddRun(uint64(end), sys.Ctrl.Stats())
+					m.AddEngine(sys.Eng.Stats())
+					for ci := 1; ci <= o.Crashes; ci++ {
+						crashAt := crashCycles(o, end, ci)
+						sys, logs := build()
+						fi := faultinject.New(plan)
+						fi.Arm(sys)
+						sys.RunAt(crashAt, sys.Abandon)
+						_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
+						m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+						m.AddEngine(sys.Eng.Stats())
+						combos = append(combos, comboAt(ci, crashAt, sys, fi.Stats()))
+					}
+					return &tortureOutcome{combos: combos, redo: true}, nil
+				}
+
+				pe, built := pc.get("redolog|"+planRunKey(plan), func(pe *prefixEntry) {
+					buildPrefix(pe, o, plan, 500_000_000, fmt.Sprintf("redolog plan %d", pi),
+						func() (*machine.System, []machine.Worker, error) {
+							sys, logs := build()
+							return sys, []machine.Worker{worker(logs.PerThread[0])}, nil
+						})
+				})
+				if pe.err != nil {
+					return nil, pe.err
+				}
+				m.PrefixReused = !built
+				if built {
+					m.CheckpointMisses += uint64(len(pe.cps))
+				}
+				m.AddRun(uint64(pe.end), pe.freeCtrl)
+				m.AddEngine(pe.freeEng)
+				sys, _ := build()
+				for ci := 1; ci <= o.Crashes; ci++ {
+					crashAt := pe.cuts[ci-1]
+					sys.Restore(pe.cps[ci-1])
+					m.CheckpointHits++
+					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+					m.AddEngine(pe.cps[ci-1].Eng.Stats)
+					combos = append(combos, comboAt(ci, crashAt, sys, pe.fis[ci-1].Stats))
 				}
 				return &tortureOutcome{combos: combos, redo: true}, nil
 			},

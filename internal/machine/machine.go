@@ -80,13 +80,16 @@ func MustNew(cfg config.Config, design hwdesign.Design) *System {
 type Worker func(c *cpu.Core)
 
 // Spawn creates (but does not start) a coroutine running worker on core
-// i, staggered to start at cycle i (deterministic tie-breaking).
+// i, staggered to start i cycles after the current cycle (deterministic
+// tie-breaking). The stagger is relative, not absolute, so workers can
+// also be spawned onto a system restored from a quiescent checkpoint,
+// where the clock no longer starts at zero.
 func (s *System) Spawn(i int, worker Worker) {
 	core := s.Cores[i]
 	co := sim.NewCoroutine(s.Eng, func(_ *sim.Coroutine) { worker(core) })
 	core.Attach(co)
 	s.coros = append(s.coros, co)
-	s.Eng.ScheduleAt(sim.Cycle(i), co.ResumeFn())
+	s.Eng.Schedule(sim.Cycle(i), co.ResumeFn())
 }
 
 // Run spawns one worker per entry of workers and runs the simulation

@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"fmt"
+
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/pmem"
+	"strandweaver/internal/sim"
+)
+
+// Checkpoint is a deep, self-contained snapshot of a System's
+// architectural state: the engine clock, both memory images, the PM
+// controller's tracked writes, and every core's counters and persist-
+// backend state. It shares no mutable storage with the system it was
+// taken from, so one Checkpoint can be restored any number of times,
+// concurrently, into different (identically configured) systems.
+//
+// What a Checkpoint is NOT: it does not capture pending simulation
+// events, worker coroutine stacks, store-queue entries, or cache
+// timing state. Those are the micro-architectural future a power cut
+// destroys. Consequently a checkpoint taken at a crash cut supports
+// exactly the post-crash queries — faultinject.CrashImage, controller
+// and core statistics, backend state — and restored systems answer
+// them byte-identically to the original at the capture cycle. See
+// docs/SNAPSHOT.md for the full state-capture contract, including the
+// quiescent-checkpoint tier that additionally permits spawning new
+// workers.
+type Checkpoint struct {
+	Design hwdesign.Design
+	NCores int
+	Eng    sim.EngineState
+	Mem    *mem.MachineState
+	Ctrl   *pmem.ControllerState
+	Cores  []*cpu.CoreState
+}
+
+// Snapshot captures the system's architectural state. O(state), not
+// O(history): images deep-copy touched pages, controller and strand
+// structures copy live entries, everything else is counters.
+func (s *System) Snapshot() *Checkpoint {
+	cp := &Checkpoint{
+		Design: s.Design,
+		NCores: len(s.Cores),
+		Eng:    s.Eng.Snapshot(),
+		Mem:    s.Mem.Snapshot(),
+		Ctrl:   s.Ctrl.Snapshot(),
+	}
+	for _, c := range s.Cores {
+		cp.Cores = append(cp.Cores, c.Snapshot())
+	}
+	return cp
+}
+
+// Restore rewinds the system to a previously captured checkpoint. The
+// target must be configured identically to the checkpoint's source
+// (same design, same core count) — in practice, built by the same
+// builder function; Restore panics on a design or core-count mismatch.
+// Worker coroutines are detached: the restored system either serves
+// post-crash state queries (crash-cut checkpoints) or has fresh
+// workers spawned onto it (quiescent checkpoints).
+func (s *System) Restore(cp *Checkpoint) {
+	if cp.Design != s.Design || cp.NCores != len(s.Cores) {
+		panic(fmt.Sprintf("machine: Restore checkpoint (%s, %d cores) into mismatched system (%s, %d cores)",
+			cp.Design, cp.NCores, s.Design, len(s.Cores)))
+	}
+	s.Eng.Restore(cp.Eng)
+	s.Mem.Restore(cp.Mem)
+	s.Ctrl.Restore(cp.Ctrl)
+	for i, c := range s.Cores {
+		c.Restore(cp.Cores[i])
+	}
+	s.coros = nil
+}

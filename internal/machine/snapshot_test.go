@@ -1,0 +1,193 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"strandweaver/internal/cpu"
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/mem"
+	"strandweaver/internal/sim"
+)
+
+// snapWorkload returns a two-core workload exercising stores, flushes,
+// design-appropriate ordering primitives, and lock contention (the lock
+// backoff path is the one consumer of core-local randomness, so it must
+// be in play for the rng-replay part of restore to be tested).
+func snapWorkload(d hwdesign.Design, iters int) []Worker {
+	lock := mem.DRAMBase + 64
+	shared := mem.PMBase
+	worker := func(id int) Worker {
+		return func(c *cpu.Core) {
+			private := mem.PMBase + 4096 + mem.Addr(id)*2048
+			for i := 0; i < iters; i++ {
+				c.Lock(lock)
+				v := c.Load64(shared)
+				c.Store64(shared, v+1)
+				c.CLWB(shared)
+				c.Unlock(lock)
+				pa := private + mem.Addr((i%8)*64)
+				c.Store64(pa, uint64(i))
+				c.CLWB(pa)
+				switch d {
+				case hwdesign.IntelX86, hwdesign.NonAtomic:
+					c.SFence()
+				case hwdesign.HOPS:
+					c.OFence()
+					c.DFence()
+				default:
+					c.PersistBarrier()
+					c.JoinStrand()
+				}
+			}
+			c.DrainAll()
+		}
+	}
+	return []Worker{worker(0), worker(1)}
+}
+
+// observe extracts the restored-system-observable tuple from a system:
+// everything a crash-cut consumer (CrashImage, stats queries) can see.
+// Engine event counters are excluded deliberately — the capture run
+// schedules one more harness event than the cold run (the snapshot
+// itself), which is visible in scheduling statistics but in no machine
+// state (docs/SNAPSHOT.md states the argument).
+type observed struct {
+	Now        sim.Cycle
+	Volatile   uint64
+	Persistent uint64
+	Mem        *mem.MachineState
+	Ctrl       any
+	Cores      []*cpu.CoreState
+}
+
+func observe(s *System) observed {
+	cp := s.Snapshot()
+	return observed{
+		Now:        s.Eng.Now(),
+		Volatile:   s.Mem.Volatile.Fingerprint(),
+		Persistent: s.Mem.Persistent.Fingerprint(),
+		Mem:        cp.Mem,
+		Ctrl:       cp.Ctrl,
+		Cores:      cp.Cores,
+	}
+}
+
+// coldAt runs the workload on a fresh system and abandons it at cut,
+// exactly as a no-snapshot torture combo does.
+func coldAt(t *testing.T, d hwdesign.Design, cut sim.Cycle) *System {
+	t.Helper()
+	s := MustNew(smallConfig(), d)
+	s.RunAt(cut, s.Abandon)
+	_, _ = s.Run(snapWorkload(d, 30), 10_000_000)
+	return s
+}
+
+// captureAt runs the workload on a fresh system, snapshots at cut, and
+// returns the checkpoint (abandoning right after, as the prefix capture
+// run does).
+func captureAt(t *testing.T, d hwdesign.Design, cut sim.Cycle) *Checkpoint {
+	t.Helper()
+	s := MustNew(smallConfig(), d)
+	var cp *Checkpoint
+	s.RunAt(cut, func() { cp = s.Snapshot() })
+	s.RunAt(cut, s.Abandon)
+	_, _ = s.Run(snapWorkload(d, 30), 10_000_000)
+	if cp == nil {
+		t.Fatalf("%s: run ended before cut %d", d, cut)
+	}
+	return cp
+}
+
+// TestSnapshotColdVsRestoredAllDesigns is the cold-vs-restored
+// differential for every backend design: the state captured at a cut
+// and restored into a fresh system must be indistinguishable from a
+// cold run abandoned at the same cut.
+func TestSnapshotColdVsRestoredAllDesigns(t *testing.T) {
+	for _, d := range hwdesign.All {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			for _, cut := range []sim.Cycle{500, 5_000, 20_000} {
+				cold := observe(coldAt(t, d, cut))
+				cp := captureAt(t, d, cut)
+				warm := MustNew(smallConfig(), d)
+				warm.Restore(cp)
+				got := observe(warm)
+				if !reflect.DeepEqual(cold, got) {
+					t.Errorf("cut %d: restored state differs from cold run\ncold: %+v\nwarm: %+v",
+						cut, cold, got)
+				}
+				// Restore must not alias the checkpoint: restoring a second
+				// system from the same checkpoint and mutating it must leave
+				// the first restore unchanged.
+				warm2 := MustNew(smallConfig(), d)
+				warm2.Restore(cp)
+				warm2.Mem.Persistent.SetByte(mem.PMBase, 0xEE)
+				if got2 := observe(warm); !reflect.DeepEqual(cold, got2) {
+					t.Errorf("cut %d: mutating a sibling restore leaked into the first", cut)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRandomForkPoints hammers the same equivalence at seeded
+// random cut cycles, including cuts past the workload's natural end
+// (where the snapshot captures a finished, quiescent machine).
+func TestSnapshotRandomForkPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		d := hwdesign.All[rng.Intn(len(hwdesign.All))]
+		cut := sim.Cycle(1 + rng.Intn(60_000))
+		cold := observe(coldAt(t, d, cut))
+		cp := captureAt(t, d, cut)
+		warm := MustNew(smallConfig(), d)
+		warm.Restore(cp)
+		if got := observe(warm); !reflect.DeepEqual(cold, got) {
+			t.Errorf("trial %d (%s, cut %d): restored state differs from cold run", trial, d, cut)
+		}
+	}
+}
+
+// TestSnapshotQuiescentRespawn: a checkpoint of a quiescent (finished)
+// system may be restored and given NEW workers — Spawn staggers workers
+// relative to the engine's current cycle, so a restored system resumes
+// exactly like the original would have.
+func TestSnapshotQuiescentRespawn(t *testing.T) {
+	d := hwdesign.StrandWeaver
+	run := func(s *System, ws []Worker, limit sim.Cycle) {
+		t.Helper()
+		if _, err := s.Run(ws, limit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phase2 := func() []Worker {
+		return []Worker{func(c *cpu.Core) {
+			for i := 0; i < 10; i++ {
+				a := mem.PMBase + 1<<20 + mem.Addr(i*64)
+				c.Store64(a, uint64(100+i))
+				c.CLWB(a)
+				c.PersistBarrier()
+			}
+			c.JoinStrand()
+			c.DrainAll()
+		}}
+	}
+	// Reference: one system runs phase 1 then phase 2 back to back.
+	ref := MustNew(smallConfig(), d)
+	run(ref, snapWorkload(d, 10), 10_000_000)
+	cp := ref.Snapshot()
+	run(ref, phase2(), 20_000_000)
+
+	// Fork: a fresh system restored from the phase-1 checkpoint runs the
+	// same phase 2 and must land in the identical state.
+	forked := MustNew(smallConfig(), d)
+	forked.Restore(cp)
+	run(forked, phase2(), 20_000_000)
+
+	want, got := observe(ref), observe(forked)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("forked phase-2 run diverged from straight-through run\nref:    %+v\nforked: %+v", want, got)
+	}
+}

@@ -53,6 +53,9 @@ type Image struct {
 	// failure in the middle of (recovery) software mutating the image.
 	budget      int
 	budgetArmed bool
+	// dirty, when non-nil, accumulates the page base of every mutated
+	// page (see TrackDirty).
+	dirty map[Addr]struct{}
 }
 
 // PowerCut is the panic value raised by a mutating call on an image
@@ -101,12 +104,82 @@ func NewImage() *Image {
 func (im *Image) page(a Addr, create bool) (*[pageSize]byte, uint64) {
 	base := a &^ (pageSize - 1)
 	off := uint64(a) & (pageSize - 1)
+	if create && im.dirty != nil {
+		// Every mutating call resolves its page with create=true, so
+		// this one hook sees all writes.
+		im.dirty[base] = struct{}{}
+	}
 	p := im.pages[base]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		im.pages[base] = p
 	}
 	return p, off
+}
+
+// TrackDirty starts (or resets) dirty-page tracking: until
+// StopDirtyTracking, the base address of every mutated page is
+// recorded. Loops that repeatedly perturb an image from a baseline
+// (crash-during-recovery budget sweeps) use the set to reset and
+// compare only the pages a pass actually touched.
+func (im *Image) TrackDirty() { im.dirty = make(map[Addr]struct{}, 16) }
+
+// DirtyPages returns the live tracked-page set (not a copy — it keeps
+// growing until StopDirtyTracking).
+func (im *Image) DirtyPages() map[Addr]struct{} { return im.dirty }
+
+// StopDirtyTracking ends tracking. Sets previously returned by
+// DirtyPages stay valid.
+func (im *Image) StopDirtyTracking() { im.dirty = nil }
+
+// equalPage compares one page's contents across two images, with
+// Equal's convention that an all-zero page equals an absent one.
+func (im *Image) equalPage(base Addr, other *Image) bool {
+	p, q := im.pages[base], other.pages[base]
+	if p == nil {
+		return zeroPage(q)
+	}
+	if q == nil {
+		return zeroPage(p)
+	}
+	return *p == *q
+}
+
+// EqualOn reports whether im and other hold identical contents on
+// every page base in the given sets. When the sets jointly cover all
+// pages on which the two images can differ (e.g. both were derived
+// from a common baseline and each set tracks one side's writes), this
+// decides full Equal at a fraction of the cost.
+func (im *Image) EqualOn(other *Image, sets ...map[Addr]struct{}) bool {
+	for _, set := range sets {
+		for base := range set {
+			if !im.equalPage(base, other) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ResetPagesFrom restores the given pages of im to src's contents:
+// pages src holds are copied in place, pages it lacks are dropped.
+// With the set produced by dirty tracking, this undoes a tracked pass
+// without touching the rest of the image. Tracking, the mutation
+// counter and the write budget are all unaffected.
+func (im *Image) ResetPagesFrom(src *Image, bases map[Addr]struct{}) {
+	for base := range bases {
+		sp := src.pages[base]
+		if sp == nil {
+			delete(im.pages, base)
+			continue
+		}
+		p := im.pages[base]
+		if p == nil {
+			p = new([pageSize]byte)
+			im.pages[base] = p
+		}
+		*p = *sp
+	}
 }
 
 // ByteAt returns the byte at a.
@@ -129,18 +202,37 @@ func (im *Image) setByte(a Addr, v byte) {
 	p[off] = v
 }
 
-// Read copies len(dst) bytes starting at a into dst.
+// Read copies len(dst) bytes starting at a into dst. The page is
+// resolved once per page crossed, not once per byte — this is the
+// recovery and verification hot path.
 func (im *Image) Read(a Addr, dst []byte) {
-	for i := range dst {
-		dst[i] = im.ByteAt(a + Addr(i))
+	for len(dst) > 0 {
+		p, off := im.page(a, false)
+		n := int(pageSize - off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[:n], p[off:])
+		}
+		dst = dst[n:]
+		a += Addr(n)
 	}
 }
 
-// Write copies src into the image starting at a.
+// Write copies src into the image starting at a, resolving each
+// crossed page once.
 func (im *Image) Write(a Addr, src []byte) {
 	im.charge()
-	for i, b := range src {
-		im.setByte(a+Addr(i), b)
+	for len(src) > 0 {
+		p, off := im.page(a, true)
+		n := copy(p[off:], src)
+		src = src[n:]
+		a += Addr(n)
 	}
 }
 
@@ -148,6 +240,12 @@ func (im *Image) Write(a Addr, src []byte) {
 // must not span a page boundary mid-word in pathological layouts; callers
 // in this codebase always use 8-byte-aligned fields.
 func (im *Image) Read64(a Addr) uint64 {
+	if p, off := im.page(a, false); off <= pageSize-8 {
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
 	var buf [8]byte
 	im.Read(a, buf[:])
 	return binary.LittleEndian.Uint64(buf[:])
@@ -155,6 +253,12 @@ func (im *Image) Read64(a Addr) uint64 {
 
 // Write64 stores v little-endian at a.
 func (im *Image) Write64(a Addr, v uint64) {
+	if off := uint64(a) & (pageSize - 1); off <= pageSize-8 {
+		im.charge()
+		p, _ := im.page(a, true)
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	im.Write(a, buf[:])
@@ -210,6 +314,14 @@ func (im *Image) StoreLineMasked(line Addr, src *[LineSize]byte, keep uint8) {
 	}
 }
 
+// CopyFrom replaces im's contents with a deep copy of src's pages,
+// reusing im's existing page storage where addresses line up. Loops
+// that repeatedly reset a scratch image to a baseline (budget sweeps,
+// checkpoint restores) use this instead of Clone to avoid reallocating
+// the image's whole footprint each iteration. Like restore, it leaves
+// the mutation counter and write budget untouched.
+func (im *Image) CopyFrom(src *Image) { im.restoreFrom(src) }
+
 // Clone returns a deep copy of the image.
 func (im *Image) Clone() *Image {
 	c := NewImage()
@@ -224,17 +336,13 @@ func (im *Image) Clone() *Image {
 // PageCount reports how many sparse pages have been touched.
 func (im *Image) PageCount() int { return len(im.pages) }
 
+// zeroPageArr is the all-zero page zeroPage compares against; the
+// array comparison compiles to a bulk memory-equality check.
+var zeroPageArr [pageSize]byte
+
 // zeroPage reports whether p holds only zero bytes.
 func zeroPage(p *[pageSize]byte) bool {
-	if p == nil {
-		return true
-	}
-	for _, b := range p {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
+	return p == nil || *p == zeroPageArr
 }
 
 // Equal reports whether the two images hold identical contents. Pages

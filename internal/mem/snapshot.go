@@ -1,0 +1,57 @@
+package mem
+
+// MachineState is a checkpoint of the functional memory pair: deep
+// copies of the volatile and persistent images plus the eADR
+// persist-at-visibility mode bit. Note Image.Clone copies page
+// contents only — the mutation counter and any armed write budget are
+// recovery-tooling state, out of scope for machine checkpoints
+// (docs/SNAPSHOT.md).
+type MachineState struct {
+	Volatile            *Image
+	Persistent          *Image
+	PersistAtVisibility bool
+}
+
+// Snapshot deep-copies both images. The returned state shares nothing
+// with the live machine and stays valid however the machine mutates
+// afterwards.
+func (m *Machine) Snapshot() *MachineState {
+	return &MachineState{
+		Volatile:            m.Volatile.Clone(),
+		Persistent:          m.Persistent.Clone(),
+		PersistAtVisibility: m.persistAtVisibility,
+	}
+}
+
+// Restore overwrites the machine's images with deep copies of the
+// checkpoint's. The *Image pointers held by the machine (and cached by
+// components wired to it) stay valid — contents are replaced in place —
+// and the checkpoint itself is never aliased, so one MachineState can
+// be restored any number of times, including concurrently into
+// different machines.
+func (m *Machine) Restore(s *MachineState) {
+	m.Volatile.restoreFrom(s.Volatile)
+	m.Persistent.restoreFrom(s.Persistent)
+	m.persistAtVisibility = s.PersistAtVisibility
+}
+
+// restoreFrom replaces im's contents with a deep copy of src's pages,
+// reusing im's existing page storage where the addresses line up (a
+// warm system restored once per crash cut would otherwise reallocate
+// its whole footprint every restore). The mutation counter and write
+// budget are left untouched (see MachineState).
+func (im *Image) restoreFrom(src *Image) {
+	for base := range im.pages {
+		if src.pages[base] == nil {
+			delete(im.pages, base)
+		}
+	}
+	for base, p := range src.pages {
+		np := im.pages[base]
+		if np == nil {
+			np = new([pageSize]byte)
+			im.pages[base] = np
+		}
+		*np = *p
+	}
+}

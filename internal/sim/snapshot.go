@@ -1,0 +1,58 @@
+package sim
+
+// EngineState is a checkpoint of the engine's control state: the
+// (cycle, seq) clock pair that orders every event, the stop flag, the
+// watchdog arming, and the run counters.
+//
+// Pending events are deliberately NOT part of the state. An event is a
+// closure over live goroutine state (coroutine resumes, completion
+// thunks); capturing it would alias the snapshotted system. Under the
+// state-capture contract (docs/SNAPSHOT.md) a checkpoint taken at a
+// crash cut models the power failure destroying that in-flight
+// micro-architectural future, so the event queue is defined to be
+// empty after Restore.
+type EngineState struct {
+	Now         Cycle
+	Seq         uint64
+	Stopped     bool
+	EventBudget uint64
+	BudgetHit   bool
+	Stats       Stats
+}
+
+// Snapshot captures the engine's control state. O(1): no event is
+// copied (see EngineState).
+func (e *Engine) Snapshot() EngineState {
+	return EngineState{
+		Now:         e.now,
+		Seq:         e.seq,
+		Stopped:     e.stopped,
+		EventBudget: e.eventBudget,
+		BudgetHit:   e.budgetHit,
+		Stats:       e.stats,
+	}
+}
+
+// Restore rewinds the engine to a previously captured state. The heap
+// and same-cycle ring are cleared in place (capacity retained, event
+// closures released); the clock resumes at the captured (cycle, seq)
+// pair so events scheduled after Restore extend the captured total
+// order exactly as they would have on the original system.
+func (e *Engine) Restore(s EngineState) {
+	e.now = s.Now
+	e.seq = s.Seq
+	e.stopped = s.Stopped
+	e.eventBudget = s.EventBudget
+	e.budgetHit = s.BudgetHit
+	e.stats = s.Stats
+	for i := range e.heap {
+		e.heap[i] = eventEntry{}
+	}
+	e.heap = e.heap[:0]
+	for i := range e.ring {
+		e.ring[i] = eventEntry{}
+	}
+	e.ring = e.ring[:0]
+	e.ringHead = 0
+	e.ringAt = s.Now
+}

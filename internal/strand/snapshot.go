@@ -1,0 +1,153 @@
+// Snapshot/restore for the strand-persistency hardware structures.
+// Both units follow the state-capture contract (docs/SNAPSHOT.md):
+// entry *data* (kind, line, issue/complete flags, counters) is
+// captured; completion closures (onComplete, ready, flushDone, gate
+// waits) are the micro-architectural future a crash cut destroys and
+// are dropped. Restored entries are rebuilt through the unit's own
+// alloc path so cached thunks bind the restored unit, never the
+// snapshotted one.
+package strand
+
+import "strandweaver/internal/mem"
+
+// SBEntryState is the passive form of one strand-buffer entry.
+type SBEntryState struct {
+	Kind      uint8
+	Line      mem.Addr
+	CanIssue  bool
+	HasIssued bool
+	Completed bool
+}
+
+// BufferState is one strand buffer's live entries (in FIFO order) and
+// retirement counters.
+type BufferState struct {
+	Entries  []SBEntryState
+	Appended uint64
+	Retired  uint64
+}
+
+// BufferUnitState is a checkpoint of a BufferUnit: per-buffer entry
+// data plus the unit's occupancy and statistics.
+type BufferUnitState struct {
+	Buffers []BufferState
+	Ongoing int
+	Stats   UnitStats
+}
+
+// Snapshot captures the unit's buffers as pure data.
+func (u *BufferUnit) Snapshot() *BufferUnitState {
+	s := &BufferUnitState{Ongoing: u.ongoing, Stats: u.stats}
+	for _, b := range u.buffers {
+		bs := BufferState{Appended: b.appended, Retired: b.retired}
+		for _, e := range b.entries[b.head:] {
+			bs.Entries = append(bs.Entries, SBEntryState{
+				Kind:      uint8(e.kind),
+				Line:      e.line,
+				CanIssue:  e.canIssue,
+				HasIssued: e.hasIssued,
+				Completed: e.completed,
+			})
+		}
+		s.Buffers = append(s.Buffers, bs)
+	}
+	return s
+}
+
+// Restore rewinds the unit to a previously captured state. Restored
+// entries carry no completion closures (destroyed future): a restored
+// unit answers Stats and occupancy queries identically to the original
+// at the capture point, and may accept fresh work, but pre-capture
+// in-flight flushes never complete — exactly what a power cut leaves.
+func (u *BufferUnit) Restore(s *BufferUnitState) {
+	if len(s.Buffers) != len(u.buffers) {
+		panic("strand: BufferUnit.Restore with mismatched buffer count")
+	}
+	for i, b := range u.buffers {
+		for _, e := range b.entries[b.head:] {
+			*e = sbEntry{flushDone: e.flushDone}
+			u.free = append(u.free, e)
+		}
+		for j := range b.entries {
+			b.entries[j] = nil
+		}
+		b.entries = b.entries[:0]
+		b.head = 0
+		bs := &s.Buffers[i]
+		for j := range bs.Entries {
+			es := &bs.Entries[j]
+			e := u.alloc()
+			e.kind = entryKind(es.Kind)
+			e.line = es.Line
+			e.canIssue, e.hasIssued, e.completed = es.CanIssue, es.HasIssued, es.Completed
+			e.buf = b
+			b.entries = append(b.entries, e)
+		}
+		b.appended, b.retired = bs.Appended, bs.Retired
+	}
+	u.ongoing = s.Ongoing
+	u.gateWaits = u.gateWaits[:0]
+	u.stats = s.Stats
+}
+
+// PQEntryState is the passive form of one persist-queue entry.
+type PQEntryState struct {
+	Kind       uint8
+	Line       mem.Addr
+	Seq        uint64
+	BarrierSeq uint64
+	HasIssued  bool
+	Completed  bool
+	Retired    bool
+}
+
+// PersistQueueState is a checkpoint of a PersistQueue: entry data plus
+// statistics. The onChange subscriber and the pump-scheduled flag are
+// construction wiring and transient event state respectively — neither
+// is captured.
+type PersistQueueState struct {
+	Entries []PQEntryState
+	Stats   QueueStats
+}
+
+// Snapshot captures the queue's entries as pure data.
+func (q *PersistQueue) Snapshot() *PersistQueueState {
+	s := &PersistQueueState{Stats: q.stats}
+	for _, e := range q.entries {
+		s.Entries = append(s.Entries, PQEntryState{
+			Kind:       uint8(e.kind),
+			Line:       e.line,
+			Seq:        e.seq,
+			BarrierSeq: e.barrierSeq,
+			HasIssued:  e.hasIssued,
+			Completed:  e.completed,
+			Retired:    e.retired,
+		})
+	}
+	return s
+}
+
+// Restore rewinds the queue to a previously captured state. Issued-
+// but-incomplete entries stay incomplete (their buffer-unit completion
+// callbacks died with the cut); un-issued entries re-issue through
+// Pump if the system is ever resumed from a quiescent checkpoint.
+func (q *PersistQueue) Restore(s *PersistQueueState) {
+	for i := range q.entries {
+		q.entries[i] = nil
+	}
+	q.entries = q.entries[:0]
+	for i := range s.Entries {
+		es := &s.Entries[i]
+		q.entries = append(q.entries, &Entry{
+			kind:       entryKind(es.Kind),
+			line:       es.Line,
+			seq:        es.Seq,
+			barrierSeq: es.BarrierSeq,
+			hasIssued:  es.HasIssued,
+			completed:  es.Completed,
+			retired:    es.Retired,
+		})
+	}
+	q.pumping = false
+	q.stats = s.Stats
+}

@@ -46,6 +46,18 @@ type CellMetrics struct {
 	// switch counts sum across runs, the heap high-water mark takes the
 	// maximum. Deterministic for a given cell.
 	Engine *sim.Stats `json:"engine,omitempty"`
+	// PrefixReused reports that the cell forked from a crash-prefix
+	// checkpoint built by another cell (the warm-start sharing in
+	// docs/SNAPSHOT.md). Which cell builds a shared prefix depends on
+	// scheduling, so this is not deterministic across runs — results
+	// are, checkpoint provenance is not.
+	PrefixReused bool `json:"prefix_reused,omitempty"`
+	// CheckpointHits counts crash cuts this cell served by restoring a
+	// prefix checkpoint instead of re-simulating from cycle zero;
+	// CheckpointMisses counts checkpoints the cell had to capture
+	// itself. Like PrefixReused, scheduling-dependent under parallelism.
+	CheckpointHits   uint64 `json:"checkpoint_hits,omitempty"`
+	CheckpointMisses uint64 `json:"checkpoint_misses,omitempty"`
 	// Err records the cell's failure, if any.
 	Err string `json:"error,omitempty"`
 }
