@@ -44,15 +44,16 @@ func runFuzz(o options, metrics *sw.SweepReport) error {
 		if err != nil {
 			return err
 		}
+		exec := sw.FuzzExecOptions{Controllers: o.controllers}
 		if o.fuzzMinimize {
-			min, err := sw.FuzzMinimize(string(data), sw.FuzzExecOptions{})
+			min, err := sw.FuzzMinimize(string(data), exec)
 			if err != nil {
 				return err
 			}
 			fmt.Print(min)
 			return nil
 		}
-		if err := sw.FuzzReplay(string(data), sw.FuzzExecOptions{}); err != nil {
+		if err := sw.FuzzReplay(string(data), exec); err != nil {
 			return fmt.Errorf("repro %s did not reproduce: %w", o.fuzzRepro, err)
 		}
 		fmt.Printf("repro %s reproduces byte-for-byte\n", o.fuzzRepro)
@@ -64,6 +65,7 @@ func runFuzz(o options, metrics *sw.SweepReport) error {
 		Schedules:  o.fuzzSchedules,
 		Targets:    o.fuzzTargets,
 		Mutant:     o.fuzzMutant,
+		Exec:       sw.FuzzExecOptions{Controllers: o.controllers},
 		NoSnapshot: o.noSnapshot,
 		Parallel:   o.workers(),
 		Metrics:    metrics,

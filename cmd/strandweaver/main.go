@@ -32,6 +32,7 @@ type options struct {
 	cmd          string
 	threads      int
 	ops          int
+	controllers  int
 	seed         int64
 	benchmarks   []string
 	designs      []sw.Design
@@ -90,6 +91,7 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.SetOutput(errw)
 	fs.IntVar(&o.threads, "threads", defThreads, "worker threads (simulated cores)")
 	fs.IntVar(&o.ops, "ops", defOps, "operations per thread")
+	fs.IntVar(&o.controllers, "controllers", 1, "address-interleaved PM controllers per machine (power of two)")
 	fs.Int64Var(&o.seed, "seed", 1, "workload and fault RNG seed")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table II; torture: queue,hashmap,rbtree)")
 	designList := fs.String("design", "", "comma-separated hardware-design subset for grid experiments (default: "+strings.Join(sw.DesignNames(), ",")+")")
@@ -152,6 +154,9 @@ func validate(o options) error {
 	}
 	if o.ops <= 0 {
 		return fmt.Errorf("-ops must be positive (got %d)", o.ops)
+	}
+	if o.controllers <= 0 || o.controllers&(o.controllers-1) != 0 {
+		return fmt.Errorf("-controllers must be a positive power of two (got %d)", o.controllers)
 	}
 	if o.crashes <= 0 {
 		return fmt.Errorf("-crashes must be positive (got %d)", o.crashes)
@@ -230,7 +235,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "strandweaver:", err)
 		os.Exit(2)
 	}
-	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks, Designs: o.designs, Parallel: o.workers()}
+	opt := sw.ExpOptions{Threads: o.threads, OpsPerThread: o.ops, Seed: o.seed, Benchmarks: o.benchmarks, Designs: o.designs, Controllers: o.controllers, Parallel: o.workers()}
 
 	if o.cpuProfile != "" {
 		f, perr := os.Create(o.cpuProfile)
@@ -415,7 +420,9 @@ experiments:
   all      everything above
 
 flags (see -h per experiment): -threads -ops -seed -benchmarks -design
-                               -crashes
+                               -crashes -controllers N (power of two;
+                               shards the PM persistence boundary
+                               across N address-interleaved controllers)
 sweep flags: -parallel N (0 = GOMAXPROCS) -serial -metrics-out FILE
              -serial-check (experiments only)
 profiling:   -cpuprofile FILE -memprofile FILE (pprof format; see
@@ -436,6 +443,7 @@ func runTorture(o options, metrics *sw.SweepReport) error {
 		Benchmarks:   o.benchmarks,
 		Threads:      o.threads,
 		OpsPerThread: o.ops,
+		Controllers:  o.controllers,
 		Crashes:      o.crashes,
 		MaxBudgets:   o.maxBudgets,
 		TearAccepted: o.tearAccepted,
@@ -560,7 +568,7 @@ func runAblation(opt sw.ExpOptions) error {
 }
 
 func runCrash(opt sw.ExpOptions, crashes int) error {
-	opt = sw.ExpOptions{Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed, Benchmarks: opt.Benchmarks}
+	opt = sw.ExpOptions{Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed, Benchmarks: opt.Benchmarks, Controllers: opt.Controllers}
 	if len(opt.Benchmarks) == 0 {
 		opt.Benchmarks = sw.BenchmarkNames()
 	}
@@ -568,7 +576,7 @@ func runCrash(opt sw.ExpOptions, crashes int) error {
 	for _, b := range opt.Benchmarks {
 		// Find the crash-free length first.
 		base, err := sw.Run(sw.Spec{Benchmark: b, Model: sw.SFR, Design: sw.StrandWeaver,
-			Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed})
+			Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed, Controllers: opt.Controllers})
 		if err != nil {
 			return err
 		}
@@ -579,7 +587,7 @@ func runCrash(opt sw.ExpOptions, crashes int) error {
 		rolled := 0
 		for i := 1; i <= crashes; i++ {
 			rep, err := sw.RunWithCrash(sw.Spec{Benchmark: b, Model: sw.SFR, Design: sw.StrandWeaver,
-				Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed}, sw.Cycle(i)*stride)
+				Threads: opt.Threads, OpsPerThread: opt.OpsPerThread, Seed: opt.Seed, Controllers: opt.Controllers}, sw.Cycle(i)*stride)
 			if err != nil {
 				return fmt.Errorf("%s: %w", b, err)
 			}

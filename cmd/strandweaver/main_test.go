@@ -178,3 +178,29 @@ func TestFuzzFlagValidation(t *testing.T) {
 		t.Errorf("mutant error unhelpful: %v", err)
 	}
 }
+
+func TestControllersFlagValidation(t *testing.T) {
+	for _, n := range []string{"1", "2", "4", "8"} {
+		for _, cmd := range []string{"experiments", "torture", "fuzz", "crash"} {
+			if err := validate(parse(t, cmd, "-controllers", n)); err != nil {
+				t.Errorf("%s -controllers %s rejected: %v", cmd, n, err)
+			}
+		}
+	}
+	bad := [][]string{
+		{"torture", "-controllers", "0"},
+		{"torture", "-controllers", "-2"},
+		{"experiments", "-controllers", "3"},
+		{"fuzz", "-controllers", "6"},
+	}
+	for _, args := range bad {
+		err := validate(parse(t, args...))
+		if err == nil {
+			t.Errorf("validate accepted %v", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "power of two") {
+			t.Errorf("%v: error does not explain the power-of-two rule: %v", args, err)
+		}
+	}
+}

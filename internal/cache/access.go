@@ -65,7 +65,7 @@ func (l *L1) Load(line mem.Addr, done func()) {
 		return
 	}
 	h.stats.L2Misses++
-	h.ctrl.SubmitRead(line, func() {
+	h.pm.SubmitRead(line, func() {
 		h.l2.install(line, false, h)
 		fill()
 	})
@@ -146,7 +146,7 @@ func (l *L1) Store(line mem.Addr, done func()) {
 		return
 	}
 	h.stats.L2Misses++
-	h.ctrl.SubmitRead(line, func() {
+	h.pm.SubmitRead(line, func() {
 		h.l2.install(line, false, h)
 		finish()
 	})
@@ -180,7 +180,7 @@ func (l *L1) Flush(line mem.Addr, done func()) {
 		h.after(h.cfg.L1HitCycles, func() {
 			var data [mem.LineSize]byte
 			h.machine.Volatile.CopyLine(line, &data)
-			h.ctrl.SubmitPMWrite(line, data, done)
+			h.pm.SubmitPMWrite(line, data, done)
 		})
 		return
 	}
@@ -198,7 +198,7 @@ func (l *L1) Flush(line mem.Addr, done func()) {
 			h.after(h.cfg.L1HitCycles+h.cfg.L2HitCycles, func() {
 				var data [mem.LineSize]byte
 				h.machine.Volatile.CopyLine(line, &data)
-				h.ctrl.SubmitPMWrite(line, data, done)
+				h.pm.SubmitPMWrite(line, data, done)
 			})
 			return
 		}
@@ -209,7 +209,7 @@ func (l *L1) Flush(line mem.Addr, done func()) {
 		h.after(h.cfg.L1HitCycles+h.cfg.L2HitCycles, func() {
 			var data [mem.LineSize]byte
 			h.machine.Volatile.CopyLine(line, &data)
-			h.ctrl.SubmitPMWrite(line, data, done)
+			h.pm.SubmitPMWrite(line, data, done)
 		})
 		return
 	}
@@ -222,7 +222,7 @@ func (l *L1) Flush(line mem.Addr, done func()) {
 			h.after(h.cfg.L1HitCycles+h.cfg.L2HitCycles, func() {
 				var data [mem.LineSize]byte
 				h.machine.Volatile.CopyLine(line, &data)
-				h.ctrl.SubmitPMWrite(line, data, done)
+				h.pm.SubmitPMWrite(line, data, done)
 			})
 			return
 		}

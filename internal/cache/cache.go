@@ -54,7 +54,7 @@ type Hierarchy struct {
 	eng     *sim.Engine
 	cfg     config.Config
 	machine *mem.Machine
-	ctrl    *pmem.Controller
+	pm      *pmem.Topology
 
 	dir map[mem.Addr]*dirEntry
 	l2  *l2cache
@@ -84,13 +84,16 @@ type HierStats struct {
 	WritebackGateWaits uint64
 }
 
-// NewHierarchy builds the cache system for cfg.Cores cores.
-func NewHierarchy(eng *sim.Engine, cfg config.Config, machine *mem.Machine, ctrl *pmem.Controller) *Hierarchy {
+// NewHierarchy builds the cache system for cfg.Cores cores. All memory
+// traffic below the caches — fills, flushes, write-backs — routes
+// through the PM topology, which interleaves lines across its
+// controllers.
+func NewHierarchy(eng *sim.Engine, cfg config.Config, machine *mem.Machine, pm *pmem.Topology) *Hierarchy {
 	h := &Hierarchy{
 		eng:     eng,
 		cfg:     cfg,
 		machine: machine,
-		ctrl:    ctrl,
+		pm:      pm,
 		dir:     make(map[mem.Addr]*dirEntry),
 		l2:      newL2(cfg),
 		gates:   make([]PersistGate, cfg.Cores),

@@ -12,7 +12,7 @@ import (
 func newHier(cfg config.Config) (*sim.Engine, *Hierarchy, *mem.Machine) {
 	eng := sim.NewEngine()
 	m := mem.NewMachine()
-	ctrl := pmem.New(eng, cfg, m)
+	ctrl := pmem.NewTopology(eng, cfg, m)
 	return eng, NewHierarchy(eng, cfg, m, ctrl), m
 }
 
@@ -280,7 +280,7 @@ func TestMSHRCoalescing(t *testing.T) {
 }
 
 // ctrlReads reports PM reads issued by the hierarchy's controller.
-func (h *Hierarchy) ctrlReads() uint64 { return h.ctrl.Stats().PMReads }
+func (h *Hierarchy) ctrlReads() uint64 { return h.pm.Stats().PMReads }
 
 func TestL2EvictionPersistsDirtyPMLine(t *testing.T) {
 	cfg := smallCfg()

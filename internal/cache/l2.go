@@ -78,9 +78,9 @@ func (c *l2cache) install(line mem.Addr, dirty bool, h *Hierarchy) {
 		if mem.IsPM(v.line) {
 			var data [mem.LineSize]byte
 			h.machine.Volatile.CopyLine(v.line, &data)
-			h.ctrl.SubmitPMWrite(v.line, data, nil)
+			h.pm.SubmitPMWrite(v.line, data, nil)
 		} else {
-			h.ctrl.SubmitDRAMWrite(v.line)
+			h.pm.SubmitDRAMWrite(v.line)
 		}
 	}
 	set[victim] = l2Line{line: line, dirty: dirty, lru: c.tick}

@@ -65,6 +65,16 @@ type Config struct {
 	// PMBanks is the number of concurrently serviceable PM banks; the
 	// controller drains up to PMBanks writes to media in parallel.
 	PMBanks int
+	// PMControllers is the number of address-interleaved PM controllers
+	// the machine shards its persistence boundary across (default 1, the
+	// paper's configuration). Lines map to controllers by the fixed
+	// interleave (line >> mem.LineShift) & (PMControllers-1), so the
+	// count must be a power of two; consecutive cache lines land on
+	// consecutive controllers. Every controller gets the full per-
+	// controller queue/bank geometry above, so raising the count scales
+	// aggregate persist bandwidth. Zero means 1 (single controller), so
+	// zero-value configurations keep their historical meaning.
+	PMControllers int
 	// PMAckCycles is the on-chip latency for the controller's acceptance
 	// acknowledgement to reach the flushing core.
 	PMAckCycles uint64
@@ -115,6 +125,7 @@ func Default() Config {
 		PMWriteQueueEntries:       64,
 		PMReadQueueEntries:        32,
 		PMBanks:                   64,
+		PMControllers:             1,
 		PMAckCycles:               60,
 		PMMediaMaxRetries:         8,
 		PMMediaRetryBackoffCycles: 250,
@@ -140,6 +151,9 @@ func (c Config) Validate() error {
 		return errf("PMBanks must be positive, got %d", c.PMBanks)
 	case c.PMWriteQueueEntries <= 0:
 		return errf("PMWriteQueueEntries must be positive, got %d", c.PMWriteQueueEntries)
+	case c.PMControllers < 0 || c.PMControllers&(c.PMControllers-1) != 0:
+		// The mask interleave requires a power of two (0 means 1).
+		return errf("PMControllers must be a power of two, got %d", c.PMControllers)
 	case c.L1Sets <= 0 || c.L1Ways <= 0:
 		return errf("L1 geometry must be positive, got %dx%d", c.L1Sets, c.L1Ways)
 	case c.L2Sets <= 0 || c.L2Ways <= 0:

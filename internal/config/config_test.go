@@ -40,6 +40,18 @@ func TestDefaultMatchesTableI(t *testing.T) {
 	}
 }
 
+func TestPMControllersValidation(t *testing.T) {
+	// 0 is the zero value (meaning 1 controller); powers of two are the
+	// only other accepted counts — the address interleave is a mask.
+	for _, n := range []int{0, 1, 2, 4, 8} {
+		c := Default()
+		c.PMControllers = n
+		if err := c.Validate(); err != nil {
+			t.Errorf("PMControllers=%d rejected: %v", n, err)
+		}
+	}
+}
+
 func TestValidateCatchesNonsense(t *testing.T) {
 	bad := []func(*Config){
 		func(c *Config) { c.Cores = 0 },
@@ -52,6 +64,9 @@ func TestValidateCatchesNonsense(t *testing.T) {
 		func(c *Config) { c.L1Sets = 0 },
 		func(c *Config) { c.L2Ways = 0 },
 		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.PMControllers = -1 },
+		func(c *Config) { c.PMControllers = 3 },
+		func(c *Config) { c.PMControllers = 6 },
 	}
 	for i, mutate := range bad {
 		c := Default()

@@ -57,6 +57,25 @@ func (s Stats) PersistStallCycles() uint64 {
 	return s.StallFenceCycles + s.StallQueueFullCycles
 }
 
+// Add folds other into s: counters sum, BusyUntil takes the maximum.
+// Every aggregation of core statistics (machine.TotalStats and friends)
+// goes through this method, so a new Stats field only needs its merge
+// rule defined here and cannot be silently dropped from totals.
+func (s *Stats) Add(other Stats) {
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.CLWBs += other.CLWBs
+	s.RMWs += other.RMWs
+	s.Fences += other.Fences
+	s.StallFenceCycles += other.StallFenceCycles
+	s.StallQueueFullCycles += other.StallQueueFullCycles
+	s.LockSpinCycles += other.LockSpinCycles
+	s.ComputeCycles += other.ComputeCycles
+	if other.BusyUntil > s.BusyUntil {
+		s.BusyUntil = other.BusyUntil
+	}
+}
+
 // Core is one simulated core.
 type Core struct {
 	id      int
@@ -64,7 +83,7 @@ type Core struct {
 	cfg     config.Config
 	machine *mem.Machine
 	l1      *cache.L1
-	ctrl    *pmem.Controller
+	pm      *pmem.Topology
 
 	sq *storeQueue
 	be backend.Backend
@@ -119,14 +138,14 @@ type Core struct {
 // NewCore wires a core for the given design. The caller registers the
 // returned core's persist gate on the cache hierarchy when the design
 // has one. It fails only when no backend implements the design.
-func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design, machine *mem.Machine, l1 *cache.L1, ctrl *pmem.Controller) (*Core, error) {
+func NewCore(id int, eng *sim.Engine, cfg config.Config, design hwdesign.Design, machine *mem.Machine, l1 *cache.L1, pm *pmem.Topology) (*Core, error) {
 	c := &Core{
 		id:      id,
 		eng:     eng,
 		cfg:     cfg,
 		machine: machine,
 		l1:      l1,
-		ctrl:    ctrl,
+		pm:      pm,
 		wake:    sim.NewWaiter(eng),
 		rng:     rand.New(rand.NewSource(int64(id)*7919 + 12345)),
 	}

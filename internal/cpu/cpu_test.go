@@ -27,7 +27,7 @@ func newRig(t *testing.T, cfg config.Config, d hwdesign.Design, n int) *rig {
 	cfg.Cores = n
 	eng := sim.NewEngine()
 	m := mem.NewMachine()
-	ctrl := pmem.New(eng, cfg, m)
+	ctrl := pmem.NewTopology(eng, cfg, m)
 	hier := cache.NewHierarchy(eng, cfg, m, ctrl)
 	r := &rig{eng: eng, m: m}
 	for i := 0; i < n; i++ {
@@ -345,5 +345,26 @@ func TestDrainedAccounting(t *testing.T) {
 			}
 		})
 		r.run(t)
+	}
+}
+
+func TestCoreStatsAddMergeRule(t *testing.T) {
+	a := Stats{Loads: 3, Stores: 5, CLWBs: 1, Fences: 2, StallFenceCycles: 10, BusyUntil: 100}
+	b := Stats{Loads: 7, Stores: 1, RMWs: 4, StallQueueFullCycles: 6, BusyUntil: 40}
+	sum := a
+	sum.Add(b)
+	if sum.Loads != 10 || sum.Stores != 6 || sum.CLWBs != 1 || sum.RMWs != 4 || sum.Fences != 2 {
+		t.Errorf("counters did not sum: %+v", sum)
+	}
+	if sum.StallFenceCycles != 10 || sum.StallQueueFullCycles != 6 {
+		t.Errorf("stall counters did not sum: %+v", sum)
+	}
+	if sum.BusyUntil != 100 {
+		t.Errorf("BusyUntil = %d, want max 100", sum.BusyUntil)
+	}
+	sum2 := b
+	sum2.Add(a)
+	if sum2.BusyUntil != 100 {
+		t.Errorf("BusyUntil (reversed) = %d, want max 100", sum2.BusyUntil)
 	}
 }

@@ -89,10 +89,23 @@ type Stats struct {
 
 // Injector draws fault decisions from a seeded generator. It implements
 // pmem.FaultHook; install it with Arm.
+//
+// Multi-controller topologies: each PM controller draws from its own
+// disjoint splitmix64 stream, so controllers' event interleavings never
+// perturb each other's fault sequences. Controller 0 draws from the
+// injector's primary stream — the only stream a single-controller
+// machine has — which keeps every single-controller crash image
+// byte-identical to the pre-topology injector. Streams for controllers
+// past the first are derived from the plan seed and the controller
+// index on demand (Arm, or CrashImage on a freshly restored injector).
 type Injector struct {
 	plan  Plan
 	state uint64
 	stats Stats
+	// ctrlStates[i] is controller i's draw-stream state for i >= 1
+	// (index 0 is unused: controller 0 aliases the primary state above).
+	// Nil until armed on a multi-controller system.
+	ctrlStates []uint64
 }
 
 // New returns an injector for the plan.
@@ -108,20 +121,77 @@ func (in *Injector) Plan() Plan { return in.plan }
 // Stats returns a copy of the fault counters.
 func (in *Injector) Stats() Stats { return in.stats }
 
-// Arm installs the injector as the system's media fault hook.
-func (in *Injector) Arm(sys *machine.System) { sys.Ctrl.SetFaultHook(in) }
+// Arm installs the injector as every PM controller's media fault hook,
+// in controller index order. Controller 0 gets the injector itself;
+// each further controller gets a thin adapter drawing from that
+// controller's disjoint stream.
+func (in *Injector) Arm(sys *machine.System) {
+	ctrls := sys.PM.Controllers()
+	in.ensureStreams(len(ctrls))
+	for i, c := range ctrls {
+		if i == 0 {
+			c.SetFaultHook(in)
+			continue
+		}
+		c.SetFaultHook(&ctrlHook{in: in, idx: i})
+	}
+}
 
-// next is splitmix64: deterministic, full-period, seed-robust.
-func (in *Injector) next() uint64 {
-	in.state += 0x9e3779b97f4a7c15
-	z := in.state
+// ensureStreams sizes the per-controller stream table for n
+// controllers, deriving any missing streams from the plan seed.
+// Existing stream positions are never reset (an armed injector may be
+// snapshotted, restored and re-armed mid-stream).
+func (in *Injector) ensureStreams(n int) {
+	for len(in.ctrlStates) < n {
+		i := len(in.ctrlStates)
+		in.ctrlStates = append(in.ctrlStates, streamSeed(in.plan.Seed, i))
+	}
+}
+
+// stream returns controller i's draw-stream state: the primary stream
+// for controller 0, the derived disjoint stream otherwise.
+func (in *Injector) stream(i int) *uint64 {
+	if i == 0 {
+		return &in.state
+	}
+	return &in.ctrlStates[i]
+}
+
+// streamSeed derives controller i's initial stream state from the plan
+// seed: a splitmix64 finalizer over (seed, index) decorrelates the
+// streams even for adjacent seeds and indexes.
+func streamSeed(seed uint64, i int) uint64 {
+	z := seed + uint64(i)*0xd1342543de82ef95
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
-// chance draws a Bernoulli with probability p.
-func (in *Injector) chance(p float64) bool {
+// ctrlHook adapts the injector to one controller past the first,
+// routing its media-write draws to that controller's stream.
+type ctrlHook struct {
+	in  *Injector
+	idx int
+}
+
+func (h *ctrlHook) MediaWrite(line mem.Addr, attempt int) pmem.MediaVerdict {
+	return h.in.mediaWrite(h.in.stream(h.idx), line, attempt)
+}
+
+// splitmix advances state by one splitmix64 step: deterministic,
+// full-period, seed-robust.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chanceFrom draws a Bernoulli with probability p from the given
+// stream. p <= 0 returns without consuming stream state (load-bearing
+// for prefix sharing: a plan with a knob off draws nothing for it).
+func chanceFrom(state *uint64, p float64) bool {
 	if p <= 0 {
 		return false
 	}
@@ -129,18 +199,23 @@ func (in *Injector) chance(p float64) bool {
 		return true
 	}
 	// 53-bit mantissa draw: exact IEEE, platform-independent.
-	return float64(in.next()>>11)/(1<<53) < p
+	return float64(splitmix(state)>>11)/(1<<53) < p
 }
 
-// MediaWrite implements pmem.FaultHook: consulted once per media write
-// attempt, in deterministic event order.
+// MediaWrite implements pmem.FaultHook for controller 0: consulted once
+// per media write attempt, in deterministic event order.
 func (in *Injector) MediaWrite(line mem.Addr, attempt int) pmem.MediaVerdict {
+	return in.mediaWrite(&in.state, line, attempt)
+}
+
+// mediaWrite draws one media-write verdict from the given stream.
+func (in *Injector) mediaWrite(state *uint64, line mem.Addr, attempt int) pmem.MediaVerdict {
 	var v pmem.MediaVerdict
-	if in.chance(in.plan.MediaDelayProb) {
+	if chanceFrom(state, in.plan.MediaDelayProb) {
 		v.ExtraCycles = sim.Cycle(in.plan.MediaDelayCycles)
 		in.stats.MediaDelays++
 	}
-	if in.chance(in.plan.MediaFaultProb) {
+	if chanceFrom(state, in.plan.MediaFaultProb) {
 		v.Fail = true
 		in.stats.MediaFaults++
 	}
@@ -153,18 +228,36 @@ func (in *Injector) MediaWrite(line mem.Addr, attempt int) pmem.MediaVerdict {
 // at the crash point (after Abandon). Each call consumes generator
 // state: with the same injector, successive calls model distinct
 // failure instants.
+//
+// The power cut is applied per controller, in controller index order,
+// each controller drawing from its own stream: independent controllers
+// accept their streams concurrently, so the cut truncates each
+// controller's FIFO at its own point. The per-line FIFO guarantee is
+// unaffected — a line's writes all route to one controller — and
+// different controllers' writes touch disjoint lines, so the landing
+// order across controllers cannot change the image. On a
+// single-controller machine the loop collapses to exactly the
+// pre-topology single-stream cut.
 func (in *Injector) CrashImage(sys *machine.System) *mem.Image {
 	img := sys.Mem.CrashImage()
-	ws := sys.Ctrl.UnacceptedWrites()
-	if !in.plan.TornPersists {
-		in.stats.DroppedLines += uint64(len(ws))
-	} else if len(ws) > 0 {
-		// Power-cut point in the FIFO submission stream: k writes reach
-		// acceptance, write k is mid-transfer and tears per-word, the
-		// rest never arrive. The prefix must land in submission order —
-		// later same-line writes overwrite earlier ones, as acceptance
-		// would have.
-		k := int(in.next() % uint64(len(ws)+1))
+	ctrls := sys.PM.Controllers()
+	in.ensureStreams(len(ctrls))
+	for ci, c := range ctrls {
+		st := in.stream(ci)
+		ws := c.UnacceptedWrites()
+		if !in.plan.TornPersists {
+			in.stats.DroppedLines += uint64(len(ws))
+			continue
+		}
+		if len(ws) == 0 {
+			continue
+		}
+		// Power-cut point in this controller's FIFO submission stream:
+		// k writes reach acceptance, write k is mid-transfer and tears
+		// per-word, the rest never arrive. The prefix must land in
+		// submission order — later same-line writes overwrite earlier
+		// ones, as acceptance would have.
+		k := int(splitmix(st) % uint64(len(ws)+1))
 		for i := 0; i < k; i++ {
 			w := ws[i]
 			img.StoreLine(w.Line, &w.Data)
@@ -173,7 +266,7 @@ func (in *Injector) CrashImage(sys *machine.System) *mem.Image {
 		if k < len(ws) {
 			keep := uint8(0)
 			for bit := 0; bit < mem.LineWords; bit++ {
-				if !in.chance(in.plan.DropProb) {
+				if !chanceFrom(st, in.plan.DropProb) {
 					keep |= 1 << bit
 					in.stats.WordsKept++
 				} else {
@@ -197,21 +290,25 @@ func (in *Injector) CrashImage(sys *machine.System) *mem.Image {
 	if in.plan.TearAccepted {
 		// Beyond-ADR torture: revert a random subset of each accepted
 		// undrained line's words to their pre-write contents, newest
-		// acceptance first so layered writes unwind in order.
-		acc := sys.Ctrl.AcceptedInFlight()
-		for i := len(acc) - 1; i >= 0; i-- {
-			w := acc[i]
-			revert := uint8(0)
-			for bit := 0; bit < mem.LineWords; bit++ {
-				if in.chance(in.plan.DropProb) {
-					revert |= 1 << bit
+		// acceptance first within each controller so layered writes
+		// unwind in order.
+		for ci, c := range ctrls {
+			st := in.stream(ci)
+			acc := c.AcceptedInFlight()
+			for i := len(acc) - 1; i >= 0; i-- {
+				w := acc[i]
+				revert := uint8(0)
+				for bit := 0; bit < mem.LineWords; bit++ {
+					if chanceFrom(st, in.plan.DropProb) {
+						revert |= 1 << bit
+					}
 				}
+				if revert == 0 {
+					continue
+				}
+				in.stats.AcceptedTorn++
+				img.StoreLineMasked(w.Line, &w.Old, revert)
 			}
-			if revert == 0 {
-				continue
-			}
-			in.stats.AcceptedTorn++
-			img.StoreLineMasked(w.Line, &w.Old, revert)
 		}
 	}
 	return img

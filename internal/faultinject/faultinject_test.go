@@ -187,7 +187,7 @@ func TestMediaFaultsRetryAndSurface(t *testing.T) {
 	if _, err := s.Run([]machine.Worker{loggedWorker(logs.PerThread[0], 4)}, 500_000_000); err != nil {
 		t.Fatal(err)
 	}
-	cs := s.Ctrl.Stats()
+	cs := s.PM.Stats()
 	if cs.MediaWriteFaults == 0 {
 		t.Error("no media faults recorded despite 30% fault probability")
 	}

@@ -24,6 +24,11 @@ type ExecOptions struct {
 	EventBudget uint64
 	// CycleLimit bounds each run in simulated time (0 uses a default).
 	CycleLimit sim.Cycle
+	// Controllers is the number of address-interleaved PM controllers
+	// each executed machine shards the persistence boundary across (0 =
+	// the configuration default, one controller). Part of the execution
+	// cache signature, so counts never share cached runs.
+	Controllers int
 	// Cache, when non-nil, memoises crash-free run lengths and
 	// crashed-run checkpoints across executions (see ExecCache).
 	// Outcomes are byte-identical with and without it.
@@ -165,18 +170,19 @@ func seedDirectCells(sys *machine.System, threads int) {
 	}
 }
 
-// buildSpec lowers a genome's target to its runSpec.
-func buildSpec(g Genome) (runSpec, error) {
+// buildSpec lowers a genome's target to its runSpec; controllers is
+// the harness-level PM controller count (0 = configuration default).
+func buildSpec(g Genome, controllers int) (runSpec, error) {
 	switch g.Target {
 	case TargetUndolog:
-		return undologSpec(g), nil
+		return undologSpec(g, controllers), nil
 	case TargetRedolog:
-		return redologSpec(g), nil
+		return redologSpec(g, controllers), nil
 	default:
 		if _, err := workloads.Find(g.Target); err != nil {
 			return runSpec{}, fmt.Errorf("fuzzsched: unknown target %q: %w", g.Target, err)
 		}
-		return workloadSpec(g), nil
+		return workloadSpec(g, controllers), nil
 	}
 }
 
@@ -184,7 +190,7 @@ func buildSpec(g Genome) (runSpec, error) {
 // drives its own cell group through Ops generations of undo-logged
 // stores with a commit per generation; the MutantNoDataFlush variant
 // deletes the data CLWB, which the search must convict.
-func undologSpec(g Genome) runSpec {
+func undologSpec(g Genome, controllers int) runSpec {
 	threads := g.Threads
 	if threads < 1 {
 		threads = 1
@@ -200,6 +206,9 @@ func undologSpec(g Genome) runSpec {
 			cfg := config.Default()
 			if threads > cfg.Cores {
 				cfg.Cores = threads
+			}
+			if controllers != 0 {
+				cfg.PMControllers = controllers
 			}
 			sys, err := machine.New(cfg, hwdesign.StrandWeaver)
 			if err != nil {
@@ -255,7 +264,7 @@ func undologSpec(g Genome) runSpec {
 // redologSpec is the direct redo-log generation workload
 // (single-threaded by construction, mirroring the torture harness):
 // one transaction per generation, a group commit mid-run.
-func redologSpec(g Genome) runSpec {
+func redologSpec(g Genome, controllers int) runSpec {
 	ops := g.Ops
 	if ops < 1 {
 		ops = 1
@@ -265,6 +274,9 @@ func redologSpec(g Genome) runSpec {
 		build: func() (*machine.System, []machine.Worker, error) {
 			cfg := config.Default()
 			cfg.Cores = 1
+			if controllers != 0 {
+				cfg.PMControllers = controllers
+			}
 			sys, err := machine.New(cfg, hwdesign.StrandWeaver)
 			if err != nil {
 				return nil, nil, err
@@ -307,7 +319,7 @@ func redologSpec(g Genome) runSpec {
 // workloadSpec runs a Table II persistent data structure through the
 // TXN language runtime (undo-log recovery), with the genome's
 // FaultSeed doubling as the workload's operation-mix seed.
-func workloadSpec(g Genome) runSpec {
+func workloadSpec(g Genome, controllers int) runSpec {
 	threads := g.Threads
 	if threads < 1 {
 		threads = 1
@@ -323,6 +335,9 @@ func workloadSpec(g Genome) runSpec {
 			cfg := config.Default()
 			if threads > cfg.Cores {
 				cfg.Cores = threads
+			}
+			if controllers != 0 {
+				cfg.PMControllers = controllers
 			}
 			sys, err := machine.New(cfg, hwdesign.StrandWeaver)
 			if err != nil {
@@ -367,7 +382,7 @@ func workloadSpec(g Genome) runSpec {
 // Outcome.Violation / Outcome.BeyondADR instead.
 func Execute(g Genome, o ExecOptions) (*Outcome, error) {
 	o = o.withDefaults()
-	spec, err := buildSpec(g)
+	spec, err := buildSpec(g, o.Controllers)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +391,7 @@ func Execute(g Genome, o ExecOptions) (*Outcome, error) {
 	// workload completes under the watchdog. The length is determined by
 	// the genome's run-visible signature alone, so a cache hit skips the
 	// run entirely.
-	sig := sigOf(g)
+	sig := sigOf(g, o.Controllers)
 	var end sim.Cycle
 	cachedEnd := false
 	if o.Cache != nil {

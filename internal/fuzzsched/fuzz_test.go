@@ -213,3 +213,35 @@ func TestCorpusEntriesReplay(t *testing.T) {
 		}
 	}
 }
+
+// Controller count reaches every executed machine, so the search must
+// stay a pure function of (seed, budget, controllers): worker count
+// must not change anything, and different counts must not collide in
+// the execution cache (execSig includes the count).
+func TestRunDeterministicMultiController(t *testing.T) {
+	opts := func(controllers, parallel int) Options {
+		return Options{
+			Seed:      2,
+			Schedules: 24,
+			Targets:   []string{TargetUndolog},
+			Parallel:  parallel,
+			Exec:      ExecOptions{Controllers: controllers},
+		}
+	}
+	for _, n := range []int{2, 4} {
+		serial, err := Run(opts(n, 1))
+		if err != nil {
+			t.Fatalf("controllers=%d serial: %v", n, err)
+		}
+		wide, err := Run(opts(n, 4))
+		if err != nil {
+			t.Fatalf("controllers=%d parallel: %v", n, err)
+		}
+		if s, w := serial.Corpus.Digest(), wide.Corpus.Digest(); s != w {
+			t.Errorf("controllers=%d: corpus digest differs across worker counts: %016x vs %016x", n, s, w)
+		}
+		if len(serial.Violations) != 0 {
+			t.Errorf("controllers=%d: healthy model violated: %d violations", n, len(serial.Violations))
+		}
+	}
+}

@@ -23,10 +23,14 @@ import (
 // keys, fingerprints and violations are unchanged at any hit rate —
 // hits and misses are observability, never coverage.
 
-// execSig identifies the run-visible part of a genome (see above).
+// execSig identifies the run-visible part of a genome (see above),
+// plus the harness-level PM controller count — not a genome knob, but
+// it shapes the machine, so executions at different counts must never
+// share cache entries.
 type execSig struct {
 	target           string
 	threads, ops     int
+	controllers      int
 	mutant           string
 	faultSeed        uint64
 	mediaFaultMilli  int
@@ -34,11 +38,12 @@ type execSig struct {
 	mediaDelayCycles uint64
 }
 
-func sigOf(g Genome) execSig {
+func sigOf(g Genome, controllers int) execSig {
 	return execSig{
 		target:           g.Target,
 		threads:          g.Threads,
 		ops:              g.Ops,
+		controllers:      controllers,
 		mutant:           g.Mutant,
 		faultSeed:        g.FaultSeed,
 		mediaFaultMilli:  g.MediaFaultMilli,

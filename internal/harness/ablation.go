@@ -142,7 +142,7 @@ func runLoggingTx(o ExpOptions, storesPerTx int, redo bool, met *sweep.CellMetri
 		return 0, err
 	}
 	if met != nil {
-		met.AddRun(uint64(end), sys.Ctrl.Stats())
+		met.AddRun(uint64(end), sys.PM.Stats())
 		met.AddEngine(sys.Eng.Stats())
 	}
 	return uint64(end), nil

@@ -36,6 +36,10 @@ type ExpOptions struct {
 	// x86, so a subset that omits it reports absolute cycles only
 	// (speedup 0).
 	Designs []hwdesign.Design
+	// Controllers is the number of address-interleaved PM controllers
+	// each cell's machine shards the persistence boundary across (0 =
+	// the configuration default, one controller).
+	Controllers int
 	// Parallel bounds the sweep's worker pool: 0 = GOMAXPROCS, 1 =
 	// serial. Results are byte-identical for every value.
 	Parallel int
@@ -101,6 +105,7 @@ func measuredCell(key string, spec Spec) sweep.Cell[*Result] {
 				return nil, err
 			}
 			m.AddRun(r.Cycles, r.Controller)
+			m.AddPerController(r.PerController)
 			m.AddEngine(r.Engine)
 			return r, nil
 		},
@@ -122,7 +127,7 @@ func Table2(o ExpOptions) ([]Table2Row, error) {
 			return nil, err
 		}
 		spec := Spec{Benchmark: b, Model: langmodel.TXN, Design: hwdesign.NonAtomic,
-			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}
+			Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Controllers: o.Controllers}
 		cells = append(cells, measuredCell("table2/"+b, spec))
 	}
 	results, err := sweep.Run(o.sweepOptions(), cells)
@@ -178,7 +183,7 @@ func RunGrid(o ExpOptions) (*Grid, error) {
 		for _, m := range langmodel.All {
 			for _, d := range o.Designs {
 				spec := Spec{Benchmark: b, Model: m, Design: d,
-					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}
+					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Controllers: o.Controllers}
 				cells = append(cells, measuredCell(specKey(spec), spec))
 			}
 		}
@@ -422,7 +427,7 @@ func Fig9(o ExpOptions) ([]Fig9Point, error) {
 	for _, b := range o.Benchmarks {
 		cells = append(cells, measuredCell("fig9/intel/"+b,
 			Spec{Benchmark: b, Model: langmodel.SFR, Design: hwdesign.IntelX86,
-				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed}))
+				Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Controllers: o.Controllers}))
 	}
 	for _, bc := range Fig9Configs {
 		for _, b := range o.Benchmarks {
@@ -431,7 +436,7 @@ func Fig9(o ExpOptions) ([]Fig9Point, error) {
 			cfg.StrandBufferEntries = bc[1]
 			cells = append(cells, measuredCell(fmt.Sprintf("fig9/sw%dx%d/%s", bc[0], bc[1], b),
 				Spec{Benchmark: b, Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
-					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg}))
+					Threads: o.Threads, OpsPerThread: o.OpsPerThread, Seed: o.Seed, Cfg: &cfg, Controllers: o.Controllers}))
 		}
 	}
 	results, err := sweep.Run(o.sweepOptions(), cells)
@@ -509,6 +514,9 @@ func runBatched(o ExpOptions, d hwdesign.Design, opsPerRegion int, met *sweep.Ce
 	if cfg.Cores < o.Threads {
 		cfg.Cores = o.Threads
 	}
+	if o.Controllers != 0 {
+		cfg.PMControllers = o.Controllers
+	}
 	sys, err := machine.New(cfg, d)
 	if err != nil {
 		return 0, err
@@ -525,7 +533,8 @@ func runBatched(o ExpOptions, d hwdesign.Design, opsPerRegion int, met *sweep.Ce
 		return 0, err
 	}
 	if met != nil {
-		met.AddRun(uint64(end), sys.Ctrl.Stats())
+		met.AddRun(uint64(end), sys.PM.Stats())
+		met.AddPerController(sys.PM.PerController())
 		met.AddEngine(sys.Eng.Stats())
 	}
 	return uint64(end), nil

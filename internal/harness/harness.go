@@ -27,6 +27,12 @@ type Spec struct {
 	Threads      int
 	OpsPerThread int
 	Seed         int64
+	// Controllers overrides config.PMControllers, the number of
+	// address-interleaved PM controllers the persistence boundary is
+	// sharded across; 0 keeps the configuration's value (one controller
+	// by default, and omitted from JSON so existing result digests are
+	// untouched).
+	Controllers int `json:",omitempty"`
 	// Cfg overrides the machine configuration; zero means Table I
 	// defaults.
 	Cfg *config.Config
@@ -60,6 +66,11 @@ type Result struct {
 	TotalOps   uint64
 	CoreTotals cpu.Stats
 	Controller pmem.Stats
+	// PerController holds each PM controller's statistics in controller
+	// index order. Populated only on multi-controller machines — nil at
+	// one controller, keeping single-controller result digests
+	// byte-identical to the pre-topology format.
+	PerController []pmem.Stats `json:",omitempty"`
 	// CKC is CLWBs issued per thousand CPU cycles (Table II's
 	// write-intensity metric).
 	CKC float64
@@ -85,6 +96,9 @@ func Run(spec Spec) (*Result, error) {
 	}
 	if cfg.Cores < spec.Threads {
 		cfg.Cores = spec.Threads
+	}
+	if spec.Controllers != 0 {
+		cfg.PMControllers = spec.Controllers
 	}
 	sys, err := machine.New(cfg, spec.Design)
 	if err != nil {
@@ -119,8 +133,11 @@ func newResult(spec Spec, sys *machine.System, cycles uint64) *Result {
 		Cycles:     cycles,
 		TotalOps:   uint64(spec.Threads * spec.OpsPerThread),
 		CoreTotals: tot,
-		Controller: sys.Ctrl.Stats(),
+		Controller: sys.PM.Stats(),
 		Engine:     sys.Eng.Stats(),
+	}
+	if sys.PM.NumControllers() > 1 {
+		r.PerController = sys.PM.PerController()
 	}
 	if cycles > 0 {
 		r.CKC = float64(tot.CLWBs) / (float64(cycles) / 1000)
@@ -141,6 +158,9 @@ func RunWithCrash(spec Spec, crashAt sim.Cycle) (*undolog.Report, error) {
 	}
 	if cfg.Cores < spec.Threads {
 		cfg.Cores = spec.Threads
+	}
+	if spec.Controllers != 0 {
+		cfg.PMControllers = spec.Controllers
 	}
 	sys, err := machine.New(cfg, spec.Design)
 	if err != nil {

@@ -87,19 +87,21 @@ func (pc *prefixCache) get(key string, build func(pe *prefixEntry)) (*prefixEntr
 	return pe, built
 }
 
-// planRunKey names the part of a fault plan that can influence the
-// simulated run itself. Only media faults perturb the machine; torn
-// and dropped persists are decided at crash-image time against the
-// controller's tracked writes. An armed injector whose media
-// probabilities are zero draws nothing — chance(p) returns without
-// consuming generator state for p <= 0 — so every media-free plan
-// shares one prefix regardless of seed.
-func planRunKey(plan faultinject.Plan) string {
+// planRunKey names the parts of the sweep options and a fault plan
+// that can influence the simulated run itself. The PM controller count
+// shapes the machine (and the checkpoints' []ControllerState), so it
+// is always part of the key; beyond that only media faults perturb the
+// machine — torn and dropped persists are decided at crash-image time
+// against the controllers' tracked writes. An armed injector whose
+// media probabilities are zero draws nothing — chanceFrom(p) returns
+// without consuming generator state for p <= 0 — so every media-free
+// plan shares one prefix regardless of seed.
+func planRunKey(o TortureOptions, plan faultinject.Plan) string {
 	if plan.MediaFaultProb <= 0 && plan.MediaDelayProb <= 0 {
-		return "media-free"
+		return fmt.Sprintf("ctrl%d|media-free", o.Controllers)
 	}
-	return fmt.Sprintf("media/%d/%v/%v/%d",
-		plan.Seed, plan.MediaFaultProb, plan.MediaDelayProb, plan.MediaDelayCycles)
+	return fmt.Sprintf("ctrl%d|media/%d/%v/%v/%d",
+		o.Controllers, plan.Seed, plan.MediaFaultProb, plan.MediaDelayProb, plan.MediaDelayCycles)
 }
 
 // buildPrefix runs the discovery and capture runs for one prefix.
@@ -120,7 +122,7 @@ func buildPrefix(pe *prefixEntry, o TortureOptions, plan faultinject.Plan, limit
 		return
 	}
 	pe.end = end
-	pe.freeCtrl = sys.Ctrl.Stats()
+	pe.freeCtrl = sys.PM.Stats()
 	pe.freeEng = sys.Eng.Stats()
 
 	// Capture: re-run the same prefix with a snapshot event at every

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/langmodel"
+	"strandweaver/internal/sweep"
+)
+
+// TestSingleControllerResultBytesUnchanged is the golden-digest guard
+// for the topology layer: a Spec that leaves Controllers at the zero
+// value and a Spec that asks for 1 controller explicitly must both
+// marshal byte-identically — PerController stays empty at one
+// controller, so the pinned golden digests cover the sharded machine's
+// pass-through path too.
+func TestSingleControllerResultBytesUnchanged(t *testing.T) {
+	base := Spec{Benchmark: "queue", Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
+		Threads: 2, OpsPerThread: 20, Seed: 1}
+	explicit := base
+	explicit.Controllers = 1
+
+	rb, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the echoed Spec may differ (it records the request); every
+	// measured byte must match.
+	re.Spec = rb.Spec
+	jb, _ := json.Marshal(rb)
+	je, _ := json.Marshal(re)
+	if string(jb) != string(je) {
+		t.Errorf("explicit Controllers=1 changed the measured result:\n%s\nvs\n%s", jb, je)
+	}
+	if len(rb.PerController) != 0 {
+		t.Errorf("PerController populated at a single controller: %d entries", len(rb.PerController))
+	}
+}
+
+// TestMultiControllerRunDeterministicWithPerControllerStats: at sharded
+// counts the run must stay deterministic, report one Stats per
+// controller in index order, and the aggregate must be their sum.
+func TestMultiControllerRunDeterministicWithPerControllerStats(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		spec := Spec{Benchmark: "queue", Model: langmodel.SFR, Design: hwdesign.StrandWeaver,
+			Threads: 2, OpsPerThread: 20, Seed: 1, Controllers: n}
+		r1, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("controllers=%d: same-spec runs differ", n)
+		}
+		if len(r1.PerController) != n {
+			t.Fatalf("controllers=%d: PerController has %d entries", n, len(r1.PerController))
+		}
+		var accepted, drained uint64
+		for _, st := range r1.PerController {
+			accepted += st.PMWritesAccepted
+			drained += st.PMWritesDrained
+		}
+		if accepted != r1.Controller.PMWritesAccepted || drained != r1.Controller.PMWritesDrained {
+			t.Errorf("controllers=%d: per-controller sums (%d,%d) != aggregate (%d,%d)",
+				n, accepted, drained, r1.Controller.PMWritesAccepted, r1.Controller.PMWritesDrained)
+		}
+		if accepted == 0 {
+			t.Errorf("controllers=%d: no PM writes accepted anywhere", n)
+		}
+	}
+}
+
+// TestGridParallelMatchesSerialMultiController extends the
+// parallel-vs-serial contract to a sharded topology, including the
+// per-controller cell metrics the sweep records.
+func TestGridParallelMatchesSerialMultiController(t *testing.T) {
+	base := ExpOptions{Benchmarks: []string{"queue"}, Threads: 2, OpsPerThread: 20,
+		Seed: 7, Controllers: 2}
+
+	serial := base
+	serial.Parallel = 1
+	gs, err := RunGrid(serial)
+	if err != nil {
+		t.Fatalf("serial grid: %v", err)
+	}
+
+	par := base
+	par.Parallel = 4
+	par.Metrics = sweep.NewReport("grid")
+	gp, err := RunGrid(par)
+	if err != nil {
+		t.Fatalf("parallel grid: %v", err)
+	}
+	if !reflect.DeepEqual(gs.Cells, gp.Cells) {
+		t.Error("parallel grid cells differ from serial at 2 controllers")
+	}
+	found := false
+	for _, c := range par.Metrics.Cells {
+		if len(c.Controllers) == 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no cell metrics carried 2 per-controller stat entries")
+	}
+}
+
+// TestTortureDeterminismMultiController: the torture sweep's
+// ImageDigest (every crash image's bytes) must be identical across
+// runs and worker counts at a sharded controller count, and the
+// crash-prefix snapshot path must stay equivalent to cold execution.
+func TestTortureDeterminismMultiController(t *testing.T) {
+	o := TortureOptions{Seed: 5, Benchmarks: []string{"queue"}, Crashes: 5,
+		SkipLitmus: true, ConvergeEvery: 2, Controllers: 2}
+
+	cold := o
+	cold.NoSnapshot = true
+	cold.Parallel = 1
+	rc, err := Torture(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		snap := o
+		snap.Parallel = workers
+		rs, err := Torture(snap)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if rc.ImageDigest != rs.ImageDigest {
+			t.Errorf("parallel=%d: image digest %016x differs from serial cold %016x",
+				workers, rs.ImageDigest, rc.ImageDigest)
+		}
+		if !reflect.DeepEqual(rc, rs) {
+			t.Errorf("parallel=%d snapshot report differs from serial cold report", workers)
+		}
+	}
+	if len(rc.Violations) != 0 {
+		t.Errorf("violations at 2 controllers: %v", rc.Violations)
+	}
+}
+
+// TestTortureControllerCountChangesDigest: controller count reaches the
+// fault model (per-controller cut points and draw streams), so sweeps
+// at different counts must not collide — and must not share prefix
+// cache entries (planRunKey includes the count).
+func TestTortureControllerCountChangesDigest(t *testing.T) {
+	run := func(n int) uint64 {
+		t.Helper()
+		r, err := Torture(TortureOptions{Seed: 5, Benchmarks: []string{"queue"}, Crashes: 5,
+			SkipLitmus: true, ConvergeEvery: 2, Controllers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.ImageDigest
+	}
+	d1, d2 := run(1), run(2)
+	if d1 == d2 {
+		t.Error("1- and 2-controller sweeps produced identical image digests")
+	}
+}

@@ -52,6 +52,10 @@ type TortureOptions struct {
 	// Threads and OpsPerThread size each workload run (defaults 2, 10).
 	Threads      int
 	OpsPerThread int
+	// Controllers is the number of address-interleaved PM controllers
+	// each tortured machine shards the persistence boundary across (0 =
+	// the configuration default, one controller).
+	Controllers int
 	// Crashes is the number of crash cycles per (benchmark, plan)
 	// combination (default 12), evenly spaced over the crash-free run.
 	Crashes int
@@ -348,6 +352,9 @@ func litmusCells(o TortureOptions, plans []faultinject.Plan, rep *TortureReport)
 func buildWorkload(o TortureOptions, bench string) (*machine.System, workloads.Instance, []machine.Worker, error) {
 	cfg := config.Default()
 	cfg.Cores = o.Threads
+	if o.Controllers != 0 {
+		cfg.PMControllers = o.Controllers
+	}
 	sys, err := machine.New(cfg, hwdesign.StrandWeaver)
 	if err != nil {
 		return nil, nil, nil, err
@@ -399,7 +406,7 @@ func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan 
 					co := comboOutcome{
 						fingerprint: crash.Fingerprint(),
 						fault:       fault,
-						ctrl:        sys.Ctrl.Stats(),
+						ctrl:        sys.PM.Stats(),
 					}
 					co.torn = co.fault.TornLines > 0
 					img := crash.Clone()
@@ -445,7 +452,7 @@ func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan 
 					if err != nil {
 						return nil, fmt.Errorf("harness: torture %s plan %d crash-free: %w", bench, pi, err)
 					}
-					m.AddRun(uint64(end), sys.Ctrl.Stats())
+					m.AddRun(uint64(end), sys.PM.Stats())
 					m.AddEngine(sys.Eng.Stats())
 					for ci := 1; ci <= o.Crashes; ci++ {
 						crashAt := crashCycles(o, end, ci)
@@ -457,14 +464,14 @@ func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan 
 						fi.Arm(sys)
 						sys.RunAt(crashAt, sys.Abandon)
 						_, _ = sys.Run(ws, 2_000_000_000) // stopped engine: error expected
-						m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+						m.AddRun(uint64(crashAt), sys.PM.Stats())
 						m.AddEngine(sys.Eng.Stats())
 						combos = append(combos, comboAt(ci, crashAt, sys, inst, fi.Stats()))
 					}
 					return &tortureOutcome{combos: combos}, nil
 				}
 
-				pe, built := pc.get("workload|"+bench+"|"+planRunKey(plan), func(pe *prefixEntry) {
+				pe, built := pc.get("workload|"+bench+"|"+planRunKey(o, plan), func(pe *prefixEntry) {
 					buildPrefix(pe, o, plan, 2_000_000_000, fmt.Sprintf("%s plan %d", bench, pi),
 						func() (*machine.System, []machine.Worker, error) {
 							sys, _, ws, err := buildWorkload(o, bench)
@@ -488,7 +495,7 @@ func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan 
 					crashAt := pe.cuts[ci-1]
 					sys.Restore(pe.cps[ci-1])
 					m.CheckpointHits++
-					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+					m.AddRun(uint64(crashAt), sys.PM.Stats())
 					m.AddEngine(pe.cps[ci-1].Eng.Stats)
 					combos = append(combos, comboAt(ci, crashAt, sys, inst, pe.fis[ci-1].Stats))
 				}
@@ -591,6 +598,9 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 	build := func() (*machine.System, *redolog.Logs) {
 		cfg := config.Default()
 		cfg.Cores = 1
+		if o.Controllers != 0 {
+			cfg.PMControllers = o.Controllers
+		}
 		sys := machine.MustNew(cfg, hwdesign.StrandWeaver)
 		for i := 0; i < redoCells; i++ {
 			a := redoCellAddr(i)
@@ -624,7 +634,7 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 					co := comboOutcome{
 						fingerprint: crash.Fingerprint(),
 						fault:       fault,
-						ctrl:        sys.Ctrl.Stats(),
+						ctrl:        sys.PM.Stats(),
 					}
 					co.torn = co.fault.TornLines > 0
 					img := crash.Clone()
@@ -667,7 +677,7 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 					if err != nil {
 						return nil, fmt.Errorf("harness: redolog torture plan %d crash-free: %w", pi, err)
 					}
-					m.AddRun(uint64(end), sys.Ctrl.Stats())
+					m.AddRun(uint64(end), sys.PM.Stats())
 					m.AddEngine(sys.Eng.Stats())
 					for ci := 1; ci <= o.Crashes; ci++ {
 						crashAt := crashCycles(o, end, ci)
@@ -676,14 +686,14 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 						fi.Arm(sys)
 						sys.RunAt(crashAt, sys.Abandon)
 						_, _ = sys.Run([]machine.Worker{worker(logs.PerThread[0])}, 500_000_000)
-						m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+						m.AddRun(uint64(crashAt), sys.PM.Stats())
 						m.AddEngine(sys.Eng.Stats())
 						combos = append(combos, comboAt(ci, crashAt, sys, fi.Stats()))
 					}
 					return &tortureOutcome{combos: combos, redo: true}, nil
 				}
 
-				pe, built := pc.get("redolog|"+planRunKey(plan), func(pe *prefixEntry) {
+				pe, built := pc.get("redolog|"+planRunKey(o, plan), func(pe *prefixEntry) {
 					buildPrefix(pe, o, plan, 500_000_000, fmt.Sprintf("redolog plan %d", pi),
 						func() (*machine.System, []machine.Worker, error) {
 							sys, logs := build()
@@ -704,7 +714,7 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 					crashAt := pe.cuts[ci-1]
 					sys.Restore(pe.cps[ci-1])
 					m.CheckpointHits++
-					m.AddRun(uint64(crashAt), sys.Ctrl.Stats())
+					m.AddRun(uint64(crashAt), sys.PM.Stats())
 					m.AddEngine(pe.cps[ci-1].Eng.Stats)
 					combos = append(combos, comboAt(ci, crashAt, sys, pe.fis[ci-1].Stats))
 				}

@@ -31,13 +31,16 @@ var (
 	ErrDeadlock = errors.New("machine: simulation quiesced with a worker still blocked (deadlock)")
 )
 
-// System is one simulated machine.
+// System is one simulated machine. PM is the persistence boundary: the
+// address-interleaved PM controller topology (a single controller by
+// default) that the cache hierarchy and cores route all memory traffic
+// through.
 type System struct {
 	Eng    *sim.Engine
 	Cfg    config.Config
 	Design hwdesign.Design
 	Mem    *mem.Machine
-	Ctrl   *pmem.Controller
+	PM     *pmem.Topology
 	Hier   *cache.Hierarchy
 	Cores  []*cpu.Core
 
@@ -51,11 +54,11 @@ func New(cfg config.Config, design hwdesign.Design) (*System, error) {
 	}
 	eng := sim.NewEngine()
 	m := mem.NewMachine()
-	ctrl := pmem.New(eng, cfg, m)
-	hier := cache.NewHierarchy(eng, cfg, m, ctrl)
-	s := &System{Eng: eng, Cfg: cfg, Design: design, Mem: m, Ctrl: ctrl, Hier: hier}
+	pm := pmem.NewTopology(eng, cfg, m)
+	hier := cache.NewHierarchy(eng, cfg, m, pm)
+	s := &System{Eng: eng, Cfg: cfg, Design: design, Mem: m, PM: pm, Hier: hier}
 	for i := 0; i < cfg.Cores; i++ {
-		core, err := cpu.NewCore(i, eng, cfg, design, m, hier.L1(i), ctrl)
+		core, err := cpu.NewCore(i, eng, cfg, design, m, hier.L1(i), pm)
 		if err != nil {
 			return nil, err
 		}
@@ -151,23 +154,12 @@ func (s *System) EnableTracing() *trace.Recorder {
 	return r
 }
 
-// TotalStats sums the per-core statistics.
+// TotalStats sums the per-core statistics (cpu.Stats.Add is the merge
+// rule: counters sum, BusyUntil takes the maximum).
 func (s *System) TotalStats() cpu.Stats {
 	var t cpu.Stats
 	for _, c := range s.Cores {
-		st := c.Stats()
-		t.Loads += st.Loads
-		t.Stores += st.Stores
-		t.CLWBs += st.CLWBs
-		t.RMWs += st.RMWs
-		t.Fences += st.Fences
-		t.StallFenceCycles += st.StallFenceCycles
-		t.StallQueueFullCycles += st.StallQueueFullCycles
-		t.LockSpinCycles += st.LockSpinCycles
-		t.ComputeCycles += st.ComputeCycles
-		if st.BusyUntil > t.BusyUntil {
-			t.BusyUntil = st.BusyUntil
-		}
+		t.Add(c.Stats())
 	}
 	return t
 }

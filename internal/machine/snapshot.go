@@ -32,8 +32,10 @@ type Checkpoint struct {
 	NCores int
 	Eng    sim.EngineState
 	Mem    *mem.MachineState
-	Ctrl   *pmem.ControllerState
-	Cores  []*cpu.CoreState
+	// Ctrls captures every PM controller's tracked-write state in
+	// controller index order (one entry per config.PMControllers).
+	Ctrls []*pmem.ControllerState
+	Cores []*cpu.CoreState
 }
 
 // Snapshot captures the system's architectural state. O(state), not
@@ -45,7 +47,7 @@ func (s *System) Snapshot() *Checkpoint {
 		NCores: len(s.Cores),
 		Eng:    s.Eng.Snapshot(),
 		Mem:    s.Mem.Snapshot(),
-		Ctrl:   s.Ctrl.Snapshot(),
+		Ctrls:  s.PM.Snapshot(),
 	}
 	for _, c := range s.Cores {
 		cp.Cores = append(cp.Cores, c.Snapshot())
@@ -65,9 +67,13 @@ func (s *System) Restore(cp *Checkpoint) {
 		panic(fmt.Sprintf("machine: Restore checkpoint (%s, %d cores) into mismatched system (%s, %d cores)",
 			cp.Design, cp.NCores, s.Design, len(s.Cores)))
 	}
+	if len(cp.Ctrls) != s.PM.NumControllers() {
+		panic(fmt.Sprintf("machine: Restore checkpoint (%d PM controllers) into mismatched system (%d)",
+			len(cp.Ctrls), s.PM.NumControllers()))
+	}
 	s.Eng.Restore(cp.Eng)
 	s.Mem.Restore(cp.Mem)
-	s.Ctrl.Restore(cp.Ctrl)
+	s.PM.Restore(cp.Ctrls)
 	for i, c := range s.Cores {
 		c.Restore(cp.Cores[i])
 	}

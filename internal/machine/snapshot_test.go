@@ -58,7 +58,7 @@ type observed struct {
 	Volatile   uint64
 	Persistent uint64
 	Mem        *mem.MachineState
-	Ctrl       any
+	Ctrls      any
 	Cores      []*cpu.CoreState
 }
 
@@ -69,7 +69,7 @@ func observe(s *System) observed {
 		Volatile:   s.Mem.Volatile.Fingerprint(),
 		Persistent: s.Mem.Persistent.Fingerprint(),
 		Mem:        cp.Mem,
-		Ctrl:       cp.Ctrl,
+		Ctrls:      cp.Ctrls,
 		Cores:      cp.Cores,
 	}
 }

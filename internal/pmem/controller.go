@@ -98,8 +98,14 @@ type Controller struct {
 	cfg     config.Config
 	machine *mem.Machine
 
-	// submitSeq stamps submissions for deterministic ordering.
+	// submitSeq stamps submissions for deterministic ordering. seqSrc
+	// points at the counter submissions actually draw from: the
+	// controller's own submitSeq when standalone, or the Topology's
+	// shared counter when the controller is one of several — stamps are
+	// then globally ordered, so merged crash-image views keep the
+	// machine-wide submission order.
 	submitSeq uint64
+	seqSrc    *uint64
 	// transit holds PM writes submitted but not yet arrived at the
 	// controller front-end (on-chip flight): transit[transitHead:] in
 	// submission order. The on-chip latency is one constant, so arrivals
@@ -193,6 +199,32 @@ type Stats struct {
 	MediaFaultDelayCycles uint64
 }
 
+// Add folds other into s: counters sum, high-water marks take the
+// maximum, and the OverflowHighWater samples follow whichever side
+// reached the deepest overflow queue. It is the single merge rule for
+// controller statistics — per-run folds in the sweep engine and
+// per-controller aggregation in the topology both use it, so a new
+// Stats field only needs its merge defined here.
+func (s *Stats) Add(other Stats) {
+	s.PMWritesAccepted += other.PMWritesAccepted
+	s.PMWritesDrained += other.PMWritesDrained
+	s.PMReads += other.PMReads
+	s.DRAMReads += other.DRAMReads
+	s.DRAMWrites += other.DRAMWrites
+	s.WriteQueueFullEvents += other.WriteQueueFullEvents
+	if other.MaxWriteQueueDepth > s.MaxWriteQueueDepth {
+		s.MaxWriteQueueDepth = other.MaxWriteQueueDepth
+	}
+	if other.MaxPendingArrivals > s.MaxPendingArrivals {
+		s.MaxPendingArrivals = other.MaxPendingArrivals
+		s.OverflowHighWater = other.OverflowHighWater
+	}
+	s.PendingStallCycles += other.PendingStallCycles
+	s.MediaWriteFaults += other.MediaWriteFaults
+	s.MediaRetriesExhausted += other.MediaRetriesExhausted
+	s.MediaFaultDelayCycles += other.MediaFaultDelayCycles
+}
+
 // OverflowSample records one overflow-queue high-water event: at Cycle
 // the overflow queue first reached Depth waiting arrivals.
 type OverflowSample struct {
@@ -209,6 +241,7 @@ const overflowSampleCap = 64
 // functional machine images.
 func New(eng *sim.Engine, cfg config.Config, machine *mem.Machine) *Controller {
 	c := &Controller{eng: eng, cfg: cfg, machine: machine}
+	c.seqSrc = &c.submitSeq
 	c.arriveFn = func() {
 		w := c.transit[c.transitHead]
 		c.transit[c.transitHead] = nil
@@ -309,9 +342,9 @@ func (c *Controller) SubmitPMWrite(line mem.Addr, data [mem.LineSize]byte, ack W
 		c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles+c.cfg.PMAckCycles), c.volAckFn)
 		return
 	}
-	c.submitSeq++
+	*c.seqSrc++
 	w := c.allocPW()
-	w.line, w.data, w.ack, w.seq = line, data, ack, c.submitSeq
+	w.line, w.data, w.ack, w.seq = line, data, ack, *c.seqSrc
 	c.transit = append(c.transit, w)
 	c.eng.Schedule(sim.Cycle(c.cfg.PMWriteToControllerCycles), c.arriveFn)
 }

@@ -50,7 +50,7 @@ type ControllerState struct {
 // pure data. The returned state shares nothing with the controller.
 func (c *Controller) Snapshot() *ControllerState {
 	s := &ControllerState{
-		SubmitSeq:      c.submitSeq,
+		SubmitSeq:      *c.seqSrc,
 		WriteQOccupied: c.writeQOccupied,
 		BusyBanks:      c.busyBanks,
 		ReadsInFlight:  c.readsInFlight,
@@ -106,7 +106,7 @@ func (c *Controller) Restore(s *ControllerState) {
 	c.readAcks, c.readAckHead = c.readAcks[:0], 0
 	c.pendingReads, c.pendReadHead = c.pendingReads[:0], 0
 
-	c.submitSeq = s.SubmitSeq
+	*c.seqSrc = s.SubmitSeq
 	for i := range s.Transit {
 		t := &s.Transit[i]
 		w := c.allocPW()

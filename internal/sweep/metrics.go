@@ -31,9 +31,14 @@ type CellMetrics struct {
 	Runs int `json:"runs,omitempty"`
 	// SimCycles totals the simulated cycles across the cell's runs.
 	SimCycles uint64 `json:"sim_cycles,omitempty"`
-	// Controller folds the cell's PM-controller statistics: counters
-	// sum across runs, high-water marks take the maximum.
+	// Controller folds the cell's PM-controller statistics aggregated
+	// across all controllers: counters sum across runs, high-water marks
+	// take the maximum (pmem.Stats.Add is the merge rule).
 	Controller *pmem.Stats `json:"controller,omitempty"`
+	// Controllers folds per-controller statistics in controller index
+	// order. Populated only for multi-controller cells (nil otherwise,
+	// so single-controller metrics keep their pre-topology shape).
+	Controllers []pmem.Stats `json:"controllers,omitempty"`
 	// OverflowHigh is the deepest overflow queue (arrivals waiting for
 	// a free PM write-queue entry) any of the cell's runs observed.
 	OverflowHigh int `json:"overflow_high,omitempty"`
@@ -70,12 +75,27 @@ func (m *CellMetrics) AddRun(cycles uint64, st pmem.Stats) {
 	if m.Controller == nil {
 		m.Controller = &pmem.Stats{}
 	}
-	foldStats(m.Controller, st)
+	m.Controller.Add(st)
 	if st.MaxPendingArrivals > m.OverflowHigh {
 		m.OverflowHigh = st.MaxPendingArrivals
 	}
 	m.MediaRetries += st.MediaWriteFaults
 	m.MediaRetriesExhausted += st.MediaRetriesExhausted
+}
+
+// AddPerController folds one run's per-controller statistics (in
+// controller index order) into the record. A no-op on single-controller
+// runs, so single-controller cells never grow a controllers array.
+func (m *CellMetrics) AddPerController(per []pmem.Stats) {
+	if len(per) <= 1 {
+		return
+	}
+	if m.Controllers == nil {
+		m.Controllers = make([]pmem.Stats, len(per))
+	}
+	for i := range per {
+		m.Controllers[i].Add(per[i])
+	}
 }
 
 // AddEngine folds one run's discrete-event-core counters into the
@@ -93,29 +113,6 @@ func (m *CellMetrics) AddEngine(st sim.Stats) {
 	if st.PeakHeapDepth > m.Engine.PeakHeapDepth {
 		m.Engine.PeakHeapDepth = st.PeakHeapDepth
 	}
-}
-
-// foldStats accumulates one controller snapshot into dst: counters
-// sum, high-water marks take the maximum, and the overflow high-water
-// samples follow whichever run reached the deepest overflow queue.
-func foldStats(dst *pmem.Stats, st pmem.Stats) {
-	dst.PMWritesAccepted += st.PMWritesAccepted
-	dst.PMWritesDrained += st.PMWritesDrained
-	dst.PMReads += st.PMReads
-	dst.DRAMReads += st.DRAMReads
-	dst.DRAMWrites += st.DRAMWrites
-	dst.WriteQueueFullEvents += st.WriteQueueFullEvents
-	if st.MaxWriteQueueDepth > dst.MaxWriteQueueDepth {
-		dst.MaxWriteQueueDepth = st.MaxWriteQueueDepth
-	}
-	if st.MaxPendingArrivals > dst.MaxPendingArrivals {
-		dst.MaxPendingArrivals = st.MaxPendingArrivals
-		dst.OverflowHighWater = st.OverflowHighWater
-	}
-	dst.PendingStallCycles += st.PendingStallCycles
-	dst.MediaWriteFaults += st.MediaWriteFaults
-	dst.MediaRetriesExhausted += st.MediaRetriesExhausted
-	dst.MediaFaultDelayCycles += st.MediaFaultDelayCycles
 }
 
 // Report collects the per-cell metrics of one or more sweeps run under
