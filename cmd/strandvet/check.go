@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -20,7 +21,8 @@ func checkSource(filename string, src []byte) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &checker{fset: fset, file: f, suppressed: suppressedLines(fset, f)}
+	c := &checker{fset: fset, file: f, suppressed: suppressedLines(fset, f),
+		inMem: filepath.Base(filepath.Dir(filepath.ToSlash(filename))) == "mem"}
 	c.resolveImports()
 	ast.Inspect(f, c.visit)
 	return c.diags, nil
@@ -30,9 +32,12 @@ type checker struct {
 	fset *token.FileSet
 	file *ast.File
 	// timeName and randName are the local names of the "time" and
-	// "math/rand" imports ("" when not imported); simName is the local
-	// name of the internal/sim import.
-	timeName, randName, simName string
+	// "math/rand" imports ("" when not imported); simName and memName
+	// are the local names of the internal/sim and internal/mem imports.
+	timeName, randName, simName, memName string
+	// inMem marks a file of internal/mem itself, where raw page
+	// pointers are the implementation rather than a leak.
+	inMem bool
 	// suppressed holds the line numbers covered by //strandvet:ok.
 	suppressed map[int]bool
 	diags      []string
@@ -81,6 +86,11 @@ func (c *checker) resolveImports() {
 				name = "sim"
 			}
 			c.simName = name
+		case "strandweaver/internal/mem":
+			if name == "" {
+				name = "mem"
+			}
+			c.memName = name
 		}
 	}
 }
@@ -101,8 +111,57 @@ func (c *checker) visit(n ast.Node) bool {
 		c.checkRange(n)
 	case *ast.TypeSpec:
 		c.checkCheckpointType(n)
+	case *ast.StarExpr:
+		c.checkPagePointer(n)
 	}
 	return true
+}
+
+// checkPagePointer flags raw page-array pointer types — *[65536]byte,
+// *[1<<16]byte or *[mem.PageBytes]byte — outside internal/mem. A page
+// pointer held elsewhere escapes the COW images' ownership protocol:
+// writes through it mutate storage that frozen checkpoints may share,
+// corrupting captured state without tripping the frozen guard
+// (docs/DETERMINISM.md). Pointers to other array sizes (notably
+// [mem.LineSize]byte line buffers) are fine.
+func (c *checker) checkPagePointer(se *ast.StarExpr) {
+	if c.inMem {
+		return
+	}
+	at, ok := se.X.(*ast.ArrayType)
+	if !ok {
+		return
+	}
+	if elt, ok := at.Elt.(*ast.Ident); !ok || elt.Name != "byte" {
+		return
+	}
+	if !c.isPageSizeLen(at.Len) {
+		return
+	}
+	c.report(se.Pos(), "raw page pointer type *[65536]byte outside internal/mem: page storage belongs to the COW images' ownership protocol (docs/DETERMINISM.md); hold *mem.Image or account pages via mem.PageRefs instead")
+}
+
+// isPageSizeLen matches the page-size array length as written: the
+// literal 65536, the shift 1<<16, or the mem.PageBytes constant.
+func (c *checker) isPageSizeLen(n ast.Expr) bool {
+	switch n := n.(type) {
+	case *ast.BasicLit:
+		v, err := strconv.ParseUint(strings.ReplaceAll(n.Value, "_", ""), 0, 64)
+		return err == nil && v == 65536
+	case *ast.BinaryExpr:
+		if n.Op != token.SHL {
+			return false
+		}
+		l, lok := n.X.(*ast.BasicLit)
+		r, rok := n.Y.(*ast.BasicLit)
+		return lok && rok && l.Value == "1" && r.Value == "16"
+	case *ast.SelectorExpr:
+		id, ok := n.X.(*ast.Ident)
+		return ok && id.Obj == nil && c.memName != "" && id.Name == c.memName && n.Sel.Name == "PageBytes"
+	case *ast.ParenExpr:
+		return c.isPageSizeLen(n.X)
+	}
+	return false
 }
 
 // checkCheckpointType enforces the docs/SNAPSHOT.md passive-data rule

@@ -229,6 +229,50 @@ type worker struct {
 	wantDiags(t, diags)
 }
 
+func TestFlagsRawPagePointerLiteral(t *testing.T) {
+	diags := runCheck(t, `package p
+type cache struct {
+	pages map[uint64]*[65536]byte
+}
+`)
+	wantDiags(t, diags, "raw page pointer")
+}
+
+func TestFlagsRawPagePointerShift(t *testing.T) {
+	diags := runCheck(t, `package p
+func f() *[1 << 16]byte { return nil }
+`)
+	wantDiags(t, diags, "raw page pointer")
+}
+
+func TestFlagsRawPagePointerNamedConstant(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/mem"
+var p *[mem.PageBytes]byte
+`)
+	wantDiags(t, diags, "raw page pointer")
+}
+
+func TestAllowsPagePointerInsideMem(t *testing.T) {
+	diags, err := checkSource("internal/mem/fixture.go", []byte(`package mem
+type pageRef struct {
+	data *[65536]byte
+}
+`))
+	if err != nil {
+		t.Fatalf("checkSource: %v", err)
+	}
+	wantDiags(t, diags)
+}
+
+func TestAllowsLineSizedArrayPointers(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/mem"
+func f(buf *[mem.LineSize]byte, small *[64]byte) {}
+`)
+	wantDiags(t, diags)
+}
+
 func TestCheckpointFieldSuppression(t *testing.T) {
 	diags := runCheck(t, `package p
 type BufferState struct {

@@ -20,7 +20,13 @@
 //     or *State must not carry func-typed, chan-typed or sim.Engine
 //     fields — a checkpoint holding behaviour or live simulator
 //     references silently acts on the wrong system after a restore
-//     (docs/SNAPSHOT.md).
+//     (docs/SNAPSHOT.md);
+//   - no raw page pointers: a *[65536]byte / *[1<<16]byte /
+//     *[mem.PageBytes]byte type outside internal/mem is flagged —
+//     page storage obeys the COW images' ownership protocol, and a
+//     pointer held elsewhere could mutate pages that frozen
+//     checkpoints share (docs/DETERMINISM.md). Pointers to other
+//     array sizes, such as [mem.LineSize]byte line buffers, are fine.
 //
 // A finding is suppressed by a `//strandvet:ok` comment on the same
 // line or the line above — the escape hatch for the documented

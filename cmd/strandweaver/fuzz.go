@@ -16,17 +16,22 @@ import (
 // fuzzSummary is the -json output shape. It contains no wall-clock
 // data, so two runs at the same seed and schedule budget emit
 // byte-identical JSON (the CI determinism smoke diffs them).
+// SnapshotBytes qualifies: the cache's retained set is a pure function
+// of the executed schedule set as long as the byte budget never forces
+// an eviction, which the default budget guarantees for smoke-scale
+// searches (see fuzzsched.ExecCache.RetainedBytes).
 type fuzzSummary struct {
-	Seed         uint64                 `json:"seed"`
-	Targets      []string               `json:"targets"`
-	Mutant       string                 `json:"mutant,omitempty"`
-	Executed     int                    `json:"executed"`
-	ShrinkExecs  int                    `json:"shrink_executions"`
-	CorpusSize   int                    `json:"corpus_size"`
-	CorpusDigest string                 `json:"corpus_digest"`
-	BeyondADR    int                    `json:"beyond_adr"`
-	ExecErrors   []string               `json:"exec_errors,omitempty"`
-	Violations   []fuzzViolationSummary `json:"violations,omitempty"`
+	Seed          uint64                 `json:"seed"`
+	Targets       []string               `json:"targets"`
+	Mutant        string                 `json:"mutant,omitempty"`
+	Executed      int                    `json:"executed"`
+	ShrinkExecs   int                    `json:"shrink_executions"`
+	CorpusSize    int                    `json:"corpus_size"`
+	CorpusDigest  string                 `json:"corpus_digest"`
+	BeyondADR     int                    `json:"beyond_adr"`
+	SnapshotBytes uint64                 `json:"snapshot_bytes"`
+	ExecErrors    []string               `json:"exec_errors,omitempty"`
+	Violations    []fuzzViolationSummary `json:"violations,omitempty"`
 }
 
 type fuzzViolationSummary struct {
@@ -67,6 +72,7 @@ func runFuzz(o options, metrics *sw.SweepReport) error {
 		Mutant:     o.fuzzMutant,
 		Exec:       sw.FuzzExecOptions{Controllers: o.controllers},
 		NoSnapshot: o.noSnapshot,
+		CacheBytes: uint64(o.fuzzCacheBytes),
 		Parallel:   o.workers(),
 		Metrics:    metrics,
 	}
@@ -94,15 +100,16 @@ func runFuzz(o options, metrics *sw.SweepReport) error {
 	}
 	if o.lintJSON {
 		sum := fuzzSummary{
-			Seed:         fo.Seed,
-			Targets:      targets,
-			Mutant:       fo.Mutant,
-			Executed:     res.Executed,
-			ShrinkExecs:  res.ShrinkExecutions,
-			CorpusSize:   res.Corpus.Len(),
-			CorpusDigest: fmt.Sprintf("%016x", res.Corpus.Digest()),
-			BeyondADR:    res.BeyondADR,
-			ExecErrors:   res.ExecErrors,
+			Seed:          fo.Seed,
+			Targets:       targets,
+			Mutant:        fo.Mutant,
+			Executed:      res.Executed,
+			ShrinkExecs:   res.ShrinkExecutions,
+			CorpusSize:    res.Corpus.Len(),
+			CorpusDigest:  fmt.Sprintf("%016x", res.Corpus.Digest()),
+			BeyondADR:     res.BeyondADR,
+			SnapshotBytes: res.SnapshotBytes,
+			ExecErrors:    res.ExecErrors,
 		}
 		for _, v := range res.Violations {
 			sum.Violations = append(sum.Violations, fuzzViolationSummary{

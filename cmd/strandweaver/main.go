@@ -52,13 +52,14 @@ type options struct {
 	lintSeverity string
 	lintJSON     bool
 
-	fuzzSchedules int
-	fuzzDuration  time.Duration
-	fuzzTargets   []string
-	fuzzMutant    string
-	fuzzRepro     string
-	fuzzMinimize  bool
-	fuzzOut       string
+	fuzzSchedules  int
+	fuzzCacheBytes int64
+	fuzzDuration   time.Duration
+	fuzzTargets    []string
+	fuzzMutant     string
+	fuzzRepro      string
+	fuzzMinimize   bool
+	fuzzOut        string
 }
 
 // workers resolves the -parallel/-serial pair into a sweep worker
@@ -111,6 +112,7 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.StringVar(&o.lintSeverity, "severity", "error", "minimum finding severity for a non-zero exit (lint): info, warn, error")
 	fs.BoolVar(&o.lintJSON, "json", false, "emit reports and relaxation metrics as JSON (lint, fuzz)")
 	fs.IntVar(&o.fuzzSchedules, "schedules", 256, "fuzz schedule budget (0 = unbounded, requires -duration)")
+	fs.Int64Var(&o.fuzzCacheBytes, "cache-bytes", 0, "fuzz execution-cache budget: retained unique checkpoint page bytes before LRU eviction (0 = default; results identical at any budget)")
 	fs.DurationVar(&o.fuzzDuration, "duration", 0, "fuzz wall-clock bound, checked between batches (0 = schedule budget only)")
 	targetList := fs.String("target", "", "comma-separated fuzz targets: undolog, redolog, or a benchmark name (default undolog,redolog)")
 	fs.StringVar(&o.fuzzMutant, "mutate", "", "seeded mutant for fuzz conviction runs: no-data-flush")
@@ -187,6 +189,9 @@ func validate(o options) error {
 	if o.cmd == "fuzz" {
 		if o.fuzzSchedules < 0 {
 			return fmt.Errorf("-schedules must be non-negative (got %d)", o.fuzzSchedules)
+		}
+		if o.fuzzCacheBytes < 0 {
+			return fmt.Errorf("-cache-bytes must be non-negative (got %d)", o.fuzzCacheBytes)
 		}
 		if o.fuzzDuration < 0 {
 			return fmt.Errorf("-duration must be non-negative (got %v)", o.fuzzDuration)

@@ -84,8 +84,7 @@ func CheckConvergence(crash *mem.Image, rec Recoverer, maxBudgets int) (Converge
 	if err := rec(golden); err != nil {
 		return cv, fmt.Errorf("faultinject: uninterrupted recovery failed: %w", err)
 	}
-	goldenDirty := golden.DirtyPages()
-	golden.StopDirtyTracking()
+	goldenDirty := golden.StopDirtyTracking()
 	img := crash.Clone()
 	for n := 0; maxBudgets == 0 || n < maxBudgets; n++ {
 		img.TrackDirty()
@@ -100,8 +99,7 @@ func CheckConvergence(crash *mem.Image, rec Recoverer, maxBudgets int) (Converge
 				return cv, fmt.Errorf("faultinject: re-run after cut at budget %d failed: %w", n, err)
 			}
 		}
-		dirty := img.DirtyPages()
-		img.StopDirtyTracking()
+		dirty := img.StopDirtyTracking()
 		if !img.EqualOn(golden, dirty, goldenDirty) {
 			return cv, fmt.Errorf("faultinject: budget %d: interrupted-then-rerun image diverges from uninterrupted recovery", n)
 		}

@@ -45,6 +45,11 @@ type Options struct {
 	// violations and repro files are byte-identical either way — this is
 	// an escape hatch for debugging the snapshot seam.
 	NoSnapshot bool
+	// CacheBytes budgets the execution cache's retained unique
+	// checkpoint page bytes (0 = DefaultExecCacheBytes). Ignored when
+	// NoSnapshot is set or the caller wired its own Exec.Cache. Shapes
+	// performance only; results are identical at any budget.
+	CacheBytes uint64
 	// Metrics, when non-nil, receives per-schedule sweep metrics.
 	// Observability only.
 	Metrics *sweep.Report
@@ -114,6 +119,13 @@ type Result struct {
 	// dependent under a parallel search and never influence the corpus.
 	SnapshotHits   uint64
 	SnapshotMisses uint64
+	// SnapshotBytes is the unique page bytes the execution cache's
+	// checkpoints retain at search end (zero under NoSnapshot).
+	// Checkpoints are copy-on-write views, so shared pages count once.
+	// A pure function of the executed schedule set — identical at any
+	// worker count — as long as the byte budget never forces an
+	// eviction (see ExecCache.RetainedBytes).
+	SnapshotBytes uint64
 }
 
 // Run executes the search: seed schedules per target, then rounds of
@@ -126,7 +138,7 @@ func Run(o Options) (*Result, error) {
 	if !o.NoSnapshot && o.Exec.Cache == nil {
 		// One cache for the whole search: batch cells and shrink runs
 		// (Shrink receives o.Exec) all share it.
-		o.Exec.Cache = NewExecCache()
+		o.Exec.Cache = NewExecCacheBytes(o.CacheBytes)
 	}
 	r := newRng(o.Seed)
 	res := &Result{Corpus: NewCorpus()}
@@ -228,6 +240,7 @@ func Run(o Options) (*Result, error) {
 	}
 	if o.Exec.Cache != nil {
 		res.SnapshotHits, res.SnapshotMisses = o.Exec.Cache.Stats()
+		res.SnapshotBytes = o.Exec.Cache.RetainedBytes()
 	}
 	return res, nil
 }

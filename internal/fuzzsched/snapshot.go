@@ -1,10 +1,12 @@
 package fuzzsched
 
 import (
+	"container/list"
 	"sync"
 
 	"strandweaver/internal/faultinject"
 	"strandweaver/internal/machine"
+	"strandweaver/internal/mem"
 	"strandweaver/internal/sim"
 )
 
@@ -69,29 +71,57 @@ type execCheckpoint struct {
 	fi faultinject.InjectorSnapshot
 }
 
-// execCacheCap bounds retained checkpoints; past it new checkpoints
-// are simply not stored (machine state for fuzz targets is small, but
-// a long search visits many (signature, cut) pairs). The cap shapes
-// performance only — results are identical at any cap including zero.
-const execCacheCap = 64
+// DefaultExecCacheBytes is the retained-byte budget NewExecCache uses:
+// generous against the direct fuzz targets' footprints (a checkpoint
+// retains well under a MiB of unique pages), so the CI determinism
+// smoke never evicts, while still bounding a long search over
+// service-scale targets. The budget shapes performance only — results
+// are identical at any budget including zero.
+const DefaultExecCacheBytes = 256 << 20
 
 // ExecCache memoises crash-free run lengths and crashed-run
-// checkpoints across Execute calls. Safe for concurrent use; share one
-// cache across a search (fuzzsched.Run wires one into its ExecOptions
-// unless Options.NoSnapshot is set).
+// checkpoints across Execute calls. Retained checkpoints are bounded
+// by a byte budget over their *unique* page storage (checkpoints are
+// copy-on-write views that may share pages, so entry counts overstate
+// the footprint; mem.PageRefs counts each page once) with
+// least-recently-used eviction past it. Safe for concurrent use; share
+// one cache across a search (fuzzsched.Run wires one into its
+// ExecOptions unless Options.NoSnapshot is set).
 type ExecCache struct {
 	mu     sync.Mutex
 	ends   map[execSig]sim.Cycle
-	cps    map[cpKey]*execCheckpoint
+	cps    map[cpKey]*list.Element
+	lru    *list.List // of *cacheEntry; front = most recently used
+	refs   *mem.PageRefs
+	budget uint64
 	hits   uint64
 	misses uint64
 }
 
-// NewExecCache returns an empty cache.
-func NewExecCache() *ExecCache {
+// cacheEntry is one LRU element: the key (for map removal on
+// eviction) and the checkpoint it retains.
+type cacheEntry struct {
+	key cpKey
+	ec  *execCheckpoint
+}
+
+// NewExecCache returns an empty cache with the default byte budget.
+func NewExecCache() *ExecCache { return NewExecCacheBytes(DefaultExecCacheBytes) }
+
+// NewExecCacheBytes returns an empty cache budgeted at the given
+// retained unique checkpoint bytes (0 = DefaultExecCacheBytes). The
+// most recent checkpoint is always retained, even when it alone
+// exceeds the budget.
+func NewExecCacheBytes(budget uint64) *ExecCache {
+	if budget == 0 {
+		budget = DefaultExecCacheBytes
+	}
 	return &ExecCache{
-		ends: make(map[execSig]sim.Cycle),
-		cps:  make(map[cpKey]*execCheckpoint),
+		ends:   make(map[execSig]sim.Cycle),
+		cps:    make(map[cpKey]*list.Element),
+		lru:    list.New(),
+		refs:   mem.NewPageRefs(),
+		budget: budget,
 	}
 }
 
@@ -110,26 +140,43 @@ func (c *ExecCache) putEnd(sig execSig, end sim.Cycle) {
 }
 
 // checkpoint returns the cached crashed-run state for key, counting
-// the lookup as a hit or miss.
+// the lookup as a hit or miss and refreshing the entry's LRU position.
 func (c *ExecCache) checkpoint(key cpKey) *execCheckpoint {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ec := c.cps[key]
-	if ec != nil {
-		c.hits++
-	} else {
+	el := c.cps[key]
+	if el == nil {
 		c.misses++
+		return nil
 	}
-	return ec
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).ec
 }
 
+// putCheckpoint stores a freshly captured checkpoint, retains its
+// unique page bytes, and evicts least-recently-used entries while the
+// budget is exceeded. A key already present is left as is: concurrent
+// workers can miss on the same key and both capture — the checkpoints
+// are byte-identical (the cold-vs-restored contract), so keeping the
+// first keeps the retained byte accounting single-counted and the
+// final retained set a pure function of the executed schedule set.
 func (c *ExecCache) putCheckpoint(key cpKey, ec *execCheckpoint) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.cps) >= execCacheCap {
+	if _, ok := c.cps[key]; ok {
 		return
 	}
-	c.cps[key] = ec
+	el := c.lru.PushFront(&cacheEntry{key: key, ec: ec})
+	c.cps[key] = el
+	c.refs.Retain(ec.cp.Mem.Volatile, ec.cp.Mem.Persistent)
+	for c.refs.UniqueBytes() > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		ev := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.cps, ev.key)
+		c.refs.Release(ev.ec.cp.Mem.Volatile, ev.ec.cp.Mem.Persistent)
+	}
 }
 
 // Stats reports checkpoint lookup hits and misses. Counts depend on
@@ -138,4 +185,16 @@ func (c *ExecCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// RetainedBytes reports the unique page bytes currently retained by
+// the cached checkpoints. While the budget never forces an eviction,
+// the retained set — and so this value — is a pure function of the
+// executed schedule set, identical at any worker count; past the
+// budget, eviction order is LRU over a scheduling-dependent access
+// order, so the value (never the search's results) may vary.
+func (c *ExecCache) RetainedBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refs.UniqueBytes()
 }

@@ -8,6 +8,7 @@ import (
 
 	"strandweaver/internal/hwdesign"
 	"strandweaver/internal/langmodel"
+	"strandweaver/internal/mem"
 	"strandweaver/internal/sweep"
 )
 
@@ -44,6 +45,12 @@ func TestEngineCountersReachCellMetrics(t *testing.T) {
 		}
 		if eng.PeakHeapDepth <= 0 {
 			t.Errorf("cell %s: peak heap depth %d", cell.Key, eng.PeakHeapDepth)
+		}
+		// Grid cells never capture, clone or restore memory images, so
+		// the COW counters must stay absent (omitempty keeps the JSON
+		// shape of pre-COW metrics reports).
+		if cell.COW != nil {
+			t.Errorf("cell %s: grid cell grew COW counters: %+v", cell.Key, cell.COW)
 		}
 	}
 	// The counters must survive into the JSON report under "engine".
@@ -123,10 +130,16 @@ func TestCheckpointCountersReachCellMetrics(t *testing.T) {
 	}
 	var hits, misses uint64
 	reused := false
+	var cow mem.Stats
+	cowBuilder := false
 	for _, cell := range rep.Cells {
 		hits += cell.CheckpointHits
 		misses += cell.CheckpointMisses
 		reused = reused || cell.PrefixReused
+		if cell.COW != nil {
+			cow.Add(*cell.COW)
+			cowBuilder = cowBuilder || cell.COW.CheckpointBytes > 0
+		}
 	}
 	if hits == 0 {
 		t.Error("no cell served a crash cut from a checkpoint")
@@ -137,11 +150,24 @@ func TestCheckpointCountersReachCellMetrics(t *testing.T) {
 	if !reused {
 		t.Error("no cell reused a prefix built by another cell (media-free plans share one)")
 	}
+	// The COW checkpoint counters must reach the same side channel: the
+	// capture run freezes pages, the warm restores count diverged pages,
+	// and the building cell reports the prefix's retained unique bytes.
+	if cow.PagesFrozen == 0 {
+		t.Error("no cell counted pages frozen by checkpoint captures")
+	}
+	if cow.RestoreDiverged == 0 {
+		t.Error("no cell counted pages diverged across checkpoint restores")
+	}
+	if !cowBuilder {
+		t.Error("no cell reported the prefix's retained checkpoint bytes")
+	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"prefix_reused", "checkpoint_hits", "checkpoint_misses"} {
+	for _, key := range []string{"prefix_reused", "checkpoint_hits", "checkpoint_misses",
+		"cow", "pages_frozen", "restore_diverged", "checkpoint_bytes"} {
 		if !bytes.Contains(buf.Bytes(), []byte(key)) {
 			t.Errorf("%q missing from the JSON metrics report", key)
 		}
@@ -160,5 +186,21 @@ func TestCheckpointCountersReachCellMetrics(t *testing.T) {
 	}
 	if bytes.Contains(buf.Bytes(), []byte("checkpoint_")) {
 		t.Error("NoSnapshot sweep leaked checkpoint counters into metrics")
+	}
+	// The cold path still captures crash images (CrashImage is a COW
+	// clone), so cells report frozen pages — but no checkpoint bytes,
+	// since nothing retains checkpoints.
+	coldFrozen := false
+	for _, cell := range cold.Cells {
+		if cell.COW == nil {
+			continue
+		}
+		coldFrozen = coldFrozen || cell.COW.PagesFrozen > 0
+		if cell.COW.CheckpointBytes != 0 {
+			t.Errorf("cell %s: NoSnapshot cell reported retained checkpoint bytes", cell.Key)
+		}
+	}
+	if !coldFrozen {
+		t.Error("NoSnapshot sweep counted no pages frozen (CrashImage clones freeze)")
 	}
 }

@@ -66,6 +66,15 @@ type prefixEntry struct {
 	cuts []sim.Cycle
 	cps  []*machine.Checkpoint
 	fis  []faultinject.InjectorSnapshot
+
+	// cow is the capture run's copy-on-write cost (pages frozen per
+	// cut, COW faults paid between cuts) and cpBytes the unique page
+	// bytes the stored checkpoints retain (successive cuts share
+	// unchanged pages, so this is far below cuts x footprint). The
+	// building cell folds both into its metrics, mirroring
+	// CheckpointMisses attribution.
+	cow     mem.Stats
+	cpBytes uint64
 }
 
 // get returns the entry for key, building it (under the entry's once)
@@ -157,6 +166,12 @@ func buildPrefix(pe *prefixEntry, o TortureOptions, plan faultinject.Plan, limit
 			return
 		}
 	}
+	pe.cow = sys2.Mem.CowStats()
+	refs := mem.NewPageRefs()
+	for _, cp := range pe.cps {
+		refs.Retain(cp.Mem.Volatile, cp.Mem.Persistent)
+	}
+	pe.cpBytes = refs.UniqueBytes()
 }
 
 // crashOutcome computes one combo's crash image and merged fault

@@ -467,6 +467,7 @@ func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan 
 						m.AddRun(uint64(crashAt), sys.PM.Stats())
 						m.AddEngine(sys.Eng.Stats())
 						combos = append(combos, comboAt(ci, crashAt, sys, inst, fi.Stats()))
+						m.AddCOW(sys.Mem.CowStats()) // after comboAt: CrashImage's clone freezes pages
 					}
 					return &tortureOutcome{combos: combos}, nil
 				}
@@ -499,6 +500,12 @@ func workloadCell(o TortureOptions, pc *prefixCache, bench string, pi int, plan 
 					m.AddEngine(pe.cps[ci-1].Eng.Stats)
 					combos = append(combos, comboAt(ci, crashAt, sys, inst, pe.fis[ci-1].Stats))
 				}
+				cow := sys.Mem.CowStats()
+				if built {
+					cow.Add(pe.cow)
+					cow.Add(mem.Stats{CheckpointBytes: pe.cpBytes})
+				}
+				m.AddCOW(cow)
 				return &tortureOutcome{combos: combos}, nil
 			},
 		},
@@ -689,6 +696,7 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 						m.AddRun(uint64(crashAt), sys.PM.Stats())
 						m.AddEngine(sys.Eng.Stats())
 						combos = append(combos, comboAt(ci, crashAt, sys, fi.Stats()))
+						m.AddCOW(sys.Mem.CowStats()) // after comboAt: CrashImage's clone freezes pages
 					}
 					return &tortureOutcome{combos: combos, redo: true}, nil
 				}
@@ -718,6 +726,12 @@ func redologCell(o TortureOptions, pc *prefixCache, pi int, plan faultinject.Pla
 					m.AddEngine(pe.cps[ci-1].Eng.Stats)
 					combos = append(combos, comboAt(ci, crashAt, sys, pe.fis[ci-1].Stats))
 				}
+				cow := sys.Mem.CowStats()
+				if built {
+					cow.Add(pe.cow)
+					cow.Add(mem.Stats{CheckpointBytes: pe.cpBytes})
+				}
+				m.AddCOW(cow)
 				return &tortureOutcome{combos: combos, redo: true}, nil
 			},
 		},

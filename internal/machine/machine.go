@@ -92,7 +92,7 @@ func (s *System) Spawn(i int, worker Worker) {
 	co := sim.NewCoroutine(s.Eng, func(_ *sim.Coroutine) { worker(core) })
 	core.Attach(co)
 	s.coros = append(s.coros, co)
-	s.Eng.Schedule(sim.Cycle(i), co.ResumeFn())
+	s.Eng.ScheduleResume(sim.Cycle(i), co)
 }
 
 // Run spawns one worker per entry of workers and runs the simulation

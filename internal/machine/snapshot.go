@@ -10,11 +10,14 @@ import (
 	"strandweaver/internal/sim"
 )
 
-// Checkpoint is a deep, self-contained snapshot of a System's
+// Checkpoint is a semantically self-contained snapshot of a System's
 // architectural state: the engine clock, both memory images, the PM
 // controller's tracked writes, and every core's counters and persist-
-// backend state. It shares no mutable storage with the system it was
-// taken from, so one Checkpoint can be restored any number of times,
+// backend state. The memory images are frozen copy-on-write views —
+// they share page storage with the live system, but that storage is
+// immutable from the moment of capture (the system's next write to a
+// captured page copies it first), so the checkpoint shares no MUTABLE
+// storage with its source and can be restored any number of times,
 // concurrently, into different (identically configured) systems.
 //
 // What a Checkpoint is NOT: it does not capture pending simulation
@@ -39,8 +42,10 @@ type Checkpoint struct {
 }
 
 // Snapshot captures the system's architectural state. O(state), not
-// O(history): images deep-copy touched pages, controller and strand
-// structures copy live entries, everything else is counters.
+// O(history) — and for the images O(pages) pointer work, not bytes:
+// both freeze into COW views that copy no page data (the cost is
+// deferred to first-write faults on the live system); controller and
+// strand structures copy live entries, everything else is counters.
 func (s *System) Snapshot() *Checkpoint {
 	cp := &Checkpoint{
 		Design: s.Design,

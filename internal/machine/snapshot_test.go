@@ -1,8 +1,10 @@
 package machine
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"strandweaver/internal/cpu"
@@ -147,6 +149,50 @@ func TestSnapshotRandomForkPoints(t *testing.T) {
 		if got := observe(warm); !reflect.DeepEqual(cold, got) {
 			t.Errorf("trial %d (%s, cut %d): restored state differs from cold run", trial, d, cut)
 		}
+	}
+}
+
+// TestConcurrentRestoreSharedCheckpoint: one checkpoint may feed many
+// systems at once — its frozen COW images are never written by a
+// restore, so concurrent restores (the parallel torture sweep's and
+// fuzz executor's pattern) are race-free. Each goroutine also mutates
+// its own restored system between restores, which must neither
+// corrupt the checkpoint nor leak into sibling systems. Run under
+// -race in CI.
+func TestConcurrentRestoreSharedCheckpoint(t *testing.T) {
+	d := hwdesign.StrandWeaver
+	cp := captureAt(t, d, 5_000)
+	ref := MustNew(smallConfig(), d)
+	ref.Restore(cp)
+	wantV := ref.Mem.Volatile.Fingerprint()
+	wantP := ref.Mem.Persistent.Fingerprint()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := MustNew(smallConfig(), d)
+			for r := 0; r < 20; r++ {
+				s.Restore(cp)
+				s.Mem.Persistent.SetByte(mem.PMBase+mem.Addr(g)*64, byte(r)) // diverge, then rewind
+				s.Mem.Volatile.Write64(mem.DRAMBase+mem.Addr(g)*8, uint64(r))
+			}
+			s.Restore(cp)
+			if s.Mem.Volatile.Fingerprint() != wantV || s.Mem.Persistent.Fingerprint() != wantP {
+				errs <- fmt.Sprintf("goroutine %d: restored fingerprints diverged", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if ref.Mem.Volatile.Fingerprint() != wantV || ref.Mem.Persistent.Fingerprint() != wantP {
+		t.Error("concurrent restores mutated a sibling restored system")
 	}
 }
 

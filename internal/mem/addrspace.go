@@ -75,7 +75,9 @@ func (m *Machine) PersistLineData(line Addr, data *[LineSize]byte) {
 // model (persistence at store visibility; line persists are no-ops).
 func (m *Machine) SetPersistAtVisibility(on bool) { m.persistAtVisibility = on }
 
-// CrashImage returns a deep copy of the persistent image, i.e. the PM
-// contents a recovery process would observe if the machine lost power at
-// this instant.
+// CrashImage returns a copy-on-write clone of the persistent image,
+// i.e. the PM contents a recovery process would observe if the machine
+// lost power at this instant. The clone is writable (fault injection
+// tears lines into it, recovery mutates it) at one COW fault per page
+// touched; capture itself copies no page bytes.
 func (m *Machine) CrashImage() *Image { return m.Persistent.Clone() }

@@ -157,3 +157,64 @@ func BenchmarkImageWrite64(b *testing.B) {
 		im.Write64(addrs[i%len(addrs)], uint64(i))
 	}
 }
+
+// TestFingerprintMatchesPerByteReference pins Fingerprint's zero-run
+// word-at-a-time fast path against the definitional per-byte FNV-1a
+// fold. Any drift here would silently re-key every golden digest in
+// the repo, so the reference is spelled out longhand.
+func TestFingerprintMatchesPerByteReference(t *testing.T) {
+	reference := func(im *Image) uint64 {
+		const (
+			offset64 = 14695981039346656037
+			prime64  = 1099511628211
+		)
+		h := uint64(offset64)
+		mixByte := func(b byte) { h ^= uint64(b); h *= prime64 }
+		for pg := 0; pg < 8; pg++ { // covers every page the trial writes
+			base := Addr(pg) * PageBytes
+			var page [PageBytes]byte
+			im.Read(base, page[:])
+			if page == [PageBytes]byte{} {
+				continue
+			}
+			v := uint64(base)
+			for i := 0; i < 8; i++ {
+				mixByte(byte(v))
+				v >>= 8
+			}
+			for _, b := range page {
+				mixByte(b)
+			}
+		}
+		return h
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		im := NewImage()
+		// Mix of patterns the fast path must get right: isolated bytes,
+		// word-straddling runs, fully-zero pages (skipped), and bytes at
+		// page edges.
+		for i := 0; i < 40; i++ {
+			base := Addr(rng.Intn(6)) * PageBytes
+			switch rng.Intn(4) {
+			case 0:
+				im.SetByte(base+Addr(rng.Intn(PageBytes)), byte(rng.Intn(256)))
+			case 1:
+				off := rng.Intn(PageBytes - 16)
+				buf := make([]byte, 1+rng.Intn(16))
+				rng.Read(buf)
+				im.Write(base+Addr(off), buf)
+			case 2:
+				im.Write64(base+Addr(rng.Intn(PageBytes/8))*8, rng.Uint64())
+			case 3:
+				im.SetByte(base+Addr(PageBytes-1), byte(rng.Intn(256)))
+			}
+		}
+		// Touch a page without making it nonzero: must hash as absent.
+		im.SetByte(Addr(6)*PageBytes, 0)
+		if got, want := im.Fingerprint(), reference(im); got != want {
+			t.Fatalf("trial %d: Fingerprint %#x != per-byte reference %#x", trial, got, want)
+		}
+	}
+}

@@ -1,57 +1,79 @@
 package mem
 
-// MachineState is a checkpoint of the functional memory pair: deep
-// copies of the volatile and persistent images plus the eADR
-// persist-at-visibility mode bit. Note Image.Clone copies page
-// contents only — the mutation counter and any armed write budget are
-// recovery-tooling state, out of scope for machine checkpoints
-// (docs/SNAPSHOT.md).
+// MachineState is a checkpoint of the functional memory pair: frozen
+// copy-on-write views of the volatile and persistent images plus the
+// eADR persist-at-visibility mode bit. The views share page storage
+// with the machine they were captured from, but that storage is
+// immutable from the moment of capture — the machine's next write to a
+// captured page copies it first (a COW fault) — so a MachineState is
+// semantically as self-contained as the deep copy it replaced, at
+// O(pages) pointer cost and zero bytes copied. Frozen views carry none
+// of the live images' recovery-tooling state (mutation counter, armed
+// write budget, dirty tracking), which is out of scope for machine
+// checkpoints (docs/SNAPSHOT.md).
 type MachineState struct {
 	Volatile            *Image
 	Persistent          *Image
 	PersistAtVisibility bool
 }
 
-// Snapshot deep-copies both images. The returned state shares nothing
-// with the live machine and stays valid however the machine mutates
-// afterwards.
+// Snapshot freezes both images (see Image.Freeze): page-table copies
+// only, no page bytes. The returned state stays valid however the
+// machine mutates afterwards.
 func (m *Machine) Snapshot() *MachineState {
 	return &MachineState{
-		Volatile:            m.Volatile.Clone(),
-		Persistent:          m.Persistent.Clone(),
+		Volatile:            m.Volatile.Freeze(),
+		Persistent:          m.Persistent.Freeze(),
 		PersistAtVisibility: m.persistAtVisibility,
 	}
 }
 
-// Restore overwrites the machine's images with deep copies of the
-// checkpoint's. The *Image pointers held by the machine (and cached by
-// components wired to it) stay valid — contents are replaced in place —
-// and the checkpoint itself is never aliased, so one MachineState can
-// be restored any number of times, including concurrently into
-// different machines.
+// Restore rewinds the machine's images to the checkpoint by re-sharing
+// its frozen pages. The *Image pointers held by the machine (and
+// cached by components wired to it) stay valid — page tables are
+// edited in place — and restore work is proportional to the pages that
+// diverged since capture (plus an O(pages) pointer scan), with zero
+// page bytes copied. The checkpoint is read, never written, so one
+// MachineState can be restored any number of times, including
+// concurrently into different machines (the race-mode tests pin this).
 func (m *Machine) Restore(s *MachineState) {
 	m.Volatile.restoreFrom(s.Volatile)
 	m.Persistent.restoreFrom(s.Persistent)
 	m.persistAtVisibility = s.PersistAtVisibility
 }
 
-// restoreFrom replaces im's contents with a deep copy of src's pages,
-// reusing im's existing page storage where the addresses line up (a
-// warm system restored once per crash cut would otherwise reallocate
-// its whole footprint every restore). The mutation counter and write
+// restoreFrom rewinds im's contents to src's by sharing src's pages:
+// a page of im still holding src's storage (pointer equality — the
+// pageRef capture invariant makes this proof of
+// unmodified-since-capture) is skipped, everything else is re-pointed
+// at src's storage and dropped-or-deleted to match src's page set. No
+// page bytes are copied; im's next write to a restored page COW-faults.
+// When src is a live image (CopyFrom between scratch images), sharing
+// demotes src's ownership so its own next write faults too; frozen
+// sources are never written at all, which is what makes concurrent
+// restores of one checkpoint race-free. The mutation counter and write
 // budget are left untouched (see MachineState).
 func (im *Image) restoreFrom(src *Image) {
+	if im.frozen {
+		panic("mem: restore into frozen image: captured views are immutable (docs/SNAPSHOT.md)")
+	}
+	im.dropHot()
+	if !src.frozen {
+		src.dropHot()
+	}
 	for base := range im.pages {
-		if src.pages[base] == nil {
+		if _, ok := src.pages[base]; !ok {
 			delete(im.pages, base)
 		}
 	}
-	for base, p := range src.pages {
-		np := im.pages[base]
-		if np == nil {
-			np = new([pageSize]byte)
-			im.pages[base] = np
+	for base, sp := range src.pages {
+		if pr, ok := im.pages[base]; ok && pr.data == sp.data {
+			continue // unmodified since capture: nothing to do
 		}
-		*np = *p
+		im.pages[base] = pageRef{data: sp.data}
+		if sp.owned {
+			src.pages[base] = pageRef{data: sp.data}
+		}
+		im.stats.RestoreDiverged++
 	}
 }

@@ -3,32 +3,44 @@ package sim
 // Coroutine bridges a goroutine into the discrete-event engine so that a
 // simulated hardware thread can be written as straight-line Go code.
 //
-// The contract: exactly one party runs at a time. The engine resumes the
-// coroutine with resume(); the coroutine runs until it calls Yield (or
-// returns), at which point control passes back to the engine. The
-// coroutine re-enters the event loop via engine.Schedule callbacks that
-// call resume again. This is cooperative scheduling, so the simulation
-// stays fully deterministic.
+// The contract: exactly one goroutine — the host (the Run caller) or one
+// coroutine — runs at any instant. Control is a baton passed by direct
+// channel handoff, and the baton holder runs the engine's event loop
+// itself (Engine.loop): firing a plain event is a function call on the
+// holder's stack, and firing a resume event hands the baton to the
+// target coroutine with a single channel send before the holder parks.
+// A coroutine whose own resume event is the next to fire simply returns
+// from Yield — zero channel operations. This inversion halves the
+// per-switch cost of the classic design (a dedicated engine goroutine
+// doing a send-then-receive round trip per resume) without touching the
+// schedule: the baton's path is a pure function of the (cycle, seq)
+// event order, so simulations remain bit-reproducible.
 //
-// The handshake is a single unbuffered ping-pong channel: ownership of
-// the channel's send side strictly alternates between the engine
-// (Resume) and the coroutine (Yield), so every send is a direct handoff
-// to the one blocked receiver. Wakeups reuse the coroutine's cached
-// resume thunk (resumeFn) — parking and resuming a coroutine allocates
-// nothing.
+// The host regains the baton when the run terminates (Stop, cond,
+// drained queue, or cycle limit). Tests may instead drive coroutines
+// manually with Resume or Step while no Run is active; Yield then hands
+// the baton straight back to the blocked Resume caller.
 type Coroutine struct {
 	eng *Engine
-	// ch carries control back and forth: Resume sends to hand control
-	// to the coroutine and then receives to wait for its yield; Yield
-	// does the mirror image. Strict alternation means at most one
-	// sender and one receiver exist at any instant.
+	// ch is this coroutine's baton slot: it parks by receiving on ch
+	// and runs while it holds the baton. Unbuffered, so every send is
+	// a direct handoff to the one parked receiver.
 	ch chan struct{}
-	// resumeFn is the cached resume thunk: every scheduled wakeup
-	// (WaitCycles, Waiter.Broadcast, machine spawn) shares it instead
-	// of allocating a closure per wakeup.
+	// resumeFn is the cached legacy resume thunk for callers that
+	// schedule resumption as a plain callback event (tests); the
+	// simulator proper uses Engine.ScheduleResume, which needs no
+	// closure at all.
 	resumeFn func()
 	done     bool
 	aborted  bool
+	// hasBaton records whether this coroutine's goroutine holds the
+	// baton; the death handler uses it to decide whether it must keep
+	// the event loop alive on the way out.
+	hasBaton bool
+	// abortSync is set by Abort just before it wakes the parked
+	// coroutine: the unwinding goroutine then acknowledges on
+	// eng.abortAck instead of passing the baton on.
+	abortSync bool
 }
 
 // abortSentinel is the panic value used to unwind an aborted coroutine's
@@ -37,8 +49,8 @@ type Coroutine struct {
 type abortSentinel struct{}
 
 // NewCoroutine starts body on its own goroutine, paused: it does not run
-// until the first Resume. Inside body, use co.WaitCycles / co.WaitUntil /
-// co.Yield to give up control.
+// until its first scheduled resume. Inside body, use co.WaitCycles /
+// co.WaitUntil / co.Yield to give up control.
 func NewCoroutine(eng *Engine, body func(co *Coroutine)) *Coroutine {
 	co := &Coroutine{
 		eng: eng,
@@ -46,68 +58,124 @@ func NewCoroutine(eng *Engine, body func(co *Coroutine)) *Coroutine {
 	}
 	co.resumeFn = func() { co.Resume() }
 	go func() {
+		e := eng
 		defer func() {
-			if r := recover(); r != nil {
+			r := recover()
+			if r != nil {
 				if _, ok := r.(abortSentinel); !ok {
-					panic(r)
+					// A real panic on this stack (a bug, or an armed
+					// write budget tripping inside an event). Transfer
+					// it to the host so it surfaces from Run, exactly
+					// as when the host fires every event itself.
+					if !co.hasBaton {
+						panic(r)
+					}
+					co.done = true
+					e.runActive = false
+					e.pendingPanic = r
+					e.handToHost(co)
+					return
 				}
 			}
 			co.done = true
-			co.ch <- struct{}{}
+			switch {
+			case co.abortSync:
+				// Abort is blocked waiting for this unwind.
+				e.abortAck <- struct{}{}
+			case e.manualResume == co:
+				// Finished during a manual Resume: hand control back to
+				// the blocked caller.
+				e.handToHost(co)
+			case co.hasBaton:
+				// Died holding the baton: keep the event loop alive on
+				// this dying stack until the baton moves on.
+				defer func() {
+					if r := recover(); r != nil {
+						e.runActive = false
+						e.pendingPanic = r
+						e.handToHost(co)
+					}
+				}()
+				e.loop(co, true)
+			}
 		}()
-		<-co.ch
-		if co.aborted {
-			panic(abortSentinel{})
-		}
+		e.park(co)
 		body(co)
 	}()
 	return co
 }
 
-// Abort unwinds a parked coroutine so its goroutine exits: the next time
-// it would run it panics internally with a recovered sentinel. Used when
-// a simulated crash abandons the machine. No-op if already done.
+// Abort unwinds a parked coroutine so its goroutine exits; used when a
+// simulated crash abandons the machine. If the coroutine being aborted
+// is the current baton holder (a crash event abandoning its own
+// machine), it is only marked: it unwinds at its next baton checkpoint.
+// No-op if already done.
 func (co *Coroutine) Abort() {
 	if co.done {
 		return
 	}
 	co.aborted = true
-	co.Resume()
+	e := co.eng
+	e.stats.CoroutineSwitches++
+	if e.current == co {
+		return
+	}
+	co.abortSync = true
+	co.ch <- struct{}{}
+	<-e.abortAck
 }
 
 // Done reports whether the coroutine's body has returned.
 func (co *Coroutine) Done() bool { return co.done }
 
 // Resume hands control to the coroutine and blocks until it yields or
-// finishes. Must be called from the engine side (an event callback or the
-// top-level driver).
+// finishes. Legacy manual driver for tests; the simulator schedules
+// resumes with Engine.ScheduleResume instead. Safe to call from an
+// event callback: the resumed coroutine's next Yield returns here, not
+// into the event loop.
 func (co *Coroutine) Resume() {
 	if co.done {
 		return
 	}
-	co.eng.stats.CoroutineSwitches++
-	co.ch <- struct{}{}
-	<-co.ch
+	e := co.eng
+	e.stats.CoroutineSwitches++
+	prevManual, prevCur := e.manualResume, e.current
+	e.manualResume = co
+	defer func() {
+		e.manualResume = prevManual
+		e.current = prevCur
+	}()
+	e.handTo(nil, co)
+	e.hostWait()
 }
 
 // ResumeFn returns the coroutine's cached resume thunk, for callers that
-// schedule resumption as an engine event (avoids a closure per wakeup).
+// schedule resumption as a callback event (avoids a closure per wakeup).
 func (co *Coroutine) ResumeFn() func() { return co.resumeFn }
 
-// Yield returns control to the engine side. The coroutine blocks until
-// the next Resume. Must be called from within the coroutine body.
+// Yield gives up the baton until the coroutine's next resume event.
+// During a run the yielding goroutine keeps driving the event loop
+// itself; it only parks when the baton must move to another coroutine.
+// Must be called from within the coroutine body.
 func (co *Coroutine) Yield() {
-	co.ch <- struct{}{}
-	<-co.ch
+	e := co.eng
+	if !e.runActive || e.manualResume == co {
+		// Manual-resume context: hand straight back to the blocked
+		// Resume caller.
+		e.handToHost(co)
+		e.park(co)
+		return
+	}
+	e.loop(co, false)
 	if co.aborted {
 		panic(abortSentinel{})
 	}
 }
 
 // WaitCycles suspends the coroutine for d simulated cycles: it schedules
-// its own resumption (through the cached resume thunk) and yields.
+// its own resume event and yields.
 func (co *Coroutine) WaitCycles(d Cycle) {
-	co.eng.Schedule(d, co.resumeFn)
+	co.eng.ScheduleResume(d, co)
 	co.Yield()
 }
 
@@ -145,9 +213,8 @@ func (w *Waiter) Park(co *Coroutine) {
 }
 
 // Broadcast wakes every parked coroutine at the current cycle (as a
-// zero-delay event, preserving deterministic FIFO ordering). Each wakeup
-// schedules the coroutine's cached resume thunk — no allocation per
-// woken coroutine.
+// zero-delay resume event, preserving deterministic FIFO ordering).
+// No allocation per woken coroutine.
 func (w *Waiter) Broadcast() {
 	if len(w.parked) == 0 {
 		return
@@ -156,7 +223,7 @@ func (w *Waiter) Broadcast() {
 	w.parked = w.parked[:0]
 	w.signals++
 	for i, co := range woken {
-		w.eng.Schedule(0, co.resumeFn)
+		w.eng.ScheduleResume(0, co)
 		woken[i] = nil
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"strandweaver/internal/mem"
 	"strandweaver/internal/pmem"
 	"strandweaver/internal/sim"
 )
@@ -63,6 +64,12 @@ type CellMetrics struct {
 	// itself. Like PrefixReused, scheduling-dependent under parallelism.
 	CheckpointHits   uint64 `json:"checkpoint_hits,omitempty"`
 	CheckpointMisses uint64 `json:"checkpoint_misses,omitempty"`
+	// COW folds the cell's copy-on-write checkpoint counters (pages
+	// frozen by captures, COW faults paid, restore pages-diverged,
+	// peak unique checkpoint bytes; mem.Stats.Add is the merge rule).
+	// Nil for cells that never capture or restore images, so existing
+	// metrics keep their pre-COW JSON shape.
+	COW *mem.Stats `json:"cow,omitempty"`
 	// Err records the cell's failure, if any.
 	Err string `json:"error,omitempty"`
 }
@@ -113,6 +120,20 @@ func (m *CellMetrics) AddEngine(st sim.Stats) {
 	if st.PeakHeapDepth > m.Engine.PeakHeapDepth {
 		m.Engine.PeakHeapDepth = st.PeakHeapDepth
 	}
+}
+
+// AddCOW folds copy-on-write checkpoint counters into the record.
+// Called by cell bodies that capture, clone or restore memory images
+// (torture cells fold their warm system's and shared prefix's
+// counters; the gauge field CheckpointBytes merges by maximum).
+func (m *CellMetrics) AddCOW(st mem.Stats) {
+	if st == (mem.Stats{}) {
+		return
+	}
+	if m.COW == nil {
+		m.COW = &mem.Stats{}
+	}
+	m.COW.Add(st)
 }
 
 // Report collects the per-cell metrics of one or more sweeps run under
