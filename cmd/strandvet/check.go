@@ -21,8 +21,10 @@ func checkSource(filename string, src []byte) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir := filepath.Base(filepath.Dir(filepath.ToSlash(filename)))
 	c := &checker{fset: fset, file: f, suppressed: suppressedLines(fset, f),
-		inMem: filepath.Base(filepath.Dir(filepath.ToSlash(filename))) == "mem"}
+		inMem:          dir == "mem",
+		inProgramOwner: dir == "pmo" || dir == "relax"}
 	c.resolveImports()
 	ast.Inspect(f, c.visit)
 	return c.diags, nil
@@ -32,12 +34,17 @@ type checker struct {
 	fset *token.FileSet
 	file *ast.File
 	// timeName and randName are the local names of the "time" and
-	// "math/rand" imports ("" when not imported); simName and memName
-	// are the local names of the internal/sim and internal/mem imports.
-	timeName, randName, simName, memName string
+	// "math/rand" imports ("" when not imported); simName, memName and
+	// pmoName are the local names of the internal/sim, internal/mem
+	// and internal/pmo imports.
+	timeName, randName, simName, memName, pmoName string
 	// inMem marks a file of internal/mem itself, where raw page
 	// pointers are the implementation rather than a leak.
 	inMem bool
+	// inProgramOwner marks a file of internal/pmo or internal/relax,
+	// the packages that own pmo.Program's rewrite protocol and may
+	// mutate program slices directly.
+	inProgramOwner bool
 	// suppressed holds the line numbers covered by //strandvet:ok.
 	suppressed map[int]bool
 	diags      []string
@@ -91,6 +98,11 @@ func (c *checker) resolveImports() {
 				name = "mem"
 			}
 			c.memName = name
+		case "strandweaver/internal/pmo":
+			if name == "" {
+				name = "pmo"
+			}
+			c.pmoName = name
 		}
 	}
 }
@@ -107,6 +119,8 @@ func (c *checker) visit(n ast.Node) bool {
 	switch n := n.(type) {
 	case *ast.CallExpr:
 		c.checkCall(n)
+	case *ast.AssignStmt:
+		c.checkProgramMutation(n)
 	case *ast.RangeStmt:
 		c.checkRange(n)
 	case *ast.TypeSpec:
@@ -238,6 +252,104 @@ func (c *checker) checkCall(call *ast.CallExpr) {
 	if fn, ok := pkgCall(call, c.randName); ok && !strings.HasPrefix(fn, "New") {
 		c.report(call.Pos(), "call to %s.%s: the global math/rand generator is unseeded shared state (docs/DETERMINISM.md); use a seeded instance from %s.New", c.randName, fn, c.randName)
 	}
+}
+
+// checkProgramMutation flags assignment through an index expression on
+// a pmo.Program-typed identifier — `p[t] = ...`, `p[t][i] = op`,
+// `p[t] = append(p[t], op)` — outside internal/pmo and internal/relax.
+// Programs are rewritten only through the sanctioned surface
+// (Clone/WithOp/WithoutOp/WithInsert), which returns a fresh program
+// per transform: a mutated program has no before/after pair to
+// validate, so its relaxation cannot be proved against the crash-cut
+// oracle. Construction of a freshly allocated program is exempt via
+// //strandvet:ok.
+func (c *checker) checkProgramMutation(as *ast.AssignStmt) {
+	if c.inProgramOwner || c.pmoName == "" {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		base := ix.X
+		for {
+			inner, ok := base.(*ast.IndexExpr)
+			if !ok {
+				break
+			}
+			base = inner.X
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok || !c.identIsProgram(id) {
+			continue
+		}
+		c.report(lhs.Pos(), "direct mutation of %s.Program slice %s: programs are rewritten only via the %s rewrite surface (Clone/WithOp/WithoutOp/WithInsert) so every transform has a before/after pair the relaxation oracle can validate; suppress with //strandvet:ok only for construction of a freshly allocated program", c.pmoName, id.Name, c.pmoName)
+	}
+}
+
+// identIsProgram resolves an identifier through its in-file
+// declaration looking for the pmo.Program type: an explicit
+// pmo.Program type on a var/param/field, a pmo.Program composite
+// literal, make(pmo.Program, ...), or a pmo.Program(...) conversion.
+func (c *checker) identIsProgram(id *ast.Ident) bool {
+	if id.Obj == nil {
+		return false
+	}
+	switch decl := id.Obj.Decl.(type) {
+	case *ast.ValueSpec:
+		if c.isProgramType(decl.Type) {
+			return true
+		}
+		for i, n := range decl.Names {
+			if n.Name == id.Name && i < len(decl.Values) && c.isProgramExpr(decl.Values[i]) {
+				return true
+			}
+		}
+	case *ast.Field:
+		return c.isProgramType(decl.Type)
+	case *ast.AssignStmt:
+		for i, lhs := range decl.Lhs {
+			l, ok := lhs.(*ast.Ident)
+			if !ok || l.Name != id.Name {
+				continue
+			}
+			rhs := decl.Rhs[0]
+			if len(decl.Rhs) == len(decl.Lhs) {
+				rhs = decl.Rhs[i]
+			}
+			if c.isProgramExpr(rhs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isProgramType matches the written type pmo.Program (under the
+// import's local name).
+func (c *checker) isProgramType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Obj == nil && id.Name == c.pmoName && sel.Sel.Name == "Program"
+}
+
+// isProgramExpr matches expressions statically known to yield a
+// pmo.Program: a composite literal, make, or a conversion.
+func (c *checker) isProgramExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return c.isProgramType(e.Type)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return c.isProgramType(e.Args[0])
+		}
+		return c.isProgramType(e.Fun) // pmo.Program(x) conversion
+	}
+	return false
 }
 
 // checkRange flags `for range m` over a map when the loop body feeds

@@ -281,3 +281,88 @@ type BufferState struct {
 `)
 	wantDiags(t, diags)
 }
+
+func TestFlagsProgramIndexAssignment(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/pmo"
+func f(prog pmo.Program) {
+	prog[0][1] = pmo.Op{}
+}
+`)
+	wantDiags(t, diags, "direct mutation of pmo.Program slice prog")
+}
+
+func TestFlagsProgramAppendAssignment(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/pmo"
+func f() {
+	prog := make(pmo.Program, 2)
+	prog[0] = append(prog[0], pmo.Op{})
+}
+`)
+	wantDiags(t, diags, "direct mutation of pmo.Program slice prog")
+}
+
+func TestFlagsProgramLiteralMutation(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/pmo"
+func f() {
+	var prog pmo.Program
+	prog = pmo.Program{nil}
+	prog[0] = nil
+	q := pmo.Program{nil}
+	q[0] = nil
+}
+`)
+	wantDiags(t, diags,
+		"direct mutation of pmo.Program slice prog",
+		"direct mutation of pmo.Program slice q")
+}
+
+func TestFlagsAliasedProgramMutation(t *testing.T) {
+	diags := runCheck(t, `package p
+import model "strandweaver/internal/pmo"
+func f(prog model.Program) {
+	prog[0] = nil
+}
+`)
+	wantDiags(t, diags, "direct mutation of model.Program slice prog")
+}
+
+func TestAllowsProgramMutationInsideOwners(t *testing.T) {
+	src := `package pmo
+import "strandweaver/internal/pmo"
+func f(prog pmo.Program) { prog[0] = nil }
+`
+	for _, dir := range []string{"internal/pmo", "internal/relax"} {
+		diags, err := checkSource(dir+"/fixture.go", []byte(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s: got diagnostics %v, want none (exempt owner)", dir, diags)
+		}
+	}
+}
+
+func TestAllowsNonProgramIndexAssignment(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/pmo"
+func f(ops []pmo.Op, xs []int) {
+	ops[0] = pmo.Op{}
+	xs[1] = 2
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestProgramMutationSuppression(t *testing.T) {
+	diags := runCheck(t, `package p
+import "strandweaver/internal/pmo"
+func f() {
+	prog := make(pmo.Program, 1)
+	prog[0] = append(prog[0], pmo.Op{}) //strandvet:ok fresh construction
+}
+`)
+	wantDiags(t, diags)
+}

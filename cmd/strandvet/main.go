@@ -26,7 +26,14 @@
 //     page storage obeys the COW images' ownership protocol, and a
 //     pointer held elsewhere could mutate pages that frozen
 //     checkpoints share (docs/DETERMINISM.md). Pointers to other
-//     array sizes, such as [mem.LineSize]byte line buffers, are fine.
+//     array sizes, such as [mem.LineSize]byte line buffers, are fine;
+//   - no direct program mutation: assigning through an index on a
+//     pmo.Program-typed value (`p[t][i] = op`, `p[t] = append(...)`)
+//     outside internal/pmo and internal/relax is flagged — programs
+//     are rewritten only via the pmo rewrite surface
+//     (Clone/WithOp/WithoutOp/WithInsert), which returns a fresh
+//     program per transform so the auto-relaxation oracle always has
+//     a before/after pair to validate.
 //
 // A finding is suppressed by a `//strandvet:ok` comment on the same
 // line or the line above — the escape hatch for the documented
@@ -47,7 +54,10 @@ import (
 
 // defaultDirs is the package list the determinism rules cover. The
 // second group holds the packages with Snapshot/Restore seams, which
-// the passive-checkpoint rule guards.
+// the passive-checkpoint rule guards; the third group holds the
+// packages that handle pmo.Program values, which the program-mutation
+// rule guards (pmo and relax are the rule's exempt owners but stay
+// listed so the other rules cover them).
 var defaultDirs = []string{
 	"internal/sim",
 	"internal/harness",
@@ -61,6 +71,9 @@ var defaultDirs = []string{
 	"internal/cpu",
 	"internal/backend",
 	"internal/machine",
+	"internal/pmo",
+	"internal/relax",
+	"internal/persistcheck",
 }
 
 func main() {

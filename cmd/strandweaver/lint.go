@@ -96,8 +96,12 @@ func printRelaxation(w io.Writer, rs []persistcheck.Relaxation) {
 	fmt.Fprintf(w, "  %-18s %9s %15s %10s %19s %13s\n",
 		"design", "barriers", "stall barriers", "must edges", "barriers eliminated", "edges removed")
 	for _, r := range rs {
-		fmt.Fprintf(w, "  %-18s %9d %15d %10d %19d %13d\n",
-			r.Design, r.Barriers, r.StallBarriers, r.MustEdges, r.BarriersEliminated, r.EdgesRemoved)
+		inverted := ""
+		if r.Inverted {
+			inverted = fmt.Sprintf("  (inverted: +%d barriers, +%d edges vs baseline)", r.BarriersAdded, r.EdgesAdded)
+		}
+		fmt.Fprintf(w, "  %-18s %9d %15d %10d %19d %13d%s\n",
+			r.Design, r.Barriers, r.StallBarriers, r.MustEdges, r.BarriersEliminated, r.EdgesRemoved, inverted)
 	}
 }
 

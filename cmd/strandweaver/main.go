@@ -51,6 +51,7 @@ type options struct {
 	memProfile   string
 	lintSeverity string
 	lintJSON     bool
+	relaxGate    bool
 
 	fuzzSchedules  int
 	fuzzCacheBytes int64
@@ -73,7 +74,7 @@ func (o options) workers() int {
 
 var commands = []string{
 	"table2", "fig7", "fig8", "fig9", "fig10", "experiments",
-	"litmus", "lint", "crash", "torture", "fuzz", "ablation", "all",
+	"litmus", "lint", "relax", "crash", "torture", "fuzz", "ablation", "all",
 }
 
 // parseArgs parses a command line (without the program name) into
@@ -110,7 +111,8 @@ func parseArgs(args []string, errw *os.File) (options, error) {
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	fs.StringVar(&o.lintSeverity, "severity", "error", "minimum finding severity for a non-zero exit (lint): info, warn, error")
-	fs.BoolVar(&o.lintJSON, "json", false, "emit reports and relaxation metrics as JSON (lint, fuzz)")
+	fs.BoolVar(&o.lintJSON, "json", false, "emit reports and relaxation metrics as JSON (lint, relax, fuzz)")
+	fs.BoolVar(&o.relaxGate, "gate", false, "fail unless the optimizer rediscovers the strand undo recipe from the intel baseline (relax)")
 	fs.IntVar(&o.fuzzSchedules, "schedules", 256, "fuzz schedule budget (0 = unbounded, requires -duration)")
 	fs.Int64Var(&o.fuzzCacheBytes, "cache-bytes", 0, "fuzz execution-cache budget: retained unique checkpoint page bytes before LRU eviction (0 = default; results identical at any budget)")
 	fs.DurationVar(&o.fuzzDuration, "duration", 0, "fuzz wall-clock bound, checked between batches (0 = schedule budget only)")
@@ -292,6 +294,8 @@ func main() {
 		err = runLitmus()
 	case "lint":
 		err = runLint(o)
+	case "relax":
+		err = runRelax(o)
 	case "crash":
 		err = runCrash(opt, o.crashes)
 	case "torture":
@@ -414,6 +418,11 @@ experiments:
   lint     static persist-order analysis of the litmus programs and
            every design's logging recipes (no simulation); exits
            non-zero on findings at or above -severity
+  relax    search-based auto-relaxation: rewrite every design's
+           logging recipes to minimal strand annotations, proving each
+           step against the exact crash-cut oracle; -gate fails unless
+           the strand undo recipe is rediscovered from the intel
+           baseline
   crash    crash-injection + recovery + invariant verification sweep
   torture  fault-injection torture harness: torn persists, PM media
            faults, crash-during-recovery convergence
@@ -436,6 +445,7 @@ torture flags: -intensity -budgets -tear-accepted -skip-litmus -stride
                -no-snapshot (crash-prefix checkpoint forking is the
                default; see docs/SNAPSHOT.md)
 lint flags:    -severity LEVEL (info, warn, error) -json
+relax flags:   -gate -json
 fuzz flags:    -schedules N -duration D -target LIST -mutate NAME
                -repro FILE [-minimize] -out DIR -json -no-snapshot
 `)

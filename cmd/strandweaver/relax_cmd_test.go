@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"strandweaver/internal/hwdesign"
+	"strandweaver/internal/relax"
+)
+
+// TestRelaxResultsGate pins the relax command's cross-design outcome:
+// every subject resolves to a status, the intel undo recipe passes the
+// rediscovery gate, and the results are deterministic across builds.
+func TestRelaxResultsGate(t *testing.T) {
+	out, err := relaxResults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 designs x {undo, redo}.
+	if want := 2 * len(hwdesign.All); len(out.Results) != want {
+		t.Fatalf("got %d results, want %d", len(out.Results), want)
+	}
+	if err := relaxGateCheck(out.Results); err != nil {
+		t.Errorf("gate: %v", err)
+	}
+	byName := map[string]*relax.Result{}
+	for _, r := range out.Results {
+		byName[r.Name] = r
+	}
+	for name, wantStatus := range map[string]relax.Status{
+		"undolog/intel-x86":  relax.StatusOptimized,
+		"undolog/eadr":       relax.StatusVisibilityOrdered,
+		"redolog/eadr":       relax.StatusVisibilityOrdered,
+		"undolog/non-atomic": relax.StatusUnsatisfiable,
+		"redolog/non-atomic": relax.StatusUnsatisfiable,
+	} {
+		r := byName[name]
+		if r == nil {
+			t.Fatalf("no result for %s", name)
+		}
+		if r.Status != wantStatus {
+			t.Errorf("%s: status = %s, want %s", name, r.Status, wantStatus)
+		}
+	}
+	// The optimizer must converge the intel and strand undo recipes to
+	// the same minimal program — the "rediscovers the strand recipe"
+	// claim, mechanically.
+	intel, strand := byName["undolog/intel-x86"], byName["undolog/strandweaver"]
+	if intel.Rendered != strand.Rendered {
+		t.Errorf("intel and strand undo recipes optimized to different programs:\nintel:  %s\nstrand: %s",
+			intel.Rendered, strand.Rendered)
+	}
+}
+
+// TestRelaxGateRejects checks the gate fails on a result set missing
+// or exceeding the thresholds.
+func TestRelaxGateRejects(t *testing.T) {
+	if err := relaxGateCheck(nil); err == nil {
+		t.Error("gate accepted an empty result set")
+	}
+	bad := []*relax.Result{{
+		Name:      "undolog/intel-x86",
+		Status:    relax.StatusOptimized,
+		Validated: true,
+		Final:     relax.Summary{StallBarriers: 2, MustEdges: 24},
+	}}
+	if err := relaxGateCheck(bad); err == nil {
+		t.Error("gate accepted 2 stalling barriers")
+	} else if !strings.Contains(err.Error(), "2 stalls") {
+		t.Errorf("gate error %q does not name the excess", err)
+	}
+}

@@ -91,11 +91,11 @@ func lowerISA(ops []isa.Op) ([][]irOp, error) {
 			}
 			delete(unflushed, key)
 		case isa.OpPersistBarrier, isa.OpOFence:
-			threads[t] = append(threads[t], irOp{kind: irPB, src: op.Kind, thread: t, pos: p})
+			threads[t] = append(threads[t], irOp{kind: irPB, src: op.Kind, label: op.Label, thread: t, pos: p})
 		case isa.OpNewStrand:
-			threads[t] = append(threads[t], irOp{kind: irNS, src: op.Kind, thread: t, pos: p})
+			threads[t] = append(threads[t], irOp{kind: irNS, src: op.Kind, label: op.Label, thread: t, pos: p})
 		case isa.OpJoinStrand, isa.OpSFence, isa.OpDFence:
-			threads[t] = append(threads[t], irOp{kind: irJS, src: op.Kind, thread: t, pos: p})
+			threads[t] = append(threads[t], irOp{kind: irJS, src: op.Kind, label: op.Label, thread: t, pos: p})
 		case isa.OpCompute, isa.OpNone:
 			// No ordering semantics.
 		default:

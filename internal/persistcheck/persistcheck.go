@@ -140,6 +140,16 @@ type Requirement struct {
 	Reason string `json:"reason"`
 }
 
+// DurableLabel marks a barrier op as a durability point: a contract
+// that every prior persist is durable before the program proceeds
+// (before CommitUpTo returns, before locks release). The label rides
+// on isa.Op.Label through the lowering so the auto-relaxation
+// optimizer (internal/relax) knows the barrier's stall is
+// load-bearing even when no declared inter-store requirement needs
+// it. The logging runtimes' emit-for-analysis streams apply it to
+// their plan.Durable emission.
+const DurableLabel = "durable"
+
 // Stream is an analyzable ISA instruction stream: a recorded (or
 // recipe-emitted) sequence of ops with the persist-order obligations it
 // must uphold.
@@ -219,25 +229,50 @@ type Relaxation struct {
 	// MustEdges is the recipe DAG's ordered store-pair count.
 	MustEdges int `json:"must_edges"`
 	// BarriersEliminated is the count of core-stalling barriers the
-	// design avoids relative to the intelx86 recipe.
+	// design avoids relative to the baseline recipe. It is clamped at
+	// zero: ordering the design adds over the baseline is reported in
+	// BarriersAdded, never as a negative elimination.
 	BarriersEliminated int `json:"barriers_eliminated"`
 	// EdgesRemoved is how many must-persist-before pairs the design's
-	// recipe sheds relative to the intelx86 recipe (negative when the
-	// design prescribes more ordering, e.g. eADR's visibility order).
+	// recipe sheds relative to the baseline recipe, clamped at zero
+	// (see EdgesAdded).
 	EdgesRemoved int `json:"edges_removed"`
+	// BarriersAdded and EdgesAdded count the ordering this recipe
+	// imposes over the baseline — nonzero when the comparison is
+	// inverted, i.e. the baseline is the more relaxed side (e.g.
+	// eADR's visibility order prescribes more edges than Intel's
+	// SFENCE recipe).
+	BarriersAdded int `json:"barriers_added,omitempty"`
+	EdgesAdded    int `json:"edges_added,omitempty"`
+	// Inverted flags a comparison where the recipe has more stalling
+	// barriers or more must edges than its baseline.
+	Inverted bool `json:"inverted,omitempty"`
 }
 
 // RelaxationVs computes the relaxation metrics of report r against the
-// intelx86 baseline report for the same logical recipe.
+// baseline report (conventionally the intelx86 recipe) for the same
+// logical recipe. A comparison against a more relaxed baseline never
+// yields negative counts: the surplus ordering is reported in
+// BarriersAdded/EdgesAdded and the Relaxation is flagged Inverted.
 func (r *Report) RelaxationVs(base *Report, design string) Relaxation {
-	return Relaxation{
-		Design:             design,
-		Barriers:           r.Barriers,
-		StallBarriers:      r.StallBarriers,
-		MustEdges:          r.MustEdges,
-		BarriersEliminated: base.StallBarriers - r.StallBarriers,
-		EdgesRemoved:       base.MustEdges - r.MustEdges,
+	rx := Relaxation{
+		Design:        design,
+		Barriers:      r.Barriers,
+		StallBarriers: r.StallBarriers,
+		MustEdges:     r.MustEdges,
 	}
+	if d := base.StallBarriers - r.StallBarriers; d >= 0 {
+		rx.BarriersEliminated = d
+	} else {
+		rx.BarriersAdded = -d
+	}
+	if d := base.MustEdges - r.MustEdges; d >= 0 {
+		rx.EdgesRemoved = d
+	} else {
+		rx.EdgesAdded = -d
+	}
+	rx.Inverted = rx.BarriersAdded > 0 || rx.EdgesAdded > 0
+	return rx
 }
 
 // stalling reports whether the barrier kind stalls the issuing core

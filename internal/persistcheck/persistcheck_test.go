@@ -296,4 +296,31 @@ func TestRelaxationVs(t *testing.T) {
 	if rx.BarriersEliminated != 3 || rx.EdgesRemoved != 3 || rx.Design != "strandweaver" {
 		t.Errorf("relaxation = %+v", rx)
 	}
+	if rx.Inverted || rx.BarriersAdded != 0 || rx.EdgesAdded != 0 {
+		t.Errorf("forward comparison flagged inverted: %+v", rx)
+	}
+}
+
+// TestRelaxationVsInverted pins the asymmetry fix: comparing a
+// more-ordered report against a more-relaxed baseline must not report
+// negative eliminations — the surplus goes to BarriersAdded/EdgesAdded
+// and the row is flagged Inverted.
+func TestRelaxationVsInverted(t *testing.T) {
+	base := &persistcheck.Report{StallBarriers: 1, MustEdges: 21, Barriers: 7}
+	r := &persistcheck.Report{StallBarriers: 4, MustEdges: 24, Barriers: 4}
+	rx := r.RelaxationVs(base, "intel-x86")
+	if rx.BarriersEliminated != 0 || rx.EdgesRemoved != 0 {
+		t.Errorf("inverted comparison reports eliminations: %+v", rx)
+	}
+	if !rx.Inverted || rx.BarriersAdded != 3 || rx.EdgesAdded != 3 {
+		t.Errorf("inverted = %v, added = %d/%d, want true, 3/3", rx.Inverted, rx.BarriersAdded, rx.EdgesAdded)
+	}
+
+	// Mixed direction: fewer stalls but more edges is still inverted
+	// (it adds ordering on one axis) and still clamps at zero.
+	mixed := &persistcheck.Report{StallBarriers: 0, MustEdges: 30, Barriers: 2}
+	rx = mixed.RelaxationVs(base, "mixed")
+	if rx.BarriersEliminated != 1 || rx.EdgesRemoved != 0 || rx.EdgesAdded != 9 || !rx.Inverted {
+		t.Errorf("mixed comparison = %+v, want eliminated=1 removed=0 edges-added=9 inverted", rx)
+	}
 }

@@ -187,15 +187,54 @@ func AllowedPersistSets(p Program) []PersistSet {
 	return out
 }
 
+// Enumeration budget: the checker visits every interleaving and, per
+// interleaving, every subset of the persists, so the work is
+// interleavings x 2^stores. The caps below admit every litmus shape
+// and the single-threaded logging-recipe programs the auto-relaxation
+// optimizer oracle-checks (one interleaving, ~8 stores) while
+// rejecting programs whose enumeration would not terminate in
+// reasonable time.
+const (
+	maxInterleavings = 1 << 17
+	maxEnumWork      = 1 << 25
+)
+
+// interleavingCount returns the number of total orders preserving each
+// thread's program order (the multinomial coefficient), saturating at
+// maxInterleavings+1 to avoid overflow.
+func interleavingCount(p Program) uint64 {
+	count := uint64(1)
+	placed := uint64(0)
+	for _, t := range p {
+		for i := uint64(1); i <= uint64(len(t)); i++ {
+			placed++
+			count = count * placed / i
+			if count > maxInterleavings {
+				return maxInterleavings + 1
+			}
+		}
+	}
+	return count
+}
+
 // forEachInterleaving visits every total visibility order (interleaving
 // preserving each thread's program order) of the program.
 func forEachInterleaving(p Program, visit func(inter []event)) {
-	total := 0
+	stores := 0
 	for _, t := range p {
-		total += len(t)
+		for _, op := range t {
+			if op.Kind == KStore {
+				stores++
+			}
+		}
 	}
-	if total > 16 {
-		panic(fmt.Sprintf("pmo: program too large for exhaustive checking (%d ops)", total))
+	inters := interleavingCount(p)
+	work := uint64(maxEnumWork) + 1
+	if inters <= maxInterleavings && stores < 30 {
+		work = inters << uint(stores)
+	}
+	if inters > maxInterleavings || work > maxEnumWork {
+		panic(fmt.Sprintf("pmo: program too large for exhaustive checking (%d interleavings, %d stores)", inters, stores))
 	}
 	idx := make([]int, len(p))
 	var inter []event

@@ -77,8 +77,11 @@ func AnalysisStream(d hwdesign.Design, plan backend.OrderingPlan, writes int) pe
 	}
 
 	// GroupCommit: durable point, then invalidate the reclaimed entries
-	// (including the commit record's line) and advance the head.
-	emit(plan.Durable, 0, "")
+	// (including the commit record's line) and advance the head. The
+	// durable barrier is labelled so the auto-relaxation optimizer
+	// keeps it stalling: group commit's durability hand-off to the
+	// caller is a contract, not an inter-persist ordering.
+	emit(plan.Durable, 0, persistcheck.DurableLabel)
 	emit(plan.BeginPair, 0, "")
 	for i := 0; i <= writes; i++ {
 		inv := fmt.Sprintf("inv%d", i)

@@ -65,7 +65,11 @@ func AnalysisStream(d hwdesign.Design, plan backend.OrderingPlan, pairs int) per
 
 	// CommitUpTo (Figure 6a): durable point, marker, invalidations,
 	// head advance. The marker rewrites the terminating entry's line.
-	emit(plan.Durable, 0, "")
+	// The durable barrier is labelled: it is a contract with the caller
+	// (the batch is durable before CommitUpTo returns and locks
+	// release), not an inter-persist ordering, so the auto-relaxation
+	// optimizer (internal/relax) must keep it stalling.
+	emit(plan.Durable, 0, persistcheck.DurableLabel)
 	emit(plan.BeginPair, 0, "")
 	marker := "commit-marker"
 	emit(isa.OpStore, entryAddr(pairs-1), marker)

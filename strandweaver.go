@@ -45,6 +45,7 @@ import (
 	"strandweaver/internal/persistcheck"
 	"strandweaver/internal/pmo"
 	"strandweaver/internal/redolog"
+	"strandweaver/internal/relax"
 	"strandweaver/internal/sim"
 	"strandweaver/internal/sweep"
 	"strandweaver/internal/trace"
@@ -394,6 +395,46 @@ func ParseLintSeverity(s string) (LintSeverity, error) { return persistcheck.Par
 // strand misuse.
 func AnalyzeLitmusProgram(name string, p LitmusProgram) *LintReport {
 	return persistcheck.AnalyzeProgram(name, p)
+}
+
+// --- Auto-relaxation (search-based strand-annotation minimization) ---
+
+// RelaxResult is one subject's auto-relaxation outcome: status, the
+// oracle-validated step log, initial/final ordering footprints, and
+// the rewritten program.
+type RelaxResult = relax.Result
+
+// RelaxStep is one accepted, oracle-validated transform of a
+// relaxation log.
+type RelaxStep = relax.Step
+
+// RelaxRequirement is one persist-order obligation the optimizer must
+// preserve, by stable store ordinal.
+type RelaxRequirement = relax.Requirement
+
+// RelaxStoreRef names a store by thread and store ordinal (its rank
+// among the thread's stores, 0-based) — stable under every barrier
+// rewrite, unlike a program index.
+type RelaxStoreRef = pmo.StoreRef
+
+// RelaxStatus classifies an optimization outcome.
+type RelaxStatus = relax.Status
+
+// Relaxation outcome statuses.
+const (
+	RelaxOptimized         = relax.StatusOptimized
+	RelaxVisibilityOrdered = relax.StatusVisibilityOrdered
+	RelaxUnsatisfiable     = relax.StatusUnsatisfiable
+)
+
+// RelaxLitmusProgram rewrites an abstract litmus program to minimal
+// strand annotations: it greedily demotes, deletes, and strand-splits
+// barriers, accepting only rewrites whose allowed crash cuts are a
+// superset of the original's and still satisfy every requirement —
+// each step proved against the exact crash-cut oracle
+// (AllowedPersistSets).
+func RelaxLitmusProgram(name string, p LitmusProgram, reqs []RelaxRequirement) (*RelaxResult, error) {
+	return relax.Optimize(relax.Input{Name: name, Program: p, Requires: reqs})
 }
 
 // CheckLitmusWithFaults is CheckLitmus under fault injection: mk is
